@@ -1,0 +1,133 @@
+"""DEMO3 -- placement-policy ablation (heuristic vs exhaustive vs random).
+
+Section 3 describes heuristics that determine the fitness of FCPs for
+different parts of the flow (checkpoints after the most complex
+operations, data cleaning close to the sources) and custom deployment
+policies built on them.  This ablation compares three policies on the
+purchases flow: for the same per-pattern point allowance, the heuristic
+policy should reach (nearly) the best quality found by the exhaustive
+policy while evaluating far fewer alternatives than exhaustive-with-all-
+points, and should beat the random policy on the quality of the best
+alternative found per characteristic.
+"""
+
+import pytest
+
+from repro.core import Planner, ProcessingConfiguration
+from repro.core.policies import ExhaustivePolicy, HeuristicPolicy, RandomPolicy
+from repro.quality.framework import QualityCharacteristic
+from repro.viz.tables import render_table
+
+from conftest import print_artifact
+
+
+def _plan(flow, policy, points_per_pattern, budget=1):
+    config = ProcessingConfiguration(
+        pattern_budget=budget,
+        max_points_per_pattern=points_per_pattern,
+        simulation_runs=2,
+        max_alternatives=5_000,
+    )
+    planner = Planner(configuration=config, policy=policy)
+    return planner.plan(flow)
+
+
+@pytest.fixture(scope="module")
+def ablation_results(purchases):
+    """Plan the purchases flow under the three policies."""
+    return {
+        "heuristic (top-2 fit points)": _plan(purchases, HeuristicPolicy(), 2),
+        "random (2 points)": _plan(purchases, RandomPolicy(seed=5), 2),
+        "exhaustive (all points)": _plan(purchases, ExhaustivePolicy(), 1_000),
+    }
+
+
+def test_demo3_policy_ablation_quality_vs_effort(benchmark, ablation_results, purchases):
+    """Heuristic placement reaches near-exhaustive quality with far fewer alternatives."""
+    characteristics = (
+        QualityCharacteristic.PERFORMANCE,
+        QualityCharacteristic.DATA_QUALITY,
+        QualityCharacteristic.RELIABILITY,
+    )
+    rows = []
+    best = {}
+    for label, result in ablation_results.items():
+        scores = {
+            c: max(alt.profile.score(c) for alt in result.alternatives) for c in characteristics
+        }
+        best[label] = scores
+        rows.append(
+            {
+                "policy": label,
+                "alternatives_evaluated": len(result.alternatives),
+                **{c.value: f"{scores[c]:6.1f}" for c in characteristics},
+            }
+        )
+    print_artifact("DEMO3 -- deployment-policy ablation (purchases flow, budget 1)", render_table(rows))
+
+    heuristic = best["heuristic (top-2 fit points)"]
+    exhaustive = best["exhaustive (all points)"]
+    heuristic_count = len(ablation_results["heuristic (top-2 fit points)"].alternatives)
+    exhaustive_count = len(ablation_results["exhaustive (all points)"].alternatives)
+
+    # effort: heuristic explores a fraction of the exhaustive space
+    assert heuristic_count < exhaustive_count
+    # quality: the heuristic policy keeps at least 90% of the best composite
+    # score the exhaustive policy finds on every examined characteristic
+    # (the gap it gives up is the price of evaluating far fewer designs).
+    for characteristic in characteristics:
+        assert heuristic[characteristic] >= 0.9 * exhaustive[characteristic]
+
+    # cost of planning once with the heuristic policy
+    benchmark.pedantic(
+        _plan, args=(purchases, HeuristicPolicy(), 2), rounds=2, iterations=1
+    )
+
+
+def test_demo3_heuristic_places_cleaning_near_sources(benchmark, purchases):
+    """The heuristic policy deploys data-cleaning FCPs adjacent to the extraction operations."""
+    result = _plan(purchases, HeuristicPolicy(), 1)
+
+    def cleaning_placements():
+        placements = []
+        for alternative in result.alternatives:
+            for application in alternative.applications:
+                if application.pattern in (
+                    "FilterNullValues",
+                    "RemoveDuplicateEntries",
+                    "CrosscheckSources",
+                ):
+                    placements.append(application.point.edge[0])
+        return placements
+
+    placements = benchmark(cleaning_placements)
+    assert placements
+    for source_op in placements:
+        assert purchases.operation(source_op).kind.is_source or (
+            purchases.distance_from_sources(source_op) <= 1
+        )
+
+
+def test_demo3_checkpoint_placed_after_expensive_operations(benchmark, purchases):
+    """The heuristic policy prefers checkpoints after the costly derive task."""
+    result = _plan(purchases, HeuristicPolicy(), 1)
+
+    def checkpoint_edges():
+        edges = []
+        for alternative in result.alternatives:
+            for application in alternative.applications:
+                if application.pattern == "AddCheckpoint":
+                    edges.append(application.point)
+        return edges
+
+    points = benchmark(checkpoint_edges)
+    assert points
+    best_fitness = max(p.fitness for p in points)
+    all_points = [
+        p.fitness
+        for p in __import__("repro.patterns.reliability", fromlist=["AddCheckpoint"])
+        .AddCheckpoint()
+        .find_application_points(purchases)
+    ]
+    # the selected placement is the best-rated one on the flow
+    assert best_fitness == pytest.approx(max(all_points))

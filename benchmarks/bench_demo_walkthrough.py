@@ -1,0 +1,92 @@
+"""DEMO4 -- the end-to-end demo walkthrough (parts P1-P3) plus model import.
+
+The demonstration loads the logical representation of the TPC-H / TPC-DS
+processes in xLM format, configures the processing parameters, generates
+and evaluates the alternatives, lets the user inspect the skyline and the
+measures, select a design, extend the palette with custom patterns, and
+iterate.  This benchmark scripts that whole session (xLM and PDI
+round-trips included) and times the import path and the full iteration.
+"""
+
+import pytest
+
+from repro.core import Planner, ProcessingConfiguration, RedesignSession
+from repro.etl.operations import OperationKind
+from repro.io.pdi import flow_from_pdi, flow_to_pdi
+from repro.io.xlm import flow_from_xlm, flow_to_xlm
+from repro.patterns.custom import CustomPatternSpec
+from repro.patterns.registry import default_palette
+from repro.quality.framework import QualityCharacteristic
+from repro.viz.report import planning_report
+
+from conftest import fast_configuration, print_artifact
+
+
+def test_demo4_xlm_import(benchmark, tpch):
+    """P0: load the logical representation of the process in xLM format."""
+    document = flow_to_xlm(tpch)
+    imported = benchmark(flow_from_xlm, document)
+    assert imported.structurally_equal(tpch)
+    print_artifact(
+        "DEMO4 -- xLM import of tpch_refresh",
+        f"document size: {len(document)} characters, "
+        f"operators: {imported.node_count}, transitions: {imported.edge_count}",
+    )
+
+
+def test_demo4_pdi_import(benchmark, tpcds):
+    """P0 (variant): load the process from Pentaho Data Integration format."""
+    document = flow_to_pdi(tpcds)
+    imported = benchmark(flow_from_pdi, document)
+    assert imported.structurally_equal(tpcds)
+
+
+def test_demo4_full_session(benchmark, tpch):
+    """P1+P2+P3: configure, plan, inspect, extend the palette, select, iterate."""
+
+    def run_session():
+        # P2: configure the palette (restrict patterns) and the policy.
+        palette = default_palette()
+        # P3: define a custom pattern and add it to the palette for future use.
+        palette.register_custom(
+            CustomPatternSpec(
+                name="AuditTrail",
+                description="persist an audit copy of the cleansed data",
+                operation_kind=OperationKind.LOAD_FILE,
+                improves=(QualityCharacteristic.RELIABILITY,),
+                cost_per_tuple=0.003,
+                prefer_near_sources=False,
+            )
+        )
+        configuration = fast_configuration(
+            pattern_budget=1,
+            max_points_per_pattern=2,
+            goal_priorities={
+                QualityCharacteristic.PERFORMANCE: 1.0,
+                QualityCharacteristic.RELIABILITY: 0.6,
+                QualityCharacteristic.DATA_QUALITY: 0.4,
+            },
+        )
+        # import the model as the demo does
+        session = RedesignSession(
+            flow_from_xlm(flow_to_xlm(tpch)),
+            planner=Planner(palette=palette, configuration=configuration),
+        )
+        # two iteration cycles with selection of the best performance design
+        session.iterate()
+        session.select_best(QualityCharacteristic.PERFORMANCE)
+        session.iterate()
+        session.select_best(QualityCharacteristic.RELIABILITY)
+        return session
+
+    session = benchmark.pedantic(run_session, rounds=1, iterations=1)
+    assert session.iteration_count == 2
+    assert len(session.current_flow.applied_patterns) >= 2
+
+    last_result = session.iterations[-1].result
+    print_artifact(
+        "DEMO4 -- second iteration report (after adopting the first selection)",
+        planning_report(last_result, max_listed=5),
+    )
+    history = session.history()
+    assert all(record["selected"] for record in history)

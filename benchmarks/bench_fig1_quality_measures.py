@@ -1,0 +1,48 @@
+"""FIG1 -- regenerate the Fig. 1 table of example quality measures.
+
+The paper's Fig. 1 lists, per quality characteristic, the example measures
+the tool estimates (performance: process cycle time and average latency
+per tuple; data quality: freshness age and the freshness score;
+manageability: longest path, coupling and number of merge elements).  The
+benchmark regenerates that table from the measure registry and times a
+full measure evaluation of the TPC-H flow.
+"""
+
+import pytest
+
+from repro.quality.estimator import EstimationSettings, QualityEstimator
+from repro.quality.framework import QualityCharacteristic, default_registry
+from repro.viz.tables import measures_table, render_table
+
+from conftest import print_artifact
+
+
+FIG1_EXPECTED = {
+    ("Performance", "Process cycle time"),
+    ("Performance", "Average latency per tuple"),
+    ("Data Quality", "Request time - Time of last update"),
+    ("Data Quality", "1 / (1 + age * frequency of updates)"),
+    ("Manageability", "Length of process workflow's longest path"),
+    ("Manageability", "Coupling of process workflow"),
+    ("Manageability", "# of merge elements in the process model"),
+}
+
+
+def test_fig1_measures_table(benchmark, tpch):
+    """Regenerate the Fig. 1 rows and benchmark one full flow evaluation."""
+    registry = default_registry()
+    rows = measures_table(registry)
+    covered = {(row["characteristic"], row["measure"]) for row in rows}
+    missing = FIG1_EXPECTED - covered
+    assert not missing, f"Fig. 1 measures missing from the registry: {missing}"
+
+    print_artifact(
+        "Fig. 1 -- Example quality measures for ETL processes",
+        render_table(rows, columns=["characteristic", "measure", "source"]),
+    )
+
+    estimator = QualityEstimator(settings=EstimationSettings(simulation_runs=1, seed=7))
+    profile = benchmark(estimator.evaluate, tpch)
+    # the evaluation covers at least the five characteristics of the paper
+    assert len(profile.scores) >= 5
+    assert QualityCharacteristic.PERFORMANCE in profile.scores

@@ -1,0 +1,111 @@
+"""FIG2 -- regenerate the Fig. 2 pattern-generation examples on the purchases flow.
+
+Fig. 2 shows how different quality goals produce different Flow Component
+Patterns on the ``S_Purchases`` flow: (a) improved performance through
+horizontal partitioning / parallelism inside the computation-intensive
+derive task, and (b) improved reliability through a savepoint (checkpoint)
+added to the sub-process.  The benchmark applies each pattern at its best
+heuristic placement, estimates the measures before and after, prints the
+regenerated comparison rows and checks the expected directions:
+
+* performance patterns lower the process cycle time;
+* the reliability pattern raises the success rate and lowers the lost work,
+  at a small cycle-time cost;
+* data-quality patterns lower the defect rates of the loaded data.
+"""
+
+import pytest
+
+from repro.patterns.data_quality import FilterNullValues
+from repro.patterns.performance import HorizontalPartitionTask, ParallelizeTask
+from repro.patterns.reliability import AddCheckpoint
+from repro.quality.estimator import EstimationSettings, QualityEstimator
+from repro.viz.tables import render_table
+
+from conftest import print_artifact
+
+_ESTIMATOR = QualityEstimator(settings=EstimationSettings(simulation_runs=5, seed=11))
+
+
+def _best_application(pattern, flow):
+    points = pattern.find_application_points(flow)
+    assert points, f"{pattern.name} found no valid application point"
+    best = max(points, key=lambda p: p.fitness)
+    return pattern.apply(flow, best), best
+
+
+def _row(label, profile):
+    return {
+        "flow": label,
+        "cycle_time_ms": f"{profile.value('process_cycle_time_ms').value:10.1f}",
+        "success_rate": f"{profile.value('success_rate').value:5.2f}",
+        "lost_work_ms": f"{profile.value('mean_lost_work_ms').value:8.1f}",
+        "null_rate": f"{profile.value('null_rate').value:6.4f}",
+        "error_rate": f"{profile.value('error_rate').value:6.4f}",
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline_profile(purchases):
+    return _ESTIMATOR.evaluate(purchases)
+
+
+def test_fig2a_improved_performance(benchmark, purchases, baseline_profile):
+    """Fig. 2a: parallelism / horizontal partitioning lower the cycle time."""
+    parallel_flow, point = _best_application(ParallelizeTask(degree=4), purchases)
+    partition_flow, _ = _best_application(HorizontalPartitionTask(partitions=2), purchases)
+
+    parallel_profile = benchmark(_ESTIMATOR.evaluate, parallel_flow)
+    partition_profile = _ESTIMATOR.evaluate(partition_flow)
+
+    rows = [
+        _row("initial S_Purchases", baseline_profile),
+        _row("ParallelizeTask (Fig. 2a)", parallel_profile),
+        _row("HorizontalPartitionTask (Fig. 2a)", partition_profile),
+    ]
+    print_artifact("Fig. 2a -- improved performance", render_table(rows))
+
+    base_cycle = baseline_profile.value("process_cycle_time_ms").value
+    assert parallel_profile.value("process_cycle_time_ms").value < base_cycle
+    assert partition_profile.value("process_cycle_time_ms").value < base_cycle
+    # the pattern was generated on the computation-intensive derive task
+    assert "derive" in point.node_id
+
+
+def test_fig2b_improved_reliability(benchmark, purchases, baseline_profile):
+    """Fig. 2b: the savepoint raises reliability at a small performance cost."""
+    checkpoint_flow, _ = _best_application(AddCheckpoint(), purchases)
+    checkpoint_profile = benchmark(_ESTIMATOR.evaluate, checkpoint_flow)
+
+    rows = [
+        _row("initial S_Purchases", baseline_profile),
+        _row("AddCheckpoint (Fig. 2b)", checkpoint_profile),
+    ]
+    print_artifact("Fig. 2b -- improved reliability", render_table(rows))
+
+    assert checkpoint_profile.value("success_rate").value >= baseline_profile.value(
+        "success_rate"
+    ).value
+    assert checkpoint_profile.value("mean_lost_work_ms").value <= baseline_profile.value(
+        "mean_lost_work_ms"
+    ).value
+    assert checkpoint_profile.value("recovery_coverage").value > 0
+    # persisting the savepoint costs a little extra cycle time (bounded)
+    base_cycle = baseline_profile.value("process_cycle_time_ms").value
+    assert checkpoint_profile.value("process_cycle_time_ms").value <= base_cycle * 1.5
+
+
+def test_fig2_data_quality_goal(benchmark, purchases, baseline_profile):
+    """The data-quality goal generates cleansing FCPs close to the sources."""
+    cleansed_flow, point = _best_application(FilterNullValues(), purchases)
+    cleansed_profile = benchmark(_ESTIMATOR.evaluate, cleansed_flow)
+
+    rows = [
+        _row("initial S_Purchases", baseline_profile),
+        _row("FilterNullValues", cleansed_profile),
+    ]
+    print_artifact("Fig. 2 (data-quality goal) -- crosschecking / cleansing", render_table(rows))
+
+    assert cleansed_profile.value("null_rate").value < baseline_profile.value("null_rate").value
+    # placed on an edge leaving one of the two purchase sources
+    assert purchases.operation(point.edge[0]).kind.is_source

@@ -1,0 +1,68 @@
+"""FIG4 -- the multidimensional scatter-plot of alternative ETL flows.
+
+Fig. 4 plots the alternative designs in a multidimensional space of
+quality characteristics (performance, data quality, reliability) and only
+presents the Pareto frontier (skyline) to the user.  The benchmark plans
+the TPC-H and TPC-DS flows, regenerates the scatter data (all points plus
+the skyline flag), prints the ASCII projection and the CSV series, checks
+the skyline pruning rule, and times the skyline computation itself.
+"""
+
+import pytest
+
+from repro.core import Planner
+from repro.core.pareto import pareto_front_profiles
+from repro.viz.scatter import build_scatter_data, render_ascii_scatter, scatter_to_csv
+
+from conftest import fast_configuration, print_artifact
+
+
+@pytest.fixture(scope="module", params=["tpch", "tpcds"])
+def planning_result(request, tpch, tpcds):
+    flow = {"tpch": tpch, "tpcds": tpcds}[request.param]
+    planner = Planner(
+        configuration=fast_configuration(pattern_budget=2, max_points_per_pattern=2)
+    )
+    return planner.plan(flow)
+
+
+def test_fig4_scatter_plot(benchmark, planning_result):
+    """Regenerate the Fig. 4 scatter data and render it."""
+    points = benchmark(build_scatter_data, planning_result)
+    assert len(points) == len(planning_result.alternatives)
+    skyline_points = [p for p in points if p.on_skyline]
+    assert skyline_points
+    # the skyline is what the user sees: it must be a strict subset
+    assert len(skyline_points) < len(points)
+
+    ascii_plot = render_ascii_scatter(points, planning_result.characteristics)
+    csv_head = "\n".join(scatter_to_csv(points, planning_result.characteristics).splitlines()[:8])
+    print_artifact(
+        f"Fig. 4 -- scatter plot ({planning_result.initial_flow.name}): "
+        f"{len(points)} alternatives, {len(skyline_points)} on the skyline",
+        ascii_plot + "\nCSV series (first rows):\n" + csv_head,
+    )
+
+
+def test_fig4_skyline_pruning_rule(benchmark, planning_result):
+    """No presented (skyline) design may be dominated by any other design."""
+    characteristics = planning_result.characteristics
+
+    def check() -> int:
+        violations = 0
+        for presented in planning_result.skyline:
+            for other in planning_result.alternatives:
+                if other is presented:
+                    continue
+                if other.profile.dominates(presented.profile, characteristics):
+                    violations += 1
+        return violations
+
+    assert benchmark(check) == 0
+
+
+def test_fig4_skyline_computation_cost(benchmark, planning_result):
+    """Time the skyline computation over the evaluated alternatives."""
+    profiles = [alt.profile for alt in planning_result.alternatives]
+    indices = benchmark(pareto_front_profiles, profiles, planning_result.characteristics)
+    assert sorted(indices) == sorted(planning_result.skyline_indices)

@@ -1,0 +1,83 @@
+"""FIG5 -- relative change of measures for a selected flow vs. the initial flow.
+
+Fig. 5 shows, for one selected alternative, a bar per quality
+characteristic giving the relative change of its (composite) measure
+against the initial flow; clicking a bar expands the composite into its
+detailed metrics.  The benchmark selects the skyline flow with the best
+performance score on the TPC-H workload, regenerates the bar-chart rows
+and the drill-down, checks their consistency, and times the comparison
+computation.
+"""
+
+import pytest
+
+from repro.core import Planner
+from repro.core.comparison import compare_profiles
+from repro.quality.framework import QualityCharacteristic
+from repro.viz.bars import build_bar_data, render_bar_chart, render_drilldown
+
+from conftest import fast_configuration, print_artifact
+
+
+@pytest.fixture(scope="module")
+def planning_result(tpch):
+    planner = Planner(
+        configuration=fast_configuration(pattern_budget=2, max_points_per_pattern=2,
+                                         simulation_runs=2)
+    )
+    return planner.plan(tpch)
+
+
+@pytest.fixture(scope="module")
+def selected(planning_result):
+    return planning_result.best_for(QualityCharacteristic.PERFORMANCE)
+
+
+def test_fig5_relative_change_bars(benchmark, planning_result, selected):
+    """Regenerate the composite bar chart for the selected flow."""
+    comparison = benchmark(
+        compare_profiles, selected.profile, planning_result.baseline_profile
+    )
+    rows = build_bar_data(comparison)
+    assert rows
+    print_artifact(
+        f"Fig. 5 -- relative change of measures ({selected.label}: {selected.describe()})",
+        render_bar_chart(comparison),
+    )
+    # the flow selected for its performance score must improve performance
+    assert comparison.change(QualityCharacteristic.PERFORMANCE) >= 0
+
+
+def test_fig5_drilldown_expands_composites(benchmark, planning_result, selected):
+    """Clicking a bar expands the composite measure into detailed metrics."""
+    comparison = planning_result.comparison(selected)
+
+    def drill():
+        return {
+            characteristic: comparison.expand(characteristic)
+            for characteristic in comparison.characteristic_changes
+        }
+
+    details = benchmark(drill)
+    body = []
+    for characteristic in (QualityCharacteristic.PERFORMANCE, QualityCharacteristic.RELIABILITY):
+        body.append(render_drilldown(comparison, characteristic))
+        assert details[characteristic], characteristic
+    print_artifact("Fig. 5 -- drill-down into detailed measures", "\n".join(body))
+
+    # consistency: every detailed change belongs to the characteristic it is listed under
+    for characteristic, changes in details.items():
+        for change in changes:
+            assert change.characteristic is characteristic
+
+
+def test_fig5_comparisons_for_whole_skyline(benchmark, planning_result):
+    """The measures view is available for every presented (skyline) flow."""
+    def compare_all():
+        return [planning_result.comparison(alt) for alt in planning_result.skyline]
+
+    comparisons = benchmark(compare_all)
+    assert len(comparisons) == len(planning_result.skyline)
+    improved = sum(1 for c in comparisons if c.improved_characteristics())
+    # every skyline flow improves at least one characteristic vs. the baseline
+    assert improved == len(comparisons)

@@ -1,0 +1,70 @@
+"""FIG6 -- the palette of available Flow Component Patterns.
+
+Fig. 6 lists the FCPs the palette currently includes together with the
+quality attribute each is intended to improve.  The benchmark regenerates
+that table from the pattern registry, verifies the five paper rows, and
+times the enumeration of valid application points for the whole palette on
+the TPC-DS flow (the operation behind "the palette of patterns to be
+added to the flow").
+"""
+
+import pytest
+
+from repro.patterns.registry import default_palette, figure6_palette
+from repro.viz.tables import palette_table, render_table
+
+from conftest import print_artifact
+
+FIG6_EXPECTED = {
+    "RemoveDuplicateEntries": "Data Quality",
+    "FilterNullValues": "Data Quality",
+    "CrosscheckSources": "Data Quality",
+    "ParallelizeTask": "Performance",
+    "AddCheckpoint": "Reliability",
+}
+
+
+def test_fig6_palette_table(benchmark, tpcds):
+    """Regenerate the Fig. 6 table and time palette-wide point enumeration."""
+    rows = palette_table(figure6_palette())
+    regenerated = {row["fcp"]: row["related_quality_attribute"] for row in rows}
+    assert regenerated == FIG6_EXPECTED
+
+    extended = palette_table(default_palette())
+    print_artifact(
+        "Fig. 6 -- available FCPs (paper palette + graph-level extensions)",
+        render_table(rows) + "\nExtended palette:\n" + render_table(extended),
+    )
+
+    palette = figure6_palette()
+
+    def enumerate_points():
+        return {pattern.name: len(pattern.find_application_points(tpcds)) for pattern in palette}
+
+    counts = benchmark(enumerate_points)
+    # every Fig. 6 pattern finds at least one valid application point on TPC-DS
+    assert all(count >= 1 for count in counts.values()), counts
+
+
+def test_fig6_custom_pattern_extension(benchmark):
+    """Users can extend the palette with their own patterns (demo part P3)."""
+    from repro.etl.operations import OperationKind
+    from repro.patterns.custom import CustomPatternSpec
+    from repro.quality.framework import QualityCharacteristic
+
+    def extend():
+        palette = default_palette()
+        palette.register_custom(
+            CustomPatternSpec(
+                name="MaskSensitiveData",
+                description="mask PII before loading",
+                operation_kind=OperationKind.CLEANSE,
+                improves=(QualityCharacteristic.SECURITY,),
+            )
+        )
+        return palette
+
+    palette = benchmark(extend)
+    assert "MaskSensitiveData" in palette
+    rows = palette_table(palette)
+    assert any(row["fcp"] == "MaskSensitiveData" for row in rows)

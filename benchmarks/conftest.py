@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper (a figure, a table,
+or a demo claim) and measures the cost of the dominant step with
+pytest-benchmark.  Run with ``pytest benchmarks/ --benchmark-only -s`` to
+see both the timing tables and the regenerated artefact data.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make sure the source tree is importable even without installation.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import Planner, ProcessingConfiguration  # noqa: E402
+from repro.workloads import purchases_flow, tpch_refresh_flow, tpcds_sales_flow  # noqa: E402
+
+
+def fast_configuration(**overrides) -> ProcessingConfiguration:
+    """A planner configuration small enough for repeated benchmark rounds."""
+    defaults = dict(
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=500,
+    )
+    defaults.update(overrides)
+    return ProcessingConfiguration(**defaults)
+
+
+@pytest.fixture(scope="session")
+def purchases():
+    """The Fig. 2 purchases flow at benchmark scale."""
+    return purchases_flow(rows_per_source=10_000)
+
+
+@pytest.fixture(scope="session")
+def tpch():
+    """The TPC-H refresh flow at benchmark scale."""
+    return tpch_refresh_flow(scale=0.05)
+
+
+@pytest.fixture(scope="session")
+def tpcds():
+    """The TPC-DS sales flow at benchmark scale."""
+    return tpcds_sales_flow(scale=0.02)
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Print a regenerated artefact with a recognisable banner."""
+    print()
+    print("=" * 78)
+    print(f"ARTIFACT: {title}")
+    print("=" * 78)
+    print(body)

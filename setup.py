@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only enables
+``python setup.py develop`` / legacy editable installs on machines where
+PEP 660 editable wheels cannot be built (no ``wheel`` package, offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""POIESIS reproduction: quality-aware ETL process redesign.
+
+A Python reproduction of "POIESIS: a Tool for Quality-aware ETL Process
+Redesign" (Theodorou, Abelló, Thiele, Lehner -- EDBT 2015).  The package
+provides:
+
+* an ETL flow-graph model and fluent builder (:mod:`repro.etl`),
+* a repository of Flow Component Patterns with applicability prerequisites
+  and placement heuristics (:mod:`repro.patterns`),
+* the POIESIS Planner: alternative-flow generation, quality estimation,
+  constraint filtering, Pareto skyline and iterative redesign sessions
+  (:mod:`repro.core`),
+* a quality-measure framework with static and trace-based measures
+  (:mod:`repro.quality`) backed by a runtime simulator
+  (:mod:`repro.simulator`),
+* xLM / PDI / JSON import-export (:mod:`repro.io`),
+* TPC-H / TPC-DS / Fig. 2 workloads (:mod:`repro.workloads`), and
+* text-based renderings of the paper's figures (:mod:`repro.viz`).
+
+Quickstart
+----------
+>>> from repro import Planner, ProcessingConfiguration
+>>> from repro.workloads import purchases_flow
+>>> planner = Planner(configuration=ProcessingConfiguration(pattern_budget=1))
+>>> result = planner.plan(purchases_flow(rows_per_source=2_000))
+>>> len(result.skyline) >= 1
+True
+"""
+
+from repro.core import (
+    AlternativeFlow,
+    FlowComparison,
+    MeasureConstraint,
+    ParallelEvaluator,
+    Planner,
+    PlanningResult,
+    ProcessingConfiguration,
+    RedesignSession,
+    compare_profiles,
+    pareto_front,
+    pareto_front_profiles,
+    policy_by_name,
+)
+from repro.etl import ETLGraph, FlowBuilder, Operation, OperationKind, Schema, Field, DataType
+from repro.patterns import PatternRegistry, default_palette
+from repro.quality import (
+    QualityCharacteristic,
+    QualityEstimator,
+    QualityProfile,
+    default_registry,
+)
+from repro.simulator import ETLSimulator, SimulationConfig, simulate_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlternativeFlow",
+    "FlowComparison",
+    "MeasureConstraint",
+    "ParallelEvaluator",
+    "Planner",
+    "PlanningResult",
+    "ProcessingConfiguration",
+    "RedesignSession",
+    "compare_profiles",
+    "pareto_front",
+    "pareto_front_profiles",
+    "policy_by_name",
+    "ETLGraph",
+    "FlowBuilder",
+    "Operation",
+    "OperationKind",
+    "Schema",
+    "Field",
+    "DataType",
+    "PatternRegistry",
+    "default_palette",
+    "QualityCharacteristic",
+    "QualityEstimator",
+    "QualityProfile",
+    "default_registry",
+    "ETLSimulator",
+    "SimulationConfig",
+    "simulate_flow",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""POIESIS core: the Planner component.
+
+POIESIS is an implementation of the *Planner* component of the
+user-centred declarative ETL (re-)design architecture (Section 3 of the
+paper).  The planner takes an initial ETL flow and user-defined
+configurations, generates Flow Component Patterns specific to that flow,
+applies them in varying positions and combinations to produce alternative
+ETL designs, estimates quality measures for each alternative, and exposes
+the Pareto frontier of the alternatives together with per-flow comparisons
+against the initial flow.  The redesign loop is iterative: the user
+selects one alternative, the corresponding patterns are merged into the
+flow, and a new cycle starts.
+"""
+
+from repro.core.configuration import MeasureConstraint, ProcessingConfiguration
+from repro.core.policies import (
+    DeploymentPolicy,
+    ExhaustivePolicy,
+    GoalDrivenPolicy,
+    HeuristicPolicy,
+    RandomPolicy,
+    policy_by_name,
+)
+from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
+from repro.core.pareto import pareto_front, pareto_front_profiles
+from repro.core.comparison import FlowComparison, compare_profiles
+from repro.core.evaluator import ParallelEvaluator
+from repro.core.planner import Planner, PlanningResult
+from repro.core.session import RedesignSession, SessionIteration
+
+__all__ = [
+    "MeasureConstraint",
+    "ProcessingConfiguration",
+    "DeploymentPolicy",
+    "ExhaustivePolicy",
+    "HeuristicPolicy",
+    "RandomPolicy",
+    "GoalDrivenPolicy",
+    "policy_by_name",
+    "AlternativeFlow",
+    "AlternativeGenerator",
+    "pareto_front",
+    "pareto_front_profiles",
+    "FlowComparison",
+    "compare_profiles",
+    "ParallelEvaluator",
+    "Planner",
+    "PlanningResult",
+    "RedesignSession",
+    "SessionIteration",
+]

@@ -1,0 +1,213 @@
+"""Generation of alternative ETL flows.
+
+The Pattern Generation / Pattern Application stages of the POIESIS
+architecture (Fig. 3): for every pattern of the palette the valid
+application points are enumerated on the initial flow, a deployment policy
+selects which points to use, and alternative flows are produced by
+deploying the patterns in varying positions and combinations -- singles,
+pairs, triples, ... up to the configured pattern budget.  The complexity
+of the full space is factorial in the size of the graph (Section 2.2), so
+generation is bounded by ``max_alternatives`` and duplicate structures are
+pruned via graph signatures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.policies import DeploymentPolicy, HeuristicPolicy
+from repro.etl.graph import ETLGraph
+from repro.etl.validation import is_valid
+from repro.patterns.base import (
+    ApplicationPoint,
+    ApplicationPointType,
+    FlowComponentPattern,
+    PatternApplication,
+)
+from repro.patterns.registry import PatternRegistry
+from repro.quality.composite import QualityProfile
+
+
+@dataclass
+class AlternativeFlow:
+    """One alternative ETL design produced by the planner.
+
+    Attributes
+    ----------
+    flow:
+        The redesigned ETL flow.
+    applications:
+        The pattern deployments that produced it, in application order.
+    profile:
+        Quality profile filled in by the Measures Estimation stage
+        (``None`` until evaluated).
+    label:
+        Display label (``ETL Flow 1``, ``ETL Flow 2``, ... as in Fig. 3).
+    """
+
+    flow: ETLGraph
+    applications: tuple[PatternApplication, ...] = ()
+    profile: QualityProfile | None = None
+    label: str = ""
+
+    def describe(self) -> str:
+        """Human-readable summary of the applied patterns."""
+        if not self.applications:
+            return "initial flow (no patterns applied)"
+        return " + ".join(app.describe() for app in self.applications)
+
+    @property
+    def pattern_names(self) -> tuple[str, ...]:
+        """Names of the applied patterns, in order."""
+        return tuple(app.pattern for app in self.applications)
+
+
+@dataclass(frozen=True)
+class _Deployment:
+    """One candidate (pattern, point) pair selected by the policy."""
+
+    pattern: FlowComponentPattern
+    point: ApplicationPoint
+
+
+class AlternativeGenerator:
+    """Generates alternative flows from an initial flow and a palette."""
+
+    def __init__(
+        self,
+        palette: PatternRegistry,
+        policy: DeploymentPolicy | None = None,
+        configuration: ProcessingConfiguration | None = None,
+    ) -> None:
+        self.palette = palette
+        self.policy = policy or HeuristicPolicy()
+        self.configuration = configuration or ProcessingConfiguration()
+
+    # ------------------------------------------------------------------
+    # Pattern generation (candidate deployments)
+    # ------------------------------------------------------------------
+
+    def candidate_deployments(self, flow: ETLGraph) -> list[_Deployment]:
+        """All (pattern, point) pairs selected by the policy on ``flow``."""
+        config = self.configuration
+        patterns: Sequence[FlowComponentPattern] = list(self.palette)
+        if config.pattern_names:
+            patterns = [self.palette.get(name) for name in config.pattern_names]
+        patterns = self.policy.select_patterns(patterns)
+
+        deployments: list[_Deployment] = []
+        for pattern in patterns:
+            valid_points = pattern.find_application_points(flow)
+            selected = self.policy.select_points(
+                pattern, valid_points, flow, config.max_points_per_pattern
+            )
+            deployments.extend(_Deployment(pattern, point) for point in selected)
+        return deployments
+
+    def application_point_counts(self, flow: ETLGraph) -> dict[str, int]:
+        """Number of *valid* application points per pattern (before the policy).
+
+        Used by the DEMO1 benchmark to report the raw size of the problem
+        space the paper calls factorial.
+        """
+        counts: dict[str, int] = {}
+        for pattern in self.palette:
+            counts[pattern.name] = len(pattern.find_application_points(flow))
+        return counts
+
+    # ------------------------------------------------------------------
+    # Pattern application (alternative flows)
+    # ------------------------------------------------------------------
+
+    def generate(self, flow: ETLGraph) -> list[AlternativeFlow]:
+        """Produce alternative flows by combining candidate deployments.
+
+        Combinations of size 1 up to ``pattern_budget`` are enumerated in
+        increasing size; each combination is applied sequentially on a copy
+        of the initial flow.  Deployments whose application point
+        disappeared because of an earlier deployment in the same
+        combination are skipped; combinations that end up applying nothing
+        new, produce an invalid flow, or duplicate an already generated
+        structure are discarded.
+        """
+        deployments = self.candidate_deployments(flow)
+        config = self.configuration
+        alternatives: list[AlternativeFlow] = []
+        seen_signatures = {flow.signature()}
+
+        for combo_size in range(1, config.pattern_budget + 1):
+            for combo in itertools.combinations(deployments, combo_size):
+                if len(alternatives) >= config.max_alternatives:
+                    return alternatives
+                if not self._combination_is_reasonable(combo):
+                    continue
+                alternative = self._apply_combination(flow, combo)
+                if alternative is None:
+                    continue
+                signature = alternative.flow.signature()
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                alternative.label = f"ETL Flow {len(alternatives) + 1}"
+                alternatives.append(alternative)
+        return alternatives
+
+    def generate_iter(self, flow: ETLGraph) -> Iterator[AlternativeFlow]:
+        """Generator variant of :meth:`generate` (used by benchmarks)."""
+        yield from self.generate(flow)
+
+    # ------------------------------------------------------------------
+
+    def _combination_is_reasonable(self, combo: Sequence[_Deployment]) -> bool:
+        """Cheap pre-checks avoiding obviously redundant combinations."""
+        seen_points: set[tuple] = set()
+        seen_graph_patterns: set[str] = set()
+        for deployment in combo:
+            point_key = (deployment.pattern.name,) + deployment.point.key()
+            if point_key in seen_points:
+                return False
+            seen_points.add(point_key)
+            if deployment.point.point_type is ApplicationPointType.GRAPH:
+                if deployment.pattern.name in seen_graph_patterns:
+                    return False
+                seen_graph_patterns.add(deployment.pattern.name)
+        return True
+
+    def _apply_combination(
+        self, flow: ETLGraph, combo: Sequence[_Deployment]
+    ) -> AlternativeFlow | None:
+        current = flow
+        applied: list[PatternApplication] = []
+        for deployment in combo:
+            point = self._refresh_point(current, deployment)
+            if point is None:
+                continue
+            try:
+                current = deployment.pattern.apply(current, point)
+            except (KeyError, ValueError):
+                continue
+            applied.append(PatternApplication(deployment.pattern.name, point))
+        if not applied:
+            return None
+        if not is_valid(current):
+            return None
+        current.name = f"{flow.name}__{'+'.join(app.pattern for app in applied)}"
+        return AlternativeFlow(flow=current, applications=tuple(applied))
+
+    def _refresh_point(
+        self, current: ETLGraph, deployment: _Deployment
+    ) -> ApplicationPoint | None:
+        """Check that the deployment's point still exists and is still valid."""
+        point = deployment.point
+        if point.point_type is ApplicationPointType.NODE:
+            if point.node_id not in current:
+                return None
+        elif point.point_type is ApplicationPointType.EDGE:
+            if not current.has_edge(*point.edge):
+                return None
+        if not deployment.pattern.is_applicable_at(current, point):
+            return None
+        return point

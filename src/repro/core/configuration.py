@@ -1,0 +1,143 @@
+"""User-defined processing configurations of the planner.
+
+POIESIS takes as input an initial ETL flow *and user-defined
+configurations*: which Flow Component Patterns can be considered in the
+palette, which deployment policy to follow, the prioritisation of quality
+goals, and constraints based on estimated measures (Sections 3 and 4, demo
+part P2).  :class:`ProcessingConfiguration` bundles those choices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.quality.composite import QualityProfile
+from repro.quality.framework import QualityCharacteristic
+
+
+@dataclass(frozen=True)
+class MeasureConstraint:
+    """A hard constraint on an estimated measure or characteristic score.
+
+    Alternatives violating a constraint are discarded before the skyline
+    is computed, implementing the "set of constraints based on estimated
+    measures" the user can configure.
+
+    Attributes
+    ----------
+    target:
+        Either a measure name (e.g. ``"process_cycle_time_ms"``) or a
+        characteristic name (e.g. ``"performance"``); characteristic names
+        are matched against composite scores.
+    min_value / max_value:
+        Inclusive bounds on the raw measure value (or composite score).
+        ``None`` means unbounded on that side.
+    """
+
+    target: str
+    min_value: float | None = None
+    max_value: float | None = None
+
+    def is_satisfied_by(self, profile: QualityProfile) -> bool:
+        """Whether a quality profile satisfies this constraint."""
+        value = self._resolve(profile)
+        if value is None:
+            # Constraints on measures that were not evaluated do not
+            # eliminate the alternative; they are simply not checkable.
+            return True
+        if self.min_value is not None and value < self.min_value:
+            return False
+        if self.max_value is not None and value > self.max_value:
+            return False
+        return True
+
+    def _resolve(self, profile: QualityProfile) -> float | None:
+        if self.target in profile.values:
+            return profile.values[self.target].value
+        try:
+            characteristic = QualityCharacteristic(self.target)
+        except ValueError:
+            return None
+        if characteristic in profile.scores:
+            return profile.scores[characteristic]
+        return None
+
+
+@dataclass
+class ProcessingConfiguration:
+    """The processing parameters of one planning run.
+
+    Attributes
+    ----------
+    pattern_names:
+        Restriction of the palette to these patterns; ``()`` means the
+        whole palette is used (demo part P2).
+    policy:
+        Name of the deployment policy (``"heuristic"``, ``"exhaustive"``,
+        ``"random"`` or ``"goal_driven"``).
+    pattern_budget:
+        Maximum number of FCP applications combined in one alternative
+        flow (the process "can be repeated an arbitrary number of times";
+        the budget bounds the combinatorial explosion).
+    max_points_per_pattern:
+        Upper bound on the number of application points considered per
+        pattern by non-exhaustive policies.
+    max_alternatives:
+        Upper bound on the number of alternative flows generated.
+    goal_priorities:
+        Relative priority of each quality characteristic, used by the
+        goal-driven policy and reported in session summaries.
+    constraints:
+        Hard constraints on estimated measures.
+    skyline_characteristics:
+        The quality dimensions of the scatter plot / Pareto frontier.
+    simulation_runs / seed:
+        Passed to the quality estimator's simulator.
+    parallel_workers:
+        Number of workers used for concurrent measure estimation
+        (the reproduction's substitute for the paper's cloud nodes).
+    """
+
+    pattern_names: tuple[str, ...] = ()
+    policy: str = "heuristic"
+    pattern_budget: int = 2
+    max_points_per_pattern: int = 4
+    max_alternatives: int = 2000
+    goal_priorities: Mapping[QualityCharacteristic, float] = field(default_factory=dict)
+    constraints: tuple[MeasureConstraint, ...] = ()
+    skyline_characteristics: tuple[QualityCharacteristic, ...] = (
+        QualityCharacteristic.PERFORMANCE,
+        QualityCharacteristic.DATA_QUALITY,
+        QualityCharacteristic.RELIABILITY,
+    )
+    simulation_runs: int = 3
+    seed: int = 7
+    parallel_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pattern_budget < 1:
+            raise ValueError("pattern_budget must be at least 1")
+        if self.max_points_per_pattern < 1:
+            raise ValueError("max_points_per_pattern must be at least 1")
+        if self.max_alternatives < 1:
+            raise ValueError("max_alternatives must be at least 1")
+        if self.simulation_runs < 1:
+            raise ValueError("simulation_runs must be at least 1")
+        if self.parallel_workers < 1:
+            raise ValueError("parallel_workers must be at least 1")
+
+    def prioritized_characteristics(self) -> list[QualityCharacteristic]:
+        """Characteristics ordered by decreasing user priority."""
+        if not self.goal_priorities:
+            return list(self.skyline_characteristics)
+        return [
+            characteristic
+            for characteristic, _ in sorted(
+                self.goal_priorities.items(), key=lambda item: item[1], reverse=True
+            )
+        ]
+
+    def satisfies_constraints(self, profile: QualityProfile) -> bool:
+        """Whether a profile satisfies every configured constraint."""
+        return all(constraint.is_satisfied_by(profile) for constraint in self.constraints)

@@ -1,0 +1,83 @@
+"""Pareto frontier (skyline) of alternative designs.
+
+The scatter-plot points presented to the user are only the Pareto frontier
+(skyline) of the complete set of alternative designs, based on their
+evaluation according to the examined quality dimensions, where larger
+values are preferred to smaller ones (Section 3): a design is dropped when
+another design is at least as good on every dimension and strictly better
+on at least one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.quality.composite import QualityProfile
+from repro.quality.framework import QualityCharacteristic
+
+
+def pareto_front(points: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the Pareto-optimal points (larger coordinates preferred).
+
+    A point is kept unless some other point dominates it: the other point
+    is greater than or equal on every coordinate and strictly greater on
+    at least one.  Duplicated coordinate vectors are all kept (none of them
+    dominates the other), matching the paper's pruning rule exactly.
+    """
+    if not points:
+        return []
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError("points must be a sequence of equal-length coordinate vectors")
+    count = matrix.shape[0]
+    keep: list[int] = []
+    for i in range(count):
+        candidate = matrix[i]
+        dominated = False
+        for j in range(count):
+            if i == j:
+                continue
+            other = matrix[j]
+            if np.all(other >= candidate) and np.any(other > candidate):
+                dominated = True
+                break
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def pareto_front_profiles(
+    profiles: Sequence[QualityProfile],
+    characteristics: Sequence[QualityCharacteristic],
+) -> list[int]:
+    """Indices of the profiles on the skyline of the given quality dimensions."""
+    vectors = [profile.as_vector(characteristics) for profile in profiles]
+    return pareto_front(vectors)
+
+
+def dominance_counts(
+    profiles: Sequence[QualityProfile],
+    characteristics: Sequence[QualityCharacteristic],
+) -> list[int]:
+    """For each profile, the number of other profiles that dominate it.
+
+    Zero means the profile is on the skyline; the counts are useful for
+    layered ("k-skyband") visualisations and for tests.
+    """
+    vectors = np.asarray(
+        [profile.as_vector(characteristics) for profile in profiles], dtype=float
+    )
+    counts: list[int] = []
+    for i in range(len(profiles)):
+        candidate = vectors[i]
+        dominated_by = 0
+        for j in range(len(profiles)):
+            if i == j:
+                continue
+            other = vectors[j]
+            if np.all(other >= candidate) and np.any(other > candidate):
+                dominated_by += 1
+        counts.append(dominated_by)
+    return counts

@@ -1,0 +1,185 @@
+"""The POIESIS planner.
+
+Wires the three stages of the architecture shown in Fig. 3 -- *Pattern
+Generation*, *Pattern Application* and *Measures Estimation* -- into one
+planning run: given an initial ETL flow and a processing configuration,
+the planner produces a set of alternative ETL flows with quality profiles,
+filters them against the user's constraints, and computes the Pareto
+frontier (skyline) presented to the user together with the relative-change
+comparison of every alternative against the initial flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
+from repro.core.comparison import FlowComparison, compare_profiles
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.evaluator import ParallelEvaluator
+from repro.core.pareto import pareto_front_profiles
+from repro.core.policies import DeploymentPolicy, policy_by_name
+from repro.etl.graph import ETLGraph
+from repro.etl.validation import validate_flow
+from repro.patterns.registry import PatternRegistry, default_palette
+from repro.quality.composite import QualityProfile
+from repro.quality.estimator import EstimationSettings, QualityEstimator
+from repro.quality.framework import MeasureRegistry, QualityCharacteristic
+
+
+@dataclass
+class PlanningResult:
+    """The outcome of one planning run.
+
+    Attributes
+    ----------
+    initial_flow:
+        The flow the planning run started from.
+    baseline_profile:
+        Quality profile of the initial flow (the Fig. 5 baseline).
+    alternatives:
+        Every generated alternative that satisfied the constraints, with
+        its quality profile.
+    skyline_indices:
+        Indices (into ``alternatives``) of the Pareto-optimal designs --
+        the only points the scatter plot shows.
+    characteristics:
+        The quality dimensions the skyline was computed on.
+    discarded_by_constraints:
+        Number of alternatives dropped because they violated a constraint.
+    """
+
+    initial_flow: ETLGraph
+    baseline_profile: QualityProfile
+    alternatives: list[AlternativeFlow] = field(default_factory=list)
+    skyline_indices: list[int] = field(default_factory=list)
+    characteristics: tuple[QualityCharacteristic, ...] = ()
+    discarded_by_constraints: int = 0
+
+    @property
+    def skyline(self) -> list[AlternativeFlow]:
+        """The Pareto-optimal alternative flows."""
+        return [self.alternatives[i] for i in self.skyline_indices]
+
+    def comparison(self, alternative: AlternativeFlow) -> FlowComparison:
+        """The Fig. 5 relative-change view of one alternative vs. the initial flow."""
+        if alternative.profile is None:
+            raise ValueError("the alternative has not been evaluated yet")
+        return compare_profiles(alternative.profile, self.baseline_profile)
+
+    def best_for(self, characteristic: QualityCharacteristic) -> AlternativeFlow:
+        """The alternative with the highest composite score on one characteristic."""
+        if not self.alternatives:
+            raise ValueError("the planning run produced no alternatives")
+        return max(
+            self.alternatives,
+            key=lambda alt: alt.profile.score(characteristic) if alt.profile else 0.0,
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Compact numeric summary of the planning run (used by reports/benches)."""
+        return {
+            "initial_flow": self.initial_flow.name,
+            "alternatives": len(self.alternatives),
+            "skyline_size": len(self.skyline_indices),
+            "discarded_by_constraints": self.discarded_by_constraints,
+            "characteristics": [c.value for c in self.characteristics],
+        }
+
+
+class Planner:
+    """The POIESIS Planner component.
+
+    Parameters
+    ----------
+    palette:
+        The repository of available Flow Component Patterns; defaults to
+        the full built-in palette.
+    configuration:
+        User-defined processing configuration; defaults to a heuristic
+        policy with a pattern budget of 2.
+    policy:
+        Pre-built deployment policy overriding ``configuration.policy``.
+    measures:
+        Measure registry used for the quality estimation; defaults to the
+        Fig. 1-style default registry.
+    """
+
+    def __init__(
+        self,
+        palette: PatternRegistry | None = None,
+        configuration: ProcessingConfiguration | None = None,
+        policy: DeploymentPolicy | None = None,
+        measures: MeasureRegistry | None = None,
+    ) -> None:
+        self.palette = palette or default_palette()
+        self.configuration = configuration or ProcessingConfiguration()
+        self.policy = policy or policy_by_name(
+            self.configuration.policy,
+            priorities=dict(self.configuration.goal_priorities) or None,
+            seed=self.configuration.seed,
+        )
+        estimator_settings = EstimationSettings(
+            simulation_runs=self.configuration.simulation_runs,
+            seed=self.configuration.seed,
+        )
+        self.estimator = QualityEstimator(registry=measures, settings=estimator_settings)
+        self.evaluator = ParallelEvaluator(
+            estimator=self.estimator, workers=self.configuration.parallel_workers
+        )
+        self.generator = AlternativeGenerator(
+            palette=self.palette, policy=self.policy, configuration=self.configuration
+        )
+
+    # ------------------------------------------------------------------
+    # Individual stages (exposed for benchmarks and fine-grained use)
+    # ------------------------------------------------------------------
+
+    def generate_alternatives(self, flow: ETLGraph) -> list[AlternativeFlow]:
+        """Pattern Generation + Pattern Application: produce alternative flows."""
+        validate_flow(flow, raise_on_error=True)
+        return self.generator.generate(flow)
+
+    def evaluate_alternatives(
+        self, alternatives: Sequence[AlternativeFlow]
+    ) -> list[AlternativeFlow]:
+        """Measures Estimation: fill in the quality profile of each alternative."""
+        return self.evaluator.evaluate(list(alternatives))
+
+    def evaluate_flow(self, flow: ETLGraph) -> QualityProfile:
+        """Evaluate a single flow (used for the baseline profile)."""
+        return self.estimator.evaluate(flow)
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+
+    def plan(self, flow: ETLGraph) -> PlanningResult:
+        """Run the full pipeline on an initial flow and return the result."""
+        config = self.configuration
+        baseline_profile = self.evaluate_flow(flow)
+        alternatives = self.generate_alternatives(flow)
+        alternatives = self.evaluate_alternatives(alternatives)
+
+        kept: list[AlternativeFlow] = []
+        discarded = 0
+        for alternative in alternatives:
+            assert alternative.profile is not None
+            if config.satisfies_constraints(alternative.profile):
+                kept.append(alternative)
+            else:
+                discarded += 1
+
+        characteristics = tuple(config.skyline_characteristics)
+        profiles = [alt.profile for alt in kept if alt.profile is not None]
+        skyline = pareto_front_profiles(profiles, characteristics) if profiles else []
+
+        return PlanningResult(
+            initial_flow=flow,
+            baseline_profile=baseline_profile,
+            alternatives=kept,
+            skyline_indices=skyline,
+            characteristics=characteristics,
+            discarded_by_constraints=discarded,
+        )

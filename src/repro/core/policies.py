@@ -1,0 +1,197 @@
+"""Deployment policies for Flow Component Patterns.
+
+As opposed to manual deployment, the tool guarantees that all of the
+potential application points on the ETL flow are checked for each FCP, and
+it can be customised to select the deployment of patterns based on custom
+policies built on different heuristics (Section 3).  A *deployment policy*
+decides, for each pattern, which of its valid application points are
+actually used to generate alternatives.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Mapping, Sequence
+
+from repro.etl.graph import ETLGraph
+from repro.patterns.base import ApplicationPoint, FlowComponentPattern
+from repro.quality.framework import QualityCharacteristic
+
+
+class DeploymentPolicy(abc.ABC):
+    """Selects the application points used for a pattern on a flow."""
+
+    #: Registry name of the policy (used by configuration files).
+    name: str = ""
+
+    @abc.abstractmethod
+    def select_points(
+        self,
+        pattern: FlowComponentPattern,
+        points: Sequence[ApplicationPoint],
+        flow: ETLGraph,
+        limit: int,
+    ) -> list[ApplicationPoint]:
+        """Choose up to ``limit`` points among the valid ``points``."""
+
+    def select_patterns(
+        self, patterns: Sequence[FlowComponentPattern]
+    ) -> list[FlowComponentPattern]:
+        """Optionally restrict or reorder the palette (default: keep all)."""
+        return list(patterns)
+
+
+class ExhaustivePolicy(DeploymentPolicy):
+    """Keep every valid application point (bounded only by ``limit``).
+
+    Points are ordered by decreasing fitness so that, when the limit does
+    cut the list, the better placements survive.
+    """
+
+    name = "exhaustive"
+
+    def select_points(
+        self,
+        pattern: FlowComponentPattern,
+        points: Sequence[ApplicationPoint],
+        flow: ETLGraph,
+        limit: int,
+    ) -> list[ApplicationPoint]:
+        ordered = sorted(points, key=lambda p: p.fitness, reverse=True)
+        if limit <= 0:
+            return ordered
+        return ordered[:limit]
+
+
+class HeuristicPolicy(DeploymentPolicy):
+    """Keep only points whose heuristic fitness passes a threshold.
+
+    This is the default policy: data-cleaning patterns end up close to the
+    sources, checkpoints after the expensive operations, parallelisation on
+    the most costly tasks -- the placements the paper's heuristics
+    encourage -- while low-value placements are pruned before any
+    simulation is spent on them.
+    """
+
+    name = "heuristic"
+
+    def __init__(self, fitness_threshold: float = 0.5):
+        if not 0.0 <= fitness_threshold <= 1.0:
+            raise ValueError("fitness_threshold must lie in [0, 1]")
+        self.fitness_threshold = fitness_threshold
+
+    def select_points(
+        self,
+        pattern: FlowComponentPattern,
+        points: Sequence[ApplicationPoint],
+        flow: ETLGraph,
+        limit: int,
+    ) -> list[ApplicationPoint]:
+        ordered = sorted(points, key=lambda p: p.fitness, reverse=True)
+        selected = [p for p in ordered if p.fitness >= self.fitness_threshold]
+        if not selected and ordered:
+            # Never drop a pattern entirely: keep its single best placement.
+            selected = ordered[:1]
+        if limit > 0:
+            selected = selected[:limit]
+        return selected
+
+
+class RandomPolicy(DeploymentPolicy):
+    """Sample application points uniformly at random (ablation baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 13):
+        self.seed = seed
+
+    def select_points(
+        self,
+        pattern: FlowComponentPattern,
+        points: Sequence[ApplicationPoint],
+        flow: ETLGraph,
+        limit: int,
+    ) -> list[ApplicationPoint]:
+        if not points:
+            return []
+        rng = random.Random(f"{self.seed}:{pattern.name}:{flow.name}")
+        pool = list(points)
+        if limit <= 0 or limit >= len(pool):
+            rng.shuffle(pool)
+            return pool
+        return rng.sample(pool, limit)
+
+
+class GoalDrivenPolicy(DeploymentPolicy):
+    """Prioritise patterns that improve the user's preferred characteristics.
+
+    The policy scales the number of points granted to each pattern by the
+    priority of the characteristics it improves (patterns addressing the
+    top goal receive the full ``limit``, others proportionally fewer), and
+    orders the palette so that goal-relevant patterns are explored first.
+    """
+
+    name = "goal_driven"
+
+    def __init__(
+        self,
+        priorities: Mapping[QualityCharacteristic, float],
+        fitness_threshold: float = 0.3,
+    ):
+        if not priorities:
+            raise ValueError("goal-driven policy needs at least one priority")
+        self.priorities = dict(priorities)
+        self.fitness_threshold = fitness_threshold
+
+    def _pattern_priority(self, pattern: FlowComponentPattern) -> float:
+        return max((self.priorities.get(c, 0.0) for c in pattern.improves), default=0.0)
+
+    def select_patterns(
+        self, patterns: Sequence[FlowComponentPattern]
+    ) -> list[FlowComponentPattern]:
+        return sorted(patterns, key=self._pattern_priority, reverse=True)
+
+    def select_points(
+        self,
+        pattern: FlowComponentPattern,
+        points: Sequence[ApplicationPoint],
+        flow: ETLGraph,
+        limit: int,
+    ) -> list[ApplicationPoint]:
+        priority = self._pattern_priority(pattern)
+        max_priority = max(self.priorities.values())
+        if max_priority <= 0:
+            share = 0.0
+        else:
+            share = priority / max_priority
+        allowance = max(0, round(limit * share)) if limit > 0 else len(points)
+        if allowance == 0:
+            return []
+        ordered = sorted(points, key=lambda p: p.fitness, reverse=True)
+        selected = [p for p in ordered if p.fitness >= self.fitness_threshold]
+        if not selected and ordered:
+            selected = ordered[:1]
+        return selected[:allowance]
+
+
+def policy_by_name(
+    name: str,
+    *,
+    priorities: Mapping[QualityCharacteristic, float] | None = None,
+    seed: int = 13,
+    fitness_threshold: float = 0.5,
+) -> DeploymentPolicy:
+    """Instantiate a deployment policy from its registry name."""
+    normalized = name.strip().lower()
+    if normalized == ExhaustivePolicy.name:
+        return ExhaustivePolicy()
+    if normalized == HeuristicPolicy.name:
+        return HeuristicPolicy(fitness_threshold=fitness_threshold)
+    if normalized == RandomPolicy.name:
+        return RandomPolicy(seed=seed)
+    if normalized == GoalDrivenPolicy.name:
+        if not priorities:
+            raise ValueError("the goal_driven policy requires goal priorities")
+        return GoalDrivenPolicy(priorities)
+    raise ValueError(f"unknown deployment policy: {name!r}")

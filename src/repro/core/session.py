@@ -1,0 +1,168 @@
+"""Iterative redesign sessions.
+
+What is unique about POIESIS is that the redesign process takes place in
+an iterative, incremental and intuitive fashion (Section 3): the planner
+generates and evaluates alternatives, the user selects one based on the
+skyline and the measure comparison, the tool merges the corresponding
+patterns into the existing process flow, and a new iteration cycle
+commences until the user considers that the flow adequately satisfies the
+quality goals.  :class:`RedesignSession` drives that loop programmatically
+(the reproduction's stand-in for the interactive UI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.alternatives import AlternativeFlow
+from repro.core.comparison import FlowComparison
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.planner import Planner, PlanningResult
+from repro.etl.graph import ETLGraph
+from repro.patterns.registry import PatternRegistry
+from repro.quality.composite import QualityProfile
+from repro.quality.framework import QualityCharacteristic
+
+
+@dataclass
+class SessionIteration:
+    """Record of one iteration cycle of a redesign session."""
+
+    index: int
+    result: PlanningResult
+    selected: AlternativeFlow | None = None
+
+    @property
+    def selected_comparison(self) -> FlowComparison | None:
+        """The Fig. 5 comparison of the selected alternative, if any."""
+        if self.selected is None:
+            return None
+        return self.result.comparison(self.selected)
+
+
+class RedesignSession:
+    """Drives the iterative, incremental redesign of one ETL process.
+
+    Parameters
+    ----------
+    initial_flow:
+        The imported ETL process model the session starts from.
+    planner:
+        The planner used on every iteration; a default one is built from
+        ``palette`` / ``configuration`` when omitted.
+    palette, configuration:
+        Forwarded to the default planner.
+    """
+
+    def __init__(
+        self,
+        initial_flow: ETLGraph,
+        planner: Planner | None = None,
+        palette: PatternRegistry | None = None,
+        configuration: ProcessingConfiguration | None = None,
+    ) -> None:
+        self.initial_flow = initial_flow
+        self.planner = planner or Planner(palette=palette, configuration=configuration)
+        self.current_flow = initial_flow
+        self.iterations: list[SessionIteration] = []
+
+    # ------------------------------------------------------------------
+
+    @property
+    def iteration_count(self) -> int:
+        """Number of completed planning iterations."""
+        return len(self.iterations)
+
+    @property
+    def current_profile(self) -> QualityProfile:
+        """Quality profile of the current flow."""
+        return self.planner.evaluate_flow(self.current_flow)
+
+    def iterate(self) -> SessionIteration:
+        """Run one planning cycle on the current flow."""
+        result = self.planner.plan(self.current_flow)
+        iteration = SessionIteration(index=len(self.iterations) + 1, result=result)
+        self.iterations.append(iteration)
+        return iteration
+
+    def select(self, alternative: AlternativeFlow) -> ETLGraph:
+        """Adopt one alternative: merge its patterns into the current flow.
+
+        The alternative's flow already contains the grafted patterns (the
+        planner "carefully merges them to the existing process"), so
+        selection replaces the session's current flow with it and records
+        the decision on the latest iteration.
+        """
+        if not self.iterations:
+            raise ValueError("select() requires at least one completed iteration")
+        latest = self.iterations[-1]
+        if alternative not in latest.result.alternatives:
+            raise ValueError("the alternative does not belong to the latest iteration")
+        latest.selected = alternative
+        self.current_flow = alternative.flow
+        return self.current_flow
+
+    def select_best(
+        self, characteristic: QualityCharacteristic
+    ) -> AlternativeFlow:
+        """Select the skyline alternative maximising one characteristic."""
+        if not self.iterations:
+            raise ValueError("select_best() requires at least one completed iteration")
+        latest = self.iterations[-1]
+        skyline = latest.result.skyline or latest.result.alternatives
+        if not skyline:
+            raise ValueError("the latest iteration produced no alternatives")
+        best = max(
+            skyline,
+            key=lambda alt: alt.profile.score(characteristic) if alt.profile else 0.0,
+        )
+        self.select(best)
+        return best
+
+    def run(
+        self,
+        iterations: int,
+        chooser: Callable[[PlanningResult], AlternativeFlow | None] | None = None,
+    ) -> ETLGraph:
+        """Run several iteration cycles, selecting with ``chooser`` each time.
+
+        ``chooser`` receives each :class:`PlanningResult` and returns the
+        alternative to adopt (or ``None`` to stop early, i.e. the user
+        considers the flow already satisfies the quality goals).  The
+        default chooser picks the skyline flow with the best score on the
+        first configured skyline characteristic.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be at least 1")
+        for _ in range(iterations):
+            iteration = self.iterate()
+            if chooser is not None:
+                choice = chooser(iteration.result)
+            else:
+                skyline = iteration.result.skyline or iteration.result.alternatives
+                if not skyline:
+                    break
+                primary = self.planner.configuration.skyline_characteristics[0]
+                choice = max(
+                    skyline,
+                    key=lambda alt: alt.profile.score(primary) if alt.profile else 0.0,
+                )
+            if choice is None:
+                break
+            self.select(choice)
+        return self.current_flow
+
+    def history(self) -> list[dict[str, object]]:
+        """Summaries of every completed iteration (for reports and tests)."""
+        records = []
+        for iteration in self.iterations:
+            records.append(
+                {
+                    "iteration": iteration.index,
+                    "alternatives": len(iteration.result.alternatives),
+                    "skyline_size": len(iteration.result.skyline_indices),
+                    "selected": iteration.selected.describe() if iteration.selected else None,
+                }
+            )
+        return records

@@ -1,0 +1,46 @@
+"""ETL flow model substrate.
+
+This package provides the data model on which the POIESIS planner operates:
+
+* :mod:`repro.etl.schema` -- record schemas exchanged between operations,
+* :mod:`repro.etl.operations` -- the taxonomy of ETL operation types,
+* :mod:`repro.etl.properties` -- runtime annotations (cost, selectivity, ...),
+* :mod:`repro.etl.graph` -- the ETL flow graph (nodes = operations,
+  edges = transitions),
+* :mod:`repro.etl.builder` -- a fluent builder for constructing flows,
+* :mod:`repro.etl.validation` -- structural and schema consistency checks,
+* :mod:`repro.etl.subflow` -- merging of sub-flows (pattern instances) into
+  a host flow.
+"""
+
+from repro.etl.schema import DataType, Field, Schema
+from repro.etl.operations import (
+    Operation,
+    OperationKind,
+    OperationCategory,
+)
+from repro.etl.properties import OperationProperties
+from repro.etl.graph import ETLGraph, Edge
+from repro.etl.builder import FlowBuilder
+from repro.etl.validation import ValidationError, ValidationIssue, validate_flow
+from repro.etl.subflow import SubflowInsertion, insert_on_edge, replace_node, wrap_graph
+
+__all__ = [
+    "DataType",
+    "Field",
+    "Schema",
+    "Operation",
+    "OperationKind",
+    "OperationCategory",
+    "OperationProperties",
+    "ETLGraph",
+    "Edge",
+    "FlowBuilder",
+    "ValidationError",
+    "ValidationIssue",
+    "validate_flow",
+    "SubflowInsertion",
+    "insert_on_edge",
+    "replace_node",
+    "wrap_graph",
+]

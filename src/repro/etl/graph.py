@@ -1,0 +1,415 @@
+"""The ETL flow graph.
+
+Following the paper, an ETL process is modelled as one graph ``G`` with
+components ``(V, E)``: each node represents an ETL flow operation and each
+directed edge represents a transition from one operation to a successor
+one.  :class:`ETLGraph` wraps a :class:`networkx.DiGraph` and adds the
+ETL-specific structure (operations on nodes, schemas on edges, sources,
+sinks, paths, cloning and annotation bookkeeping) that the planner and the
+quality estimators rely on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import networkx as nx
+
+from repro.etl.operations import Operation, OperationKind
+from repro.etl.schema import Schema
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed transition between two operations.
+
+    The ``schema`` describes the records flowing over the transition; the
+    ``label`` distinguishes multiple outputs of a router node (e.g. the
+    "error"/"ok" branches of a validation split).
+    """
+
+    source: str
+    target: str
+    schema: Schema = field(default_factory=Schema)
+    label: str = ""
+
+    def key(self) -> tuple[str, str]:
+        """The ``(source, target)`` pair identifying this edge in the graph."""
+        return (self.source, self.target)
+
+
+class ETLGraph:
+    """A directed acyclic graph of ETL operations.
+
+    The graph offers dictionary-style access to operations by their
+    ``op_id`` and exposes the structural queries needed by the pattern
+    applicability checks (sources, sinks, topological order, longest path,
+    fan-in/fan-out) and by the manageability measures.
+    """
+
+    def __init__(self, name: str = "etl_flow") -> None:
+        self.name = name
+        self._graph: nx.DiGraph = nx.DiGraph()
+        self.annotations: dict[str, Any] = {}
+        self._lineage: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_operation(self, operation: Operation) -> Operation:
+        """Add an operation as a new node.
+
+        Raises
+        ------
+        ValueError
+            If an operation with the same ``op_id`` already exists.
+        """
+        if operation.op_id in self._graph:
+            raise ValueError(f"duplicate operation id: {operation.op_id!r}")
+        self._graph.add_node(operation.op_id, operation=operation)
+        return operation
+
+    def add_edge(
+        self,
+        source: str | Operation,
+        target: str | Operation,
+        schema: Schema | None = None,
+        label: str = "",
+    ) -> Edge:
+        """Add a transition between two existing operations.
+
+        When ``schema`` is omitted, the output schema of the source
+        operation is used, which is the common case for linear pipelines.
+        """
+        source_id = source.op_id if isinstance(source, Operation) else source
+        target_id = target.op_id if isinstance(target, Operation) else target
+        if source_id not in self._graph:
+            raise KeyError(f"unknown source operation: {source_id!r}")
+        if target_id not in self._graph:
+            raise KeyError(f"unknown target operation: {target_id!r}")
+        if source_id == target_id:
+            raise ValueError(f"self-loop on {source_id!r} is not allowed in an ETL flow")
+        effective_schema = schema if schema is not None else self.operation(source_id).output_schema
+        edge = Edge(source=source_id, target=target_id, schema=effective_schema, label=label)
+        self._graph.add_edge(source_id, target_id, edge=edge)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(source_id, target_id)
+            raise ValueError(
+                f"adding edge {source_id!r} -> {target_id!r} would create a cycle"
+            )
+        return edge
+
+    def remove_edge(self, source: str, target: str) -> None:
+        """Remove the transition ``source -> target``."""
+        if not self._graph.has_edge(source, target):
+            raise KeyError(f"no edge {source!r} -> {target!r}")
+        self._graph.remove_edge(source, target)
+
+    def remove_operation(self, op_id: str) -> None:
+        """Remove an operation and all its incident transitions."""
+        if op_id not in self._graph:
+            raise KeyError(f"unknown operation: {op_id!r}")
+        self._graph.remove_node(op_id)
+
+    def relabel_operation(self, op_id: str, new_id: str) -> None:
+        """Change the identifier of an operation (keeping all edges)."""
+        if op_id not in self._graph:
+            raise KeyError(f"unknown operation: {op_id!r}")
+        if new_id in self._graph:
+            raise ValueError(f"operation id already in use: {new_id!r}")
+        operation = self.operation(op_id)
+        operation.op_id = new_id
+        nx.relabel_nodes(self._graph, {op_id: new_id}, copy=False)
+        # Rebuild edge records referencing the old identifier.
+        for pred in list(self._graph.predecessors(new_id)):
+            old_edge: Edge = self._graph.edges[pred, new_id]["edge"]
+            self._graph.edges[pred, new_id]["edge"] = Edge(
+                source=pred, target=new_id, schema=old_edge.schema, label=old_edge.label
+            )
+        for succ in list(self._graph.successors(new_id)):
+            old_edge = self._graph.edges[new_id, succ]["edge"]
+            self._graph.edges[new_id, succ]["edge"] = Edge(
+                source=new_id, target=succ, schema=old_edge.schema, label=old_edge.label
+            )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __contains__(self, op_id: object) -> bool:
+        return op_id in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def operation(self, op_id: str) -> Operation:
+        """Return the operation with the given identifier."""
+        try:
+            return self._graph.nodes[op_id]["operation"]
+        except KeyError as exc:
+            raise KeyError(f"unknown operation: {op_id!r}") from exc
+
+    def operations(self) -> list[Operation]:
+        """All operations, in insertion order."""
+        return [data["operation"] for _, data in self._graph.nodes(data=True)]
+
+    def operation_ids(self) -> list[str]:
+        """All operation identifiers, in insertion order."""
+        return list(self._graph.nodes())
+
+    def edges(self) -> list[Edge]:
+        """All transitions of the flow."""
+        return [data["edge"] for _, _, data in self._graph.edges(data=True)]
+
+    def edge(self, source: str, target: str) -> Edge:
+        """Return the transition ``source -> target``."""
+        try:
+            return self._graph.edges[source, target]["edge"]
+        except KeyError as exc:
+            raise KeyError(f"no edge {source!r} -> {target!r}") from exc
+
+    def has_edge(self, source: str, target: str) -> bool:
+        """Whether the transition ``source -> target`` exists."""
+        return self._graph.has_edge(source, target)
+
+    def set_edge_schema(self, source: str, target: str, schema: Schema) -> None:
+        """Replace the schema carried by an existing transition."""
+        existing = self.edge(source, target)
+        self._graph.edges[source, target]["edge"] = Edge(
+            source=source, target=target, schema=schema, label=existing.label
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        """Number of operations in the flow."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        """Number of transitions in the flow."""
+        return self._graph.number_of_edges()
+
+    def sources(self) -> list[Operation]:
+        """Operations with no predecessors (the extraction points)."""
+        return [self.operation(n) for n in self._graph.nodes() if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> list[Operation]:
+        """Operations with no successors (the loading points)."""
+        return [self.operation(n) for n in self._graph.nodes() if self._graph.out_degree(n) == 0]
+
+    def predecessors(self, op_id: str) -> list[Operation]:
+        """Operations feeding directly into ``op_id``."""
+        return [self.operation(n) for n in self._graph.predecessors(op_id)]
+
+    def successors(self, op_id: str) -> list[Operation]:
+        """Operations fed directly by ``op_id``."""
+        return [self.operation(n) for n in self._graph.successors(op_id)]
+
+    def in_degree(self, op_id: str) -> int:
+        """Number of incoming transitions of ``op_id``."""
+        return int(self._graph.in_degree(op_id))
+
+    def out_degree(self, op_id: str) -> int:
+        """Number of outgoing transitions of ``op_id``."""
+        return int(self._graph.out_degree(op_id))
+
+    def topological_order(self) -> list[Operation]:
+        """Operations in a topological order (sources first)."""
+        return [self.operation(n) for n in nx.topological_sort(self._graph)]
+
+    def longest_path_length(self) -> int:
+        """Length (in edges) of the longest path of the flow.
+
+        This is the "length of process workflow's longest path"
+        manageability measure of Fig. 1.
+        """
+        if self.node_count == 0:
+            return 0
+        return int(nx.dag_longest_path_length(self._graph))
+
+    def longest_path(self) -> list[Operation]:
+        """Operations along one longest path of the flow."""
+        if self.node_count == 0:
+            return []
+        return [self.operation(n) for n in nx.dag_longest_path(self._graph)]
+
+    def upstream_of(self, op_id: str) -> set[str]:
+        """Identifiers of every operation from which ``op_id`` is reachable."""
+        return set(nx.ancestors(self._graph, op_id))
+
+    def downstream_of(self, op_id: str) -> set[str]:
+        """Identifiers of every operation reachable from ``op_id``."""
+        return set(nx.descendants(self._graph, op_id))
+
+    def distance_from_sources(self, op_id: str) -> int:
+        """Shortest number of hops from any source operation to ``op_id``.
+
+        Used by the placement heuristics that push data-cleaning patterns
+        as close as possible to the extraction operations.
+        """
+        if op_id not in self._graph:
+            raise KeyError(f"unknown operation: {op_id!r}")
+        best: int | None = None
+        for source in self.sources():
+            try:
+                distance = nx.shortest_path_length(self._graph, source.op_id, op_id)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or distance < best:
+                best = distance
+        return 0 if best is None else int(best)
+
+    def distance_to_sinks(self, op_id: str) -> int:
+        """Shortest number of hops from ``op_id`` to any sink operation."""
+        if op_id not in self._graph:
+            raise KeyError(f"unknown operation: {op_id!r}")
+        best: int | None = None
+        for sink in self.sinks():
+            try:
+                distance = nx.shortest_path_length(self._graph, op_id, sink.op_id)
+            except nx.NetworkXNoPath:
+                continue
+            if best is None or distance < best:
+                best = distance
+        return 0 if best is None else int(best)
+
+    def operations_of_kind(self, *kinds: OperationKind) -> list[Operation]:
+        """All operations whose kind is one of ``kinds``."""
+        wanted = set(kinds)
+        return [op for op in self.operations() if op.kind in wanted]
+
+    def is_connected(self) -> bool:
+        """Whether the flow forms a single weakly connected component."""
+        if self.node_count == 0:
+            return True
+        return nx.is_weakly_connected(self._graph)
+
+    def coupling(self) -> float:
+        """Average fan-in/fan-out coupling of the flow.
+
+        Defined as ``edges / nodes``; a linear pipeline has coupling just
+        below 1, heavily branching flows have higher coupling.  This is the
+        "coupling of process workflow" manageability measure of Fig. 1.
+        """
+        if self.node_count == 0:
+            return 0.0
+        return self.edge_count / self.node_count
+
+    def merge_element_count(self) -> int:
+        """Number of operations that combine multiple data inputs.
+
+        This is the "# of merge elements in the process model"
+        manageability measure of Fig. 1.  Operations with an in-degree
+        above one are counted as well, because structurally they merge
+        branches even if their declared kind is not a merger.
+        """
+        count = 0
+        for op in self.operations():
+            if op.kind.is_merger or self.in_degree(op.op_id) > 1:
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Lineage / annotations
+    # ------------------------------------------------------------------
+
+    @property
+    def applied_patterns(self) -> list[str]:
+        """Human-readable record of the pattern applications that produced this flow."""
+        return list(self._lineage)
+
+    def record_pattern(self, description: str) -> None:
+        """Append a pattern application record to the flow lineage."""
+        self._lineage.append(description)
+
+    # ------------------------------------------------------------------
+    # Copying / comparison
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "ETLGraph":
+        """Return an independent copy of the flow.
+
+        Operations are copied (so pattern application on the copy cannot
+        mutate the original), edge schemas are shared (immutable).
+        """
+        clone = ETLGraph(name=name or self.name)
+        for op in self.operations():
+            clone.add_operation(op.copy())
+        for edge in self.edges():
+            clone.add_edge(edge.source, edge.target, schema=edge.schema, label=edge.label)
+        clone.annotations = dict(self.annotations)
+        clone._lineage = list(self._lineage)
+        return clone
+
+    def structurally_equal(self, other: "ETLGraph") -> bool:
+        """Whether two flows have the same operations (by id/kind) and transitions."""
+        if set(self.operation_ids()) != set(other.operation_ids()):
+            return False
+        for op_id in self.operation_ids():
+            if self.operation(op_id).kind != other.operation(op_id).kind:
+                return False
+        mine = {(e.source, e.target) for e in self.edges()}
+        theirs = {(e.source, e.target) for e in other.edges()}
+        return mine == theirs
+
+    def signature(self) -> tuple:
+        """A hashable structural signature used to deduplicate alternatives."""
+        nodes = tuple(sorted((op.op_id, op.kind.value, op.parallelism) for op in self.operations()))
+        edges = tuple(sorted((e.source, e.target) for e in self.edges()))
+        return (nodes, edges)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+
+    def to_networkx(self) -> nx.DiGraph:
+        """Return (a copy of) the underlying networkx graph."""
+        return self._graph.copy()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the whole flow to a JSON-friendly structure."""
+        return {
+            "name": self.name,
+            "annotations": dict(self.annotations),
+            "applied_patterns": list(self._lineage),
+            "operations": [op.to_dict() for op in self.operations()],
+            "edges": [
+                {
+                    "source": e.source,
+                    "target": e.target,
+                    "label": e.label,
+                    "schema": e.schema.to_dict(),
+                }
+                for e in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ETLGraph":
+        """Deserialise a flow produced by :meth:`to_dict`."""
+        flow = cls(name=str(data.get("name", "etl_flow")))
+        for op_data in data.get("operations", []):
+            flow.add_operation(Operation.from_dict(op_data))
+        for edge_data in data.get("edges", []):
+            flow.add_edge(
+                str(edge_data["source"]),
+                str(edge_data["target"]),
+                schema=Schema.from_dict(edge_data.get("schema", [])),
+                label=str(edge_data.get("label", "")),
+            )
+        flow.annotations = dict(data.get("annotations", {}))
+        flow._lineage = [str(item) for item in data.get("applied_patterns", [])]
+        return flow
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ETLGraph(name={self.name!r}, operations={self.node_count}, "
+            f"transitions={self.edge_count})"
+        )

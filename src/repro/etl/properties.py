@@ -1,0 +1,134 @@
+"""Runtime annotations attached to ETL operations.
+
+The paper distinguishes two families of quality measures: those that derive
+from the static structure of the process model and those obtained from the
+analysis of historical traces of the runtime behaviour of ETL components.
+:class:`OperationProperties` carries the per-operation parameters that feed
+both the static estimators and the runtime simulator that produces traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass
+class OperationProperties:
+    """Per-operation runtime parameters.
+
+    Parameters
+    ----------
+    cost_per_tuple:
+        CPU time (in milliseconds) spent per input tuple.
+    fixed_cost:
+        Fixed start-up time (in milliseconds) paid once per execution,
+        regardless of the input size (e.g. connection set-up, sort buffers).
+    selectivity:
+        Expected ratio ``output rows / input rows`` (``1.0`` for
+        row-preserving operations, ``< 1`` for filters, ``> 1`` for
+        row-generating operations).
+    error_rate:
+        Probability that a processed tuple carries a data error introduced
+        or left uncorrected by this operation.
+    null_rate:
+        Fraction of produced tuples with NULLs in nullable fields (sources
+        and lookups mainly).
+    duplicate_rate:
+        Fraction of produced tuples that duplicate another tuple's key.
+    failure_rate:
+        Probability that the operation fails during one process execution
+        (feeds the reliability measures and the checkpoint pattern).
+    memory_per_tuple:
+        Memory footprint per buffered tuple in KiB (blocking operations).
+    freshness_lag:
+        Lag, in minutes, between the source system update and the moment
+        this operation can observe the change (sources only).
+    update_frequency:
+        How many times per day the underlying source is refreshed
+        (sources only); feeds the data-quality "age" measure of Fig. 1.
+    monetary_cost:
+        Monetary cost per execution attributed to this operation
+        (licences, cloud resources), in abstract cost units.
+    extra:
+        Free-form additional annotations preserved by serialisation.
+    """
+
+    cost_per_tuple: float = 0.01
+    fixed_cost: float = 0.0
+    selectivity: float = 1.0
+    error_rate: float = 0.0
+    null_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    failure_rate: float = 0.0
+    memory_per_tuple: float = 0.1
+    freshness_lag: float = 0.0
+    update_frequency: float = 24.0
+    monetary_cost: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cost_per_tuple < 0:
+            raise ValueError("cost_per_tuple must be non-negative")
+        if self.fixed_cost < 0:
+            raise ValueError("fixed_cost must be non-negative")
+        if self.selectivity < 0:
+            raise ValueError("selectivity must be non-negative")
+        for name in ("error_rate", "null_rate", "duplicate_rate", "failure_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+
+    def copy(self) -> "OperationProperties":
+        """Return an independent copy of these properties."""
+        return OperationProperties(
+            cost_per_tuple=self.cost_per_tuple,
+            fixed_cost=self.fixed_cost,
+            selectivity=self.selectivity,
+            error_rate=self.error_rate,
+            null_rate=self.null_rate,
+            duplicate_rate=self.duplicate_rate,
+            failure_rate=self.failure_rate,
+            memory_per_tuple=self.memory_per_tuple,
+            freshness_lag=self.freshness_lag,
+            update_frequency=self.update_frequency,
+            monetary_cost=self.monetary_cost,
+            extra=dict(self.extra),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to a JSON-friendly mapping (only non-default values kept compactly)."""
+        return {
+            "cost_per_tuple": self.cost_per_tuple,
+            "fixed_cost": self.fixed_cost,
+            "selectivity": self.selectivity,
+            "error_rate": self.error_rate,
+            "null_rate": self.null_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "failure_rate": self.failure_rate,
+            "memory_per_tuple": self.memory_per_tuple,
+            "freshness_lag": self.freshness_lag,
+            "update_frequency": self.update_frequency,
+            "monetary_cost": self.monetary_cost,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OperationProperties":
+        """Deserialise properties produced by :meth:`to_dict`."""
+        known = {
+            "cost_per_tuple",
+            "fixed_cost",
+            "selectivity",
+            "error_rate",
+            "null_rate",
+            "duplicate_rate",
+            "failure_rate",
+            "memory_per_tuple",
+            "freshness_lag",
+            "update_frequency",
+            "monetary_cost",
+        }
+        kwargs = {key: float(data[key]) for key in known if key in data}
+        extra = dict(data.get("extra", {}))
+        return cls(extra=extra, **kwargs)

@@ -1,0 +1,292 @@
+"""Record schemas for ETL flows.
+
+Every transition (edge) in an ETL flow graph carries a :class:`Schema`
+describing the records that move from one operation to its successor.
+Schemas are the basis of the *applicability prerequisites* of Flow
+Component Patterns -- e.g. ``FilterNullValues`` requires at least one
+nullable field on the edge, ``ParallelizeTask`` requires a field usable as
+a partition key.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+class DataType(enum.Enum):
+    """Primitive data types of ETL record fields."""
+
+    INTEGER = "integer"
+    DECIMAL = "decimal"
+    STRING = "string"
+    DATE = "date"
+    TIMESTAMP = "timestamp"
+    BOOLEAN = "boolean"
+    BINARY = "binary"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether the type supports arithmetic (used by derivation patterns)."""
+        return self in (DataType.INTEGER, DataType.DECIMAL)
+
+    @property
+    def is_temporal(self) -> bool:
+        """Whether the type denotes a point in time (used by freshness measures)."""
+        return self in (DataType.DATE, DataType.TIMESTAMP)
+
+    @classmethod
+    def parse(cls, text: str) -> "DataType":
+        """Parse a type name as found in xLM / PDI documents."""
+        normalized = text.strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "number": cls.DECIMAL,
+            "numeric": cls.DECIMAL,
+            "decimal": cls.DECIMAL,
+            "float": cls.DECIMAL,
+            "double": cls.DECIMAL,
+            "real": cls.DECIMAL,
+            "string": cls.STRING,
+            "varchar": cls.STRING,
+            "char": cls.STRING,
+            "text": cls.STRING,
+            "date": cls.DATE,
+            "timestamp": cls.TIMESTAMP,
+            "datetime": cls.TIMESTAMP,
+            "boolean": cls.BOOLEAN,
+            "bool": cls.BOOLEAN,
+            "binary": cls.BINARY,
+            "blob": cls.BINARY,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError as exc:
+            raise ValueError(f"unknown data type name: {text!r}") from exc
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single named, typed field of a record schema.
+
+    Parameters
+    ----------
+    name:
+        Field name, unique within its schema.
+    dtype:
+        Primitive :class:`DataType`.
+    nullable:
+        Whether the field may hold NULL values.  Data-quality patterns such
+        as ``FilterNullValues`` only apply when nullable fields exist.
+    key:
+        Whether the field participates in the record identity (used by
+        duplicate removal and partitioning patterns).
+    """
+
+    name: str
+    dtype: DataType = DataType.STRING
+    nullable: bool = True
+    key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+
+    def renamed(self, new_name: str) -> "Field":
+        """Return a copy of this field with a different name."""
+        return replace(self, name=new_name)
+
+    def with_nullability(self, nullable: bool) -> "Field":
+        """Return a copy of this field with ``nullable`` set as given."""
+        return replace(self, nullable=nullable)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of uniquely named fields.
+
+    Schemas are immutable; all mutating operations return new instances.
+    """
+
+    fields: tuple[Field, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.fields]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate field names in schema: {sorted(duplicates)}")
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def of(cls, *fields: Field) -> "Schema":
+        """Build a schema from individual fields."""
+        return cls(tuple(fields))
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, DataType]]) -> "Schema":
+        """Build a schema from ``(name, dtype)`` pairs (all nullable, non-key)."""
+        return cls(tuple(Field(name, dtype) for name, dtype in pairs))
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, DataType]) -> "Schema":
+        """Build a schema from a ``name -> dtype`` mapping."""
+        return cls.from_pairs(mapping.items())
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self.fields)
+
+    def __contains__(self, name: object) -> bool:
+        return any(f.name == name for f in self.fields)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Field names in declaration order."""
+        return tuple(f.name for f in self.fields)
+
+    @property
+    def key_fields(self) -> tuple[Field, ...]:
+        """Fields flagged as part of the record identity."""
+        return tuple(f for f in self.fields if f.key)
+
+    @property
+    def nullable_fields(self) -> tuple[Field, ...]:
+        """Fields that may carry NULL values."""
+        return tuple(f for f in self.fields if f.nullable)
+
+    @property
+    def numeric_fields(self) -> tuple[Field, ...]:
+        """Fields whose type supports arithmetic."""
+        return tuple(f for f in self.fields if f.dtype.is_numeric)
+
+    @property
+    def temporal_fields(self) -> tuple[Field, ...]:
+        """Fields whose type denotes a point in time."""
+        return tuple(f for f in self.fields if f.dtype.is_temporal)
+
+    def field(self, name: str) -> Field:
+        """Return the field called ``name``.
+
+        Raises
+        ------
+        KeyError
+            If no field with that name exists.
+        """
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def get(self, name: str) -> Field | None:
+        """Return the field called ``name`` or ``None`` if absent."""
+        try:
+            return self.field(name)
+        except KeyError:
+            return None
+
+    # -- derivation -----------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a schema containing only the given fields, in the given order."""
+        missing = [n for n in names if n not in self]
+        if missing:
+            raise KeyError(f"cannot project on missing fields: {missing}")
+        by_name = {f.name: f for f in self.fields}
+        return Schema(tuple(by_name[n] for n in names))
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Return a schema without the given fields."""
+        unknown = [n for n in names if n not in self]
+        if unknown:
+            raise KeyError(f"cannot drop missing fields: {unknown}")
+        excluded = set(names)
+        return Schema(tuple(f for f in self.fields if f.name not in excluded))
+
+    def extend(self, *new_fields: Field) -> "Schema":
+        """Return a schema with additional fields appended."""
+        return Schema(self.fields + tuple(new_fields))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Return a schema with fields renamed according to ``mapping``."""
+        unknown = [n for n in mapping if n not in self]
+        if unknown:
+            raise KeyError(f"cannot rename missing fields: {unknown}")
+        return Schema(
+            tuple(f.renamed(mapping[f.name]) if f.name in mapping else f for f in self.fields)
+        )
+
+    def merge(self, other: "Schema", prefix: str = "") -> "Schema":
+        """Return the concatenation of two schemas.
+
+        Name collisions in ``other`` are disambiguated by prepending
+        ``prefix`` (or ``"r_"`` if no prefix is supplied).
+        """
+        effective_prefix = prefix or "r_"
+        merged = list(self.fields)
+        taken = set(self.names)
+        for f in other.fields:
+            name = f.name
+            while name in taken:
+                name = effective_prefix + name
+            merged.append(f.renamed(name))
+            taken.add(name)
+        return Schema(tuple(merged))
+
+    def without_nulls(self) -> "Schema":
+        """Return a copy of the schema where every field is non-nullable.
+
+        Used to propagate the effect of null-filtering patterns downstream.
+        """
+        return Schema(tuple(f.with_nullability(False) for f in self.fields))
+
+    def is_compatible_with(self, other: "Schema") -> bool:
+        """Whether records of this schema can flow into a consumer expecting ``other``.
+
+        Compatibility is positional-name based: every field required by
+        ``other`` must be present here with the same data type.
+        """
+        for required in other.fields:
+            actual = self.get(required.name)
+            if actual is None or actual.dtype != required.dtype:
+                return False
+        return True
+
+    def to_dict(self) -> list[dict[str, object]]:
+        """Serialise the schema to a JSON-friendly structure."""
+        return [
+            {
+                "name": f.name,
+                "dtype": f.dtype.value,
+                "nullable": f.nullable,
+                "key": f.key,
+            }
+            for f in self.fields
+        ]
+
+    @classmethod
+    def from_dict(cls, data: Iterable[Mapping[str, object]]) -> "Schema":
+        """Deserialise a schema produced by :meth:`to_dict`."""
+        return cls(
+            tuple(
+                Field(
+                    name=str(item["name"]),
+                    dtype=DataType(item.get("dtype", "string")),
+                    nullable=bool(item.get("nullable", True)),
+                    key=bool(item.get("key", False)),
+                )
+                for item in data
+            )
+        )
+
+
+EMPTY_SCHEMA = Schema()
+"""A schema with no fields, used for control-only transitions."""

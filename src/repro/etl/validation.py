@@ -1,0 +1,212 @@
+"""Structural and semantic validation of ETL flows.
+
+Pattern application must never break the flow: after every FCP insertion
+the planner re-validates the resulting graph.  Validation covers
+structure (acyclicity is enforced at insertion time; connectivity, sources
+and sinks are checked here), router/merger arity versus configuration, and
+schema compatibility along transitions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.etl.graph import ETLGraph
+from repro.etl.operations import OperationKind
+
+
+class Severity(enum.Enum):
+    """Severity of a validation issue."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single problem discovered while validating a flow."""
+
+    severity: Severity
+    code: str
+    message: str
+    op_id: str = ""
+
+    def __str__(self) -> str:
+        location = f" [{self.op_id}]" if self.op_id else ""
+        return f"{self.severity.value.upper()} {self.code}{location}: {self.message}"
+
+
+class ValidationError(Exception):
+    """Raised when a flow fails validation with at least one error."""
+
+    def __init__(self, issues: Iterable[ValidationIssue]):
+        self.issues = [i for i in issues if i.severity is Severity.ERROR]
+        message = "; ".join(str(i) for i in self.issues) or "flow validation failed"
+        super().__init__(message)
+
+
+def validate_flow(flow: ETLGraph, raise_on_error: bool = False) -> list[ValidationIssue]:
+    """Validate an ETL flow and return the list of issues found.
+
+    Parameters
+    ----------
+    flow:
+        The flow to validate.
+    raise_on_error:
+        When true, a :class:`ValidationError` is raised if any issue of
+        severity ``ERROR`` is present.
+    """
+    issues: list[ValidationIssue] = []
+    issues.extend(_check_non_empty(flow))
+    if flow.node_count:
+        issues.extend(_check_connectivity(flow))
+        issues.extend(_check_sources_and_sinks(flow))
+        issues.extend(_check_arities(flow))
+        issues.extend(_check_schemas(flow))
+    if raise_on_error and any(i.severity is Severity.ERROR for i in issues):
+        raise ValidationError(issues)
+    return issues
+
+
+def is_valid(flow: ETLGraph) -> bool:
+    """Whether the flow has no validation errors (warnings are tolerated)."""
+    return not any(i.severity is Severity.ERROR for i in validate_flow(flow))
+
+
+def _check_non_empty(flow: ETLGraph) -> list[ValidationIssue]:
+    if flow.node_count == 0:
+        return [
+            ValidationIssue(
+                Severity.ERROR, "EMPTY_FLOW", "the flow contains no operations"
+            )
+        ]
+    return []
+
+
+def _check_connectivity(flow: ETLGraph) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    if not flow.is_connected():
+        issues.append(
+            ValidationIssue(
+                Severity.ERROR,
+                "DISCONNECTED",
+                "the flow is split into several disconnected components",
+            )
+        )
+    for op in flow.operations():
+        isolated = flow.in_degree(op.op_id) == 0 and flow.out_degree(op.op_id) == 0
+        if isolated and flow.node_count > 1:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "ISOLATED_OPERATION",
+                    f"operation {op.name!r} is not connected to the flow",
+                    op_id=op.op_id,
+                )
+            )
+    return issues
+
+
+def _check_sources_and_sinks(flow: ETLGraph) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    if not flow.sources():
+        issues.append(
+            ValidationIssue(Severity.ERROR, "NO_SOURCE", "the flow has no source operation")
+        )
+    if not flow.sinks():
+        issues.append(
+            ValidationIssue(Severity.ERROR, "NO_SINK", "the flow has no sink operation")
+        )
+    for op in flow.sources():
+        if not op.kind.is_source and op.kind is not OperationKind.NOOP:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "NON_EXTRACT_SOURCE",
+                    f"flow entry point {op.name!r} is a {op.kind.value} operation, "
+                    "not an extraction",
+                    op_id=op.op_id,
+                )
+            )
+    for op in flow.sinks():
+        if not op.kind.is_sink and op.kind not in (
+            OperationKind.CHECKPOINT,
+            OperationKind.NOOP,
+        ):
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "NON_LOAD_SINK",
+                    f"flow exit point {op.name!r} is a {op.kind.value} operation, not a load",
+                    op_id=op.op_id,
+                )
+            )
+    return issues
+
+
+def _check_arities(flow: ETLGraph) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    for op in flow.operations():
+        in_degree = flow.in_degree(op.op_id)
+        out_degree = flow.out_degree(op.op_id)
+        # EXTRACT_SAVEPOINT re-reads persisted intermediary data and may
+        # legitimately sit in the middle of a flow (Fig. 2b of the paper).
+        true_source = op.kind.is_source and op.kind is not OperationKind.EXTRACT_SAVEPOINT
+        if true_source and in_degree > 0:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "SOURCE_WITH_INPUT",
+                    f"extraction operation {op.name!r} must not have incoming transitions",
+                    op_id=op.op_id,
+                )
+            )
+        if op.kind.is_sink and out_degree > 0:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "SINK_WITH_OUTPUT",
+                    f"load operation {op.name!r} has outgoing transitions",
+                    op_id=op.op_id,
+                )
+            )
+        if op.kind is OperationKind.JOIN and in_degree < 2:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "JOIN_ARITY",
+                    f"join operation {op.name!r} needs at least two inputs, has {in_degree}",
+                    op_id=op.op_id,
+                )
+            )
+        if op.kind.is_router and out_degree < 2:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "ROUTER_ARITY",
+                    f"routing operation {op.name!r} has fewer than two outputs "
+                    f"({out_degree})",
+                    op_id=op.op_id,
+                )
+            )
+    return issues
+
+
+def _check_schemas(flow: ETLGraph) -> list[ValidationIssue]:
+    issues: list[ValidationIssue] = []
+    for edge in flow.edges():
+        source_schema = flow.operation(edge.source).output_schema
+        if len(edge.schema) and len(source_schema):
+            if not source_schema.is_compatible_with(edge.schema):
+                issues.append(
+                    ValidationIssue(
+                        Severity.WARNING,
+                        "SCHEMA_MISMATCH",
+                        "transition schema requires fields that the source operation "
+                        f"{edge.source!r} does not produce",
+                        op_id=edge.source,
+                    )
+                )
+    return issues

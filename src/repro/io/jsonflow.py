@@ -1,0 +1,40 @@
+"""Native JSON interchange format for ETL flows.
+
+The JSON format is a direct serialisation of the
+:meth:`repro.etl.graph.ETLGraph.to_dict` structure; it round-trips every
+detail of the flow (operations, configurations, cost models, edge schemas,
+annotations and pattern lineage) and is the format the examples and
+benchmarks persist their artefacts in.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.etl.graph import ETLGraph
+
+
+def flow_to_json(flow: ETLGraph, indent: int = 2) -> str:
+    """Serialise a flow to a JSON string."""
+    return json.dumps(flow.to_dict(), indent=indent, sort_keys=False)
+
+
+def flow_from_json(text: str) -> ETLGraph:
+    """Parse a flow from a JSON string produced by :func:`flow_to_json`."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("a flow JSON document must contain a JSON object")
+    return ETLGraph.from_dict(data)
+
+
+def save_flow_json(flow: ETLGraph, path: str | Path) -> Path:
+    """Write a flow to a ``.json`` file and return the path."""
+    target = Path(path)
+    target.write_text(flow_to_json(flow), encoding="utf-8")
+    return target
+
+
+def load_flow_json(path: str | Path) -> ETLGraph:
+    """Read a flow from a ``.json`` file."""
+    return flow_from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,199 @@
+"""Pentaho Data Integration (PDI) ``.ktr`` import/export.
+
+PDI transformations are stored as XML documents with a
+``<transformation>`` root, one ``<step>`` element per operation and an
+``<order>`` section of ``<hop>`` elements wiring the steps.  This module
+maps the flow model onto that structure: operation kinds are translated to
+the closest PDI step types (and back via an inverse mapping), the cost
+model and schemas travel in a ``<repro>`` extension element so that a
+round trip through PDI format is lossless for our own documents, while
+plain PDI files produced by Spoon (without the extension element) import
+with sensible defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from xml.dom import minidom
+
+from repro.etl.graph import ETLGraph
+from repro.etl.operations import Operation, OperationKind
+from repro.etl.properties import OperationProperties
+from repro.etl.schema import Schema
+
+# Mapping between our operation kinds and PDI step types.
+_KIND_TO_STEP_TYPE: dict[OperationKind, str] = {
+    OperationKind.EXTRACT_TABLE: "TableInput",
+    OperationKind.EXTRACT_FILE: "TextFileInput",
+    OperationKind.EXTRACT_SAVEPOINT: "TableInput",
+    OperationKind.FILTER: "FilterRows",
+    OperationKind.PROJECT: "SelectValues",
+    OperationKind.DERIVE: "Calculator",
+    OperationKind.RENAME: "SelectValues",
+    OperationKind.CONVERT: "SelectValues",
+    OperationKind.SURROGATE_KEY: "Sequence",
+    OperationKind.LOOKUP: "DBLookup",
+    OperationKind.SLOWLY_CHANGING_DIM: "DimensionLookup",
+    OperationKind.AGGREGATE: "GroupBy",
+    OperationKind.SORT: "SortRows",
+    OperationKind.PIVOT: "Denormaliser",
+    OperationKind.JOIN: "MergeJoin",
+    OperationKind.UNION: "Append",
+    OperationKind.MERGE: "Append",
+    OperationKind.DIFF: "MergeRows",
+    OperationKind.SPLIT: "SwitchCase",
+    OperationKind.ROUTER: "SwitchCase",
+    OperationKind.PARTITION: "SwitchCase",
+    OperationKind.REPLICATE: "CloneRow",
+    OperationKind.DEDUPLICATE: "Unique",
+    OperationKind.FILTER_NULLS: "FilterRows",
+    OperationKind.CROSSCHECK: "DBLookup",
+    OperationKind.VALIDATE: "Validator",
+    OperationKind.CLEANSE: "StringOperations",
+    OperationKind.LOAD_TABLE: "TableOutput",
+    OperationKind.LOAD_FILE: "TextFileOutput",
+    OperationKind.CHECKPOINT: "TableOutput",
+    OperationKind.RECOVERY_BRANCH: "FilterRows",
+    OperationKind.ENCRYPT: "StringOperations",
+    OperationKind.DECRYPT: "StringOperations",
+    OperationKind.ACCESS_CONTROL: "StringOperations",
+    OperationKind.SCHEDULE: "Dummy",
+    OperationKind.NOOP: "Dummy",
+}
+
+# Inverse mapping used when no <repro> extension is present.  Ambiguous
+# step types map to the most common kind.
+_STEP_TYPE_TO_KIND: dict[str, OperationKind] = {
+    "TableInput": OperationKind.EXTRACT_TABLE,
+    "TextFileInput": OperationKind.EXTRACT_FILE,
+    "CsvInput": OperationKind.EXTRACT_FILE,
+    "FilterRows": OperationKind.FILTER,
+    "SelectValues": OperationKind.PROJECT,
+    "Calculator": OperationKind.DERIVE,
+    "Sequence": OperationKind.SURROGATE_KEY,
+    "DBLookup": OperationKind.LOOKUP,
+    "StreamLookup": OperationKind.LOOKUP,
+    "DimensionLookup": OperationKind.SLOWLY_CHANGING_DIM,
+    "GroupBy": OperationKind.AGGREGATE,
+    "MemoryGroupBy": OperationKind.AGGREGATE,
+    "SortRows": OperationKind.SORT,
+    "Denormaliser": OperationKind.PIVOT,
+    "MergeJoin": OperationKind.JOIN,
+    "JoinRows": OperationKind.JOIN,
+    "Append": OperationKind.UNION,
+    "MergeRows": OperationKind.DIFF,
+    "SwitchCase": OperationKind.ROUTER,
+    "CloneRow": OperationKind.REPLICATE,
+    "Unique": OperationKind.DEDUPLICATE,
+    "UniqueRowsByHashSet": OperationKind.DEDUPLICATE,
+    "Validator": OperationKind.VALIDATE,
+    "StringOperations": OperationKind.CLEANSE,
+    "TableOutput": OperationKind.LOAD_TABLE,
+    "InsertUpdate": OperationKind.LOAD_TABLE,
+    "TextFileOutput": OperationKind.LOAD_FILE,
+    "Dummy": OperationKind.NOOP,
+}
+
+
+def flow_to_pdi(flow: ETLGraph) -> str:
+    """Serialise a flow to a PDI ``.ktr`` XML string."""
+    root = ET.Element("transformation")
+    info = ET.SubElement(root, "info")
+    ET.SubElement(info, "name").text = flow.name
+    if flow.annotations:
+        ET.SubElement(info, "repro_annotations").text = json.dumps(flow.annotations)
+
+    order = ET.SubElement(root, "order")
+    for edge in flow.edges():
+        hop = ET.SubElement(order, "hop")
+        ET.SubElement(hop, "from").text = edge.source
+        ET.SubElement(hop, "to").text = edge.target
+        ET.SubElement(hop, "enabled").text = "Y"
+
+    for op in flow.operations():
+        step = ET.SubElement(root, "step")
+        ET.SubElement(step, "name").text = op.op_id
+        ET.SubElement(step, "type").text = _KIND_TO_STEP_TYPE.get(op.kind, "Dummy")
+        ET.SubElement(step, "description").text = op.name
+        # The <repro> extension preserves everything PDI cannot express.
+        extension = ET.SubElement(step, "repro")
+        extension.text = json.dumps(
+            {
+                "kind": op.kind.value,
+                "schema": op.output_schema.to_dict(),
+                "config": op.config,
+                "properties": op.properties.to_dict(),
+            }
+        )
+
+    raw = ET.tostring(root, encoding="unicode")
+    return minidom.parseString(raw).toprettyxml(indent="  ")
+
+
+def flow_from_pdi(text: str) -> ETLGraph:
+    """Parse a flow from a PDI ``.ktr`` XML string."""
+    root = ET.fromstring(text)
+    if root.tag != "transformation":
+        raise ValueError(f"not a PDI transformation: root element is <{root.tag}>")
+    info = root.find("info")
+    name = "pdi_flow"
+    annotations: dict[str, object] = {}
+    if info is not None:
+        name_el = info.find("name")
+        if name_el is not None and name_el.text:
+            name = name_el.text
+        annotations_el = info.find("repro_annotations")
+        if annotations_el is not None and annotations_el.text:
+            annotations = json.loads(annotations_el.text)
+
+    flow = ETLGraph(name=name)
+    flow.annotations = dict(annotations)
+
+    for step in root.findall("step"):
+        step_name = (step.findtext("name") or "").strip()
+        step_type = (step.findtext("type") or "Dummy").strip()
+        description = (step.findtext("description") or step_name).strip()
+        extension_text = step.findtext("repro")
+        if extension_text:
+            extension = json.loads(extension_text)
+            operation = Operation(
+                kind=OperationKind(extension.get("kind", "noop")),
+                name=description or step_name,
+                op_id=step_name,
+                output_schema=Schema.from_dict(extension.get("schema", [])),
+                config=dict(extension.get("config", {})),
+                properties=OperationProperties.from_dict(extension.get("properties", {})),
+            )
+        else:
+            operation = Operation(
+                kind=_STEP_TYPE_TO_KIND.get(step_type, OperationKind.NOOP),
+                name=description or step_name,
+                op_id=step_name,
+            )
+        flow.add_operation(operation)
+
+    order = root.find("order")
+    if order is not None:
+        for hop in order.findall("hop"):
+            source = (hop.findtext("from") or "").strip()
+            target = (hop.findtext("to") or "").strip()
+            enabled = (hop.findtext("enabled") or "Y").strip()
+            if enabled.upper() != "Y":
+                continue
+            if source in flow and target in flow:
+                flow.add_edge(source, target)
+    return flow
+
+
+def save_flow_pdi(flow: ETLGraph, path: str | Path) -> Path:
+    """Write a flow to a ``.ktr`` file and return the path."""
+    target = Path(path)
+    target.write_text(flow_to_pdi(flow), encoding="utf-8")
+    return target
+
+
+def load_flow_pdi(path: str | Path) -> ETLGraph:
+    """Read a flow from a ``.ktr`` file."""
+    return flow_from_pdi(Path(path).read_text(encoding="utf-8"))

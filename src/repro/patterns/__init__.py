@@ -1,0 +1,62 @@
+"""Flow Component Patterns (FCP).
+
+A Flow Component Pattern is a predefined construct that improves certain
+quality characteristics of an ETL flow without altering its main
+functionality (Section 2.2 of the paper).  Internally a pattern is itself
+an ETL (sub-)flow; deploying it grafts that sub-flow onto the host flow at
+a valid *application point*, which can be a node, an edge, or the entire
+graph.
+
+This package contains the pattern framework (:mod:`repro.patterns.base`),
+the built-in palette listed in Fig. 6 of the paper plus graph-level
+configuration patterns (:mod:`repro.patterns.data_quality`,
+:mod:`repro.patterns.performance`, :mod:`repro.patterns.reliability`,
+:mod:`repro.patterns.graph_level`), support for user-defined patterns
+(:mod:`repro.patterns.custom`) and the pattern registry / palette
+(:mod:`repro.patterns.registry`).
+"""
+
+from repro.patterns.base import (
+    ApplicationPoint,
+    ApplicationPointType,
+    FlowComponentPattern,
+    PatternApplication,
+    Prerequisite,
+)
+from repro.patterns.registry import PatternRegistry, default_palette
+from repro.patterns.data_quality import (
+    CrosscheckSources,
+    FilterNullValues,
+    RemoveDuplicateEntries,
+)
+from repro.patterns.performance import HorizontalPartitionTask, ParallelizeTask
+from repro.patterns.reliability import AddCheckpoint
+from repro.patterns.graph_level import (
+    AdjustScheduleFrequency,
+    EncryptDataFlow,
+    RoleBasedAccessControl,
+    UpgradeResourceTier,
+)
+from repro.patterns.custom import CustomEdgePattern, CustomPatternSpec
+
+__all__ = [
+    "ApplicationPoint",
+    "ApplicationPointType",
+    "FlowComponentPattern",
+    "PatternApplication",
+    "Prerequisite",
+    "PatternRegistry",
+    "default_palette",
+    "FilterNullValues",
+    "RemoveDuplicateEntries",
+    "CrosscheckSources",
+    "ParallelizeTask",
+    "HorizontalPartitionTask",
+    "AddCheckpoint",
+    "EncryptDataFlow",
+    "RoleBasedAccessControl",
+    "UpgradeResourceTier",
+    "AdjustScheduleFrequency",
+    "CustomEdgePattern",
+    "CustomPatternSpec",
+]

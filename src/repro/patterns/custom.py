@@ -1,0 +1,190 @@
+"""User-defined Flow Component Patterns.
+
+Part P3 of the paper's demo walkthrough guides users through defining
+their own Flow Component Patterns by extending and pre-configuring the
+existing ones, and saving them to the palette for future executions.  This
+module provides a declarative way to do that without subclassing:
+:class:`CustomPatternSpec` describes the operation to interpose and the
+conditions under which the pattern applies, and :class:`CustomEdgePattern`
+turns the spec into a fully fledged pattern object that can be registered
+in the palette.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.etl.graph import ETLGraph
+from repro.etl.operations import Operation, OperationKind
+from repro.etl.properties import OperationProperties
+from repro.etl.schema import Schema
+from repro.etl.subflow import insert_on_edge
+from repro.patterns.base import (
+    ApplicationPoint,
+    ApplicationPointType,
+    FlowComponentPattern,
+    Prerequisite,
+)
+from repro.quality.framework import QualityCharacteristic
+
+
+@dataclass(frozen=True)
+class CustomPatternSpec:
+    """Declarative description of a custom edge pattern.
+
+    Attributes
+    ----------
+    name, description:
+        Pattern identity shown in the palette.
+    operation_kind:
+        The ETL operation the pattern interposes on the chosen edge.
+    improves:
+        Quality characteristics the pattern is intended to improve.
+    cost_per_tuple, fixed_cost, selectivity:
+        Cost model of the interposed operation.
+    operation_config:
+        Extra configuration copied onto the interposed operation.
+    requires_numeric_field:
+        Prerequisite: the edge schema must contain a numeric field.
+    requires_temporal_field:
+        Prerequisite: the edge schema must contain a date/timestamp field.
+    requires_nullable_field:
+        Prerequisite: the edge schema must contain a nullable field.
+    prefer_near_sources:
+        Placement heuristic: fitness decreases with distance from the
+        sources when true, increases when false.
+    """
+
+    name: str
+    description: str = ""
+    operation_kind: OperationKind = OperationKind.CLEANSE
+    improves: tuple[QualityCharacteristic, ...] = (QualityCharacteristic.DATA_QUALITY,)
+    cost_per_tuple: float = 0.01
+    fixed_cost: float = 0.0
+    selectivity: float = 1.0
+    operation_config: Mapping[str, Any] = field(default_factory=dict)
+    requires_numeric_field: bool = False
+    requires_temporal_field: bool = False
+    requires_nullable_field: bool = False
+    prefer_near_sources: bool = True
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise the spec (used to persist custom palettes)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "operation_kind": self.operation_kind.value,
+            "improves": [c.value for c in self.improves],
+            "cost_per_tuple": self.cost_per_tuple,
+            "fixed_cost": self.fixed_cost,
+            "selectivity": self.selectivity,
+            "operation_config": dict(self.operation_config),
+            "requires_numeric_field": self.requires_numeric_field,
+            "requires_temporal_field": self.requires_temporal_field,
+            "requires_nullable_field": self.requires_nullable_field,
+            "prefer_near_sources": self.prefer_near_sources,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CustomPatternSpec":
+        """Deserialise a spec produced by :meth:`to_dict`."""
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            operation_kind=OperationKind(data.get("operation_kind", "cleanse")),
+            improves=tuple(
+                QualityCharacteristic(value) for value in data.get("improves", ["data_quality"])
+            ),
+            cost_per_tuple=float(data.get("cost_per_tuple", 0.01)),
+            fixed_cost=float(data.get("fixed_cost", 0.0)),
+            selectivity=float(data.get("selectivity", 1.0)),
+            operation_config=dict(data.get("operation_config", {})),
+            requires_numeric_field=bool(data.get("requires_numeric_field", False)),
+            requires_temporal_field=bool(data.get("requires_temporal_field", False)),
+            requires_nullable_field=bool(data.get("requires_nullable_field", False)),
+            prefer_near_sources=bool(data.get("prefer_near_sources", True)),
+        )
+
+
+class CustomEdgePattern(FlowComponentPattern):
+    """A user-defined pattern that interposes one operation on an edge."""
+
+    point_type = ApplicationPointType.EDGE
+
+    def __init__(self, spec: CustomPatternSpec):
+        self.spec = spec
+        self.name = spec.name
+        self.description = spec.description
+        self.improves = spec.improves
+
+    # -- prerequisites ---------------------------------------------------
+
+    def _schema_requirements(self, flow: ETLGraph, point: ApplicationPoint) -> bool:
+        schema = self._edge_of(flow, point).schema
+        if len(schema) == 0:
+            return False
+        if self.spec.requires_numeric_field and not schema.numeric_fields:
+            return False
+        if self.spec.requires_temporal_field and not schema.temporal_fields:
+            return False
+        if self.spec.requires_nullable_field and not schema.nullable_fields:
+            return False
+        return True
+
+    def _not_already_present(self, flow: ETLGraph, point: ApplicationPoint) -> bool:
+        source, target = point.edge
+        kinds = {flow.operation(source).kind, flow.operation(target).kind}
+        return self.spec.operation_kind not in kinds
+
+    def prerequisites(self) -> tuple[Prerequisite, ...]:
+        return (
+            Prerequisite(
+                "schema_requirements",
+                self._schema_requirements,
+                "the transition schema satisfies the field requirements of the pattern",
+            ),
+            Prerequisite(
+                "not_already_present",
+                self._not_already_present,
+                "no identical operation adjacent to the transition",
+            ),
+        )
+
+    # -- heuristics -------------------------------------------------------
+
+    def fitness(self, flow: ETLGraph, point: ApplicationPoint) -> float:
+        distance = flow.distance_from_sources(point.edge[0])
+        longest = max(flow.longest_path_length(), 1)
+        proximity = max(0.0, 1.0 - distance / (longest + 1))
+        return proximity if self.spec.prefer_near_sources else 1.0 - proximity
+
+    # -- deployment -------------------------------------------------------
+
+    def apply(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
+        edge = self._edge_of(flow, point)
+        subflow = self._build_subflow(edge.schema)
+        new_flow, _ = insert_on_edge(
+            flow,
+            *point.edge,
+            subflow,
+            description=f"{self.name} @ {point.describe()}",
+        )
+        return new_flow
+
+    def _build_subflow(self, schema: Schema) -> ETLGraph:
+        subflow = ETLGraph(name=f"fcp_custom_{self.spec.name.lower()}")
+        operation = Operation(
+            kind=self.spec.operation_kind,
+            name=self.spec.name.lower(),
+            op_id=self.spec.name.lower(),
+            output_schema=schema,
+            config=dict(self.spec.operation_config),
+            properties=OperationProperties(
+                cost_per_tuple=self.spec.cost_per_tuple,
+                fixed_cost=self.spec.fixed_cost,
+                selectivity=self.spec.selectivity,
+            ),
+        )
+        subflow.add_operation(operation)
+        return subflow

@@ -1,0 +1,119 @@
+"""Graph-level (process-wide) Flow Component Patterns.
+
+The entire ETL flow graph as application point serves for process-wide
+configuration and management operations that are not directly related to
+the functionality of specific flow components (Section 2.2): security
+configurations (encryption, role-based access), management of the quality
+of hardware/software resources, and adjusting the frequency of process
+recurrence.  These patterns attach annotations to the flow graph that the
+simulator and the measure estimators interpret.
+"""
+
+from __future__ import annotations
+
+from repro.etl.graph import ETLGraph
+from repro.etl.subflow import wrap_graph
+from repro.patterns.base import (
+    ApplicationPoint,
+    ApplicationPointType,
+    FlowComponentPattern,
+    Prerequisite,
+)
+from repro.quality.framework import QualityCharacteristic
+from repro.simulator.resources import ResourceTier
+
+
+class _AnnotationPattern(FlowComponentPattern):
+    """Base class for graph-level patterns implemented as flow annotations."""
+
+    point_type = ApplicationPointType.GRAPH
+    annotation_key: str = ""
+
+    def annotation_value(self) -> object:
+        raise NotImplementedError
+
+    def _not_yet_configured(self, flow: ETLGraph, point: ApplicationPoint) -> bool:
+        return self.annotation_key not in flow.annotations
+
+    def prerequisites(self) -> tuple[Prerequisite, ...]:
+        return (
+            Prerequisite(
+                "not_yet_configured",
+                self._not_yet_configured,
+                f"the flow does not already configure {self.annotation_key!r}",
+            ),
+        )
+
+    def apply(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
+        new_flow, _ = wrap_graph(
+            flow,
+            self.annotation_key,
+            self.annotation_value(),
+            description=f"{self.name} @ entire flow",
+        )
+        return new_flow
+
+
+class EncryptDataFlow(_AnnotationPattern):
+    """Encrypt data in transit throughout the process.
+
+    Improves security at the price of a per-tuple processing overhead
+    applied by the simulator.
+    """
+
+    name = "EncryptDataFlow"
+    description = "Apply encryption to data exchanged between operations"
+    improves = (QualityCharacteristic.SECURITY,)
+    annotation_key = "encryption"
+
+    def annotation_value(self) -> object:
+        return True
+
+
+class RoleBasedAccessControl(_AnnotationPattern):
+    """Enforce role-based access control on the process and its staging areas."""
+
+    name = "RoleBasedAccessControl"
+    description = "Apply role-based access control to the process resources"
+    improves = (QualityCharacteristic.SECURITY,)
+    annotation_key = "access_control"
+
+    def annotation_value(self) -> object:
+        return "role_based"
+
+
+class UpgradeResourceTier(_AnnotationPattern):
+    """Run the process on a larger (faster, more parallel, more expensive) resource tier."""
+
+    name = "UpgradeResourceTier"
+    description = "Provision a larger execution environment for the process"
+    improves = (QualityCharacteristic.PERFORMANCE,)
+    annotation_key = "resource_tier"
+
+    def __init__(self, tier: ResourceTier | str = ResourceTier.LARGE):
+        self.tier = ResourceTier(tier) if isinstance(tier, str) else tier
+
+    def annotation_value(self) -> object:
+        return self.tier.value
+
+
+class AdjustScheduleFrequency(_AnnotationPattern):
+    """Adjust the frequency of process recurrence.
+
+    Running the process more often reduces the age of the loaded data
+    (better data quality / freshness) but multiplies the daily execution
+    cost; running it less often does the opposite.
+    """
+
+    name = "AdjustScheduleFrequency"
+    description = "Change how many times per day the process is executed"
+    improves = (QualityCharacteristic.DATA_QUALITY,)
+    annotation_key = "schedule_frequency_per_day"
+
+    def __init__(self, frequency_per_day: float = 48.0):
+        if frequency_per_day <= 0:
+            raise ValueError("frequency_per_day must be positive")
+        self.frequency_per_day = frequency_per_day
+
+    def annotation_value(self) -> object:
+        return self.frequency_per_day

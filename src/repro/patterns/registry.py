@@ -1,0 +1,156 @@
+"""The pattern repository / palette.
+
+POIESIS utilises an existing repository of FCP models to generate patterns
+specific to the ETL flow on which they are applied (Section 3).  The
+registry holds the available patterns, lets users restrict the palette to
+a subset (part P2 of the demo walkthrough), extend it with custom patterns
+(part P3), and renders the Fig. 6 palette table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.patterns.base import FlowComponentPattern
+from repro.patterns.custom import CustomEdgePattern, CustomPatternSpec
+from repro.quality.framework import QualityCharacteristic
+
+
+class PatternRegistry:
+    """A named collection of Flow Component Patterns (the palette)."""
+
+    def __init__(self, patterns: Iterable[FlowComponentPattern] = ()) -> None:
+        self._patterns: dict[str, FlowComponentPattern] = {}
+        for pattern in patterns:
+            self.register(pattern)
+
+    # ------------------------------------------------------------------
+
+    def register(self, pattern: FlowComponentPattern) -> FlowComponentPattern:
+        """Add a pattern to the palette (replacing any same-named one)."""
+        if not pattern.name:
+            raise ValueError("patterns must define a non-empty name")
+        self._patterns[pattern.name] = pattern
+        return pattern
+
+    def register_custom(self, spec: CustomPatternSpec) -> FlowComponentPattern:
+        """Create a user-defined pattern from a spec and add it to the palette."""
+        return self.register(CustomEdgePattern(spec))
+
+    def unregister(self, name: str) -> None:
+        """Remove a pattern from the palette."""
+        del self._patterns[name]
+
+    def get(self, name: str) -> FlowComponentPattern:
+        """Return the pattern called ``name``."""
+        try:
+            return self._patterns[name]
+        except KeyError as exc:
+            raise KeyError(f"unknown pattern: {name!r}") from exc
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._patterns
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __iter__(self) -> Iterator[FlowComponentPattern]:
+        return iter(self._patterns.values())
+
+    def names(self) -> list[str]:
+        """Names of every pattern in the palette."""
+        return list(self._patterns)
+
+    # ------------------------------------------------------------------
+
+    def subset(self, names: Sequence[str]) -> "PatternRegistry":
+        """A palette restricted to the given pattern names (demo part P2)."""
+        missing = [name for name in names if name not in self._patterns]
+        if missing:
+            raise KeyError(f"unknown patterns: {missing}")
+        return PatternRegistry(self._patterns[name] for name in names)
+
+    def for_characteristic(
+        self, characteristic: QualityCharacteristic
+    ) -> list[FlowComponentPattern]:
+        """Patterns that improve the given quality characteristic."""
+        return [p for p in self._patterns.values() if characteristic in p.improves]
+
+    def palette_table(self) -> list[dict[str, str]]:
+        """Rows of the Fig. 6 palette table: pattern name and related attribute."""
+        rows = []
+        for pattern in self._patterns.values():
+            rows.append(
+                {
+                    "fcp": pattern.name,
+                    "related_quality_attribute": ", ".join(
+                        c.label for c in pattern.improves
+                    ),
+                }
+            )
+        return rows
+
+
+def default_palette(
+    parallelism_degree: int = 4,
+    partitions: int = 2,
+    include_graph_level: bool = True,
+) -> PatternRegistry:
+    """The palette the paper's Fig. 6 lists, plus the graph-level patterns.
+
+    Parameters
+    ----------
+    parallelism_degree:
+        Degree configured on the :class:`~repro.patterns.performance.ParallelizeTask`
+        pattern instances.
+    partitions:
+        Number of partitions configured on
+        :class:`~repro.patterns.performance.HorizontalPartitionTask`.
+    include_graph_level:
+        Whether to include the process-wide configuration patterns
+        (encryption, access control, resource tier, schedule frequency).
+    """
+    from repro.patterns.data_quality import (
+        CrosscheckSources,
+        FilterNullValues,
+        RemoveDuplicateEntries,
+    )
+    from repro.patterns.graph_level import (
+        AdjustScheduleFrequency,
+        EncryptDataFlow,
+        RoleBasedAccessControl,
+        UpgradeResourceTier,
+    )
+    from repro.patterns.performance import HorizontalPartitionTask, ParallelizeTask
+    from repro.patterns.reliability import AddCheckpoint
+
+    registry = PatternRegistry(
+        [
+            RemoveDuplicateEntries(),
+            FilterNullValues(),
+            CrosscheckSources(),
+            ParallelizeTask(degree=parallelism_degree),
+            HorizontalPartitionTask(partitions=partitions),
+            AddCheckpoint(),
+        ]
+    )
+    if include_graph_level:
+        registry.register(EncryptDataFlow())
+        registry.register(RoleBasedAccessControl())
+        registry.register(UpgradeResourceTier())
+        registry.register(AdjustScheduleFrequency())
+    return registry
+
+
+def figure6_palette() -> PatternRegistry:
+    """Exactly the five patterns listed in Fig. 6 of the paper."""
+    palette = default_palette(include_graph_level=False)
+    return palette.subset(
+        [
+            "RemoveDuplicateEntries",
+            "FilterNullValues",
+            "CrosscheckSources",
+            "ParallelizeTask",
+            "AddCheckpoint",
+        ]
+    )

@@ -1,0 +1,173 @@
+"""Composite measures and per-flow quality profiles.
+
+The tool's measure bar chart (Fig. 5) shows one bar per quality
+characteristic; clicking a bar "expands" the composite measure into the
+detailed metrics it aggregates.  :class:`CompositeMeasure` implements that
+aggregation (a weighted mean of normalised detailed measures, reported on
+a 0-100 scale) and :class:`QualityProfile` holds the full evaluation of
+one flow: the composite score per characteristic plus every detailed
+measure value, supporting the drill-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.quality.framework import (
+    Measure,
+    MeasureRegistry,
+    MeasureValue,
+    QualityCharacteristic,
+)
+
+
+@dataclass
+class CompositeMeasure:
+    """A weighted aggregation of detailed measures for one characteristic."""
+
+    characteristic: QualityCharacteristic
+    components: tuple[Measure, ...]
+
+    def score(self, values: Mapping[str, MeasureValue]) -> float:
+        """Aggregate the component values into a 0-100 composite score.
+
+        Components missing from ``values`` (e.g. trace-based measures when
+        no simulation was run) are skipped; the remaining weights are
+        re-normalised.
+        """
+        weighted = 0.0
+        total_weight = 0.0
+        for measure in self.components:
+            value = values.get(measure.name)
+            if value is None:
+                continue
+            weighted += measure.weight * value.normalized
+            total_weight += measure.weight
+        if total_weight <= 0:
+            return 0.0
+        return 100.0 * weighted / total_weight
+
+    def component_names(self) -> list[str]:
+        """Names of the detailed measures aggregated by this composite."""
+        return [measure.name for measure in self.components]
+
+
+def build_composites(registry: MeasureRegistry) -> dict[QualityCharacteristic, CompositeMeasure]:
+    """Build one composite measure per characteristic covered by a registry."""
+    composites: dict[QualityCharacteristic, CompositeMeasure] = {}
+    for characteristic in registry.characteristics():
+        components = tuple(registry.for_characteristic(characteristic))
+        composites[characteristic] = CompositeMeasure(characteristic, components)
+    return composites
+
+
+@dataclass
+class QualityProfile:
+    """The full quality evaluation of one ETL flow.
+
+    Attributes
+    ----------
+    flow_name:
+        Name of the evaluated flow.
+    scores:
+        Composite 0-100 score per quality characteristic (larger is
+        better) -- the coordinates used by the Fig. 4 scatter plot.
+    values:
+        Every detailed measure value, keyed by measure name -- the data
+        behind the Fig. 5 drill-down.
+    """
+
+    flow_name: str
+    scores: dict[QualityCharacteristic, float] = field(default_factory=dict)
+    values: dict[str, MeasureValue] = field(default_factory=dict)
+
+    def score(self, characteristic: QualityCharacteristic) -> float:
+        """Composite score of one characteristic (0 when not evaluated)."""
+        return self.scores.get(characteristic, 0.0)
+
+    def value(self, measure_name: str) -> MeasureValue:
+        """The detailed value of one measure (raises ``KeyError`` if absent)."""
+        return self.values[measure_name]
+
+    def expand(self, characteristic: QualityCharacteristic) -> list[MeasureValue]:
+        """Drill down: the detailed measure values composing one characteristic."""
+        return [
+            value
+            for value in self.values.values()
+            if value.characteristic is characteristic
+        ]
+
+    def characteristics(self) -> list[QualityCharacteristic]:
+        """Characteristics present in this profile."""
+        return list(self.scores.keys())
+
+    def as_vector(
+        self, characteristics: Sequence[QualityCharacteristic] | None = None
+    ) -> tuple[float, ...]:
+        """Composite scores as a tuple, in the given characteristic order.
+
+        This is the point placed in the multidimensional quality space of
+        the scatter plot and the input of the Pareto-frontier computation.
+        """
+        selected = characteristics or self.characteristics()
+        return tuple(self.score(c) for c in selected)
+
+    def relative_changes(self, baseline: "QualityProfile") -> dict[str, float]:
+        """Per-measure relative improvement vs. a baseline profile (Fig. 5)."""
+        changes: dict[str, float] = {}
+        for name, value in self.values.items():
+            base = baseline.values.get(name)
+            if base is None:
+                continue
+            changes[name] = value.relative_change(base)
+        return changes
+
+    def characteristic_changes(
+        self, baseline: "QualityProfile"
+    ) -> dict[QualityCharacteristic, float]:
+        """Per-characteristic relative change of the composite scores vs. a baseline."""
+        changes: dict[QualityCharacteristic, float] = {}
+        for characteristic, score in self.scores.items():
+            base = baseline.scores.get(characteristic)
+            if base is None:
+                continue
+            if base == 0:
+                changes[characteristic] = 0.0 if score == 0 else 1.0
+            else:
+                changes[characteristic] = (score - base) / abs(base)
+        return changes
+
+    def dominates(
+        self,
+        other: "QualityProfile",
+        characteristics: Sequence[QualityCharacteristic] | None = None,
+    ) -> bool:
+        """Pareto dominance on composite scores (larger values preferred).
+
+        ``self`` dominates ``other`` when it is at least as good on every
+        examined characteristic and strictly better on at least one --
+        exactly the pruning rule the paper describes for the skyline shown
+        to the user.
+        """
+        selected = characteristics or self.characteristics()
+        at_least_as_good = all(self.score(c) >= other.score(c) for c in selected)
+        strictly_better = any(self.score(c) > other.score(c) for c in selected)
+        return at_least_as_good and strictly_better
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise the profile to a JSON-friendly structure."""
+        return {
+            "flow_name": self.flow_name,
+            "scores": {c.value: s for c, s in self.scores.items()},
+            "measures": {
+                name: {
+                    "value": value.value,
+                    "normalized": value.normalized,
+                    "characteristic": value.characteristic.value,
+                    "higher_is_better": value.higher_is_better,
+                    "unit": value.unit,
+                }
+                for name, value in self.values.items()
+            },
+        }

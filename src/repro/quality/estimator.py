@@ -1,0 +1,104 @@
+"""Facade combining static and trace-based measure estimation.
+
+The *Measures Estimation* stage of the POIESIS architecture (Fig. 3) takes
+an ETL flow and produces its quality measures.  :class:`QualityEstimator`
+implements that stage: it runs the runtime simulator when any requested
+measure needs traces, evaluates every measure in its registry, and folds
+the results into a :class:`~repro.quality.composite.QualityProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.etl.graph import ETLGraph
+from repro.quality.composite import QualityProfile, build_composites
+from repro.quality.framework import MeasureRegistry, MeasureValue, default_registry
+from repro.simulator.engine import ETLSimulator, SimulationConfig
+from repro.simulator.resources import ResourceModel
+from repro.simulator.traces import TraceArchive
+
+
+@dataclass
+class EstimationSettings:
+    """Settings controlling how quality profiles are estimated.
+
+    Attributes
+    ----------
+    simulation_runs:
+        Number of simulated executions used for trace-based measures.
+    seed:
+        Random seed forwarded to the simulator (estimates are deterministic
+        for a given seed).
+    resources:
+        Default execution environment for the simulations.
+    use_simulation:
+        When false, only static (structure-based) measures are evaluated;
+        useful for cheap screening of very large alternative spaces.
+    """
+
+    simulation_runs: int = 5
+    seed: int | None = 7
+    resources: ResourceModel | None = None
+    use_simulation: bool = True
+
+
+class QualityEstimator:
+    """Evaluates the quality profile of ETL flows."""
+
+    def __init__(
+        self,
+        registry: MeasureRegistry | None = None,
+        settings: EstimationSettings | None = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.settings = settings or EstimationSettings()
+        self._composites = build_composites(self.registry)
+
+    # ------------------------------------------------------------------
+
+    def simulate(self, flow: ETLGraph) -> TraceArchive:
+        """Run the simulator for one flow and return its trace archive."""
+        config = SimulationConfig(
+            runs=self.settings.simulation_runs,
+            seed=self.settings.seed,
+            resources=self.settings.resources or ResourceModel(),
+        )
+        return ETLSimulator(flow, config).run()
+
+    def evaluate(self, flow: ETLGraph, archive: TraceArchive | None = None) -> QualityProfile:
+        """Evaluate every registered measure for ``flow``.
+
+        Parameters
+        ----------
+        flow:
+            The flow to evaluate.
+        archive:
+            Optional pre-computed trace archive; when omitted and any
+            registered measure requires traces (and simulation is
+            enabled), the flow is simulated first.
+        """
+        needs_trace = any(m.requires_trace for m in self.registry)
+        if archive is None and needs_trace and self.settings.use_simulation:
+            archive = self.simulate(flow)
+
+        values: dict[str, MeasureValue] = {}
+        for measure in self.registry:
+            if measure.requires_trace and archive is None:
+                continue
+            values[measure.name] = measure.evaluate(flow, archive)
+
+        profile = QualityProfile(flow_name=flow.name, values=values)
+        for characteristic, composite in self._composites.items():
+            profile.scores[characteristic] = composite.score(values)
+        return profile
+
+    def evaluate_many(self, flows: list[ETLGraph]) -> list[QualityProfile]:
+        """Evaluate a batch of flows sequentially.
+
+        Parallel evaluation (the paper's cloud-backed concurrent
+        processing) is provided by
+        :class:`repro.core.evaluator.ParallelEvaluator`, which delegates to
+        this method per flow.
+        """
+        return [self.evaluate(flow) for flow in flows]

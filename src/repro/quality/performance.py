@@ -1,0 +1,91 @@
+"""Performance measures (Fig. 1: process cycle time, average latency per tuple)."""
+
+from __future__ import annotations
+
+from repro.etl.graph import ETLGraph
+from repro.quality.framework import Measure, QualityCharacteristic
+from repro.simulator.traces import TraceArchive
+
+
+class ProcessCycleTime(Measure):
+    """Mean end-to-end execution time of the process, in milliseconds.
+
+    Trace-based measure: the critical-path processing time plus any work
+    repeated after failures, averaged over the simulated runs.
+    """
+
+    name = "process_cycle_time_ms"
+    description = "Process cycle time"
+    characteristic = QualityCharacteristic.PERFORMANCE
+    higher_is_better = False
+    unit = "ms"
+    requires_trace = True
+    scale = 60_000.0
+    weight = 2.0
+
+    def compute(self, flow: ETLGraph, archive: TraceArchive | None = None) -> float:
+        assert archive is not None
+        return archive.mean_cycle_time_ms()
+
+
+class AverageLatencyPerTuple(Measure):
+    """Mean processing latency per extracted tuple, in milliseconds."""
+
+    name = "avg_latency_per_tuple_ms"
+    description = "Average latency per tuple"
+    characteristic = QualityCharacteristic.PERFORMANCE
+    higher_is_better = False
+    unit = "ms/tuple"
+    requires_trace = True
+    scale = 5.0
+    weight = 1.0
+
+    def compute(self, flow: ETLGraph, archive: TraceArchive | None = None) -> float:
+        assert archive is not None
+        return archive.mean_latency_per_tuple_ms()
+
+
+class Throughput(Measure):
+    """Rows delivered to the warehouse per second of cycle time."""
+
+    name = "throughput_rows_per_s"
+    description = "Loaded rows per second"
+    characteristic = QualityCharacteristic.PERFORMANCE
+    higher_is_better = True
+    unit = "rows/s"
+    requires_trace = True
+    scale = 2_000.0
+    weight = 1.0
+
+    def compute(self, flow: ETLGraph, archive: TraceArchive | None = None) -> float:
+        assert archive is not None
+        cycle_s = archive.mean_cycle_time_ms() / 1000.0
+        if cycle_s <= 0:
+            return 0.0
+        return archive.mean_rows_loaded() / cycle_s
+
+
+class TailCycleTime(Measure):
+    """95th percentile of the process cycle time across runs."""
+
+    name = "p95_cycle_time_ms"
+    description = "95th percentile process cycle time"
+    characteristic = QualityCharacteristic.PERFORMANCE
+    higher_is_better = False
+    unit = "ms"
+    requires_trace = True
+    scale = 90_000.0
+    weight = 0.5
+
+    def compute(self, flow: ETLGraph, archive: TraceArchive | None = None) -> float:
+        assert archive is not None
+        return archive.percentile_cycle_time_ms(95)
+
+
+MEASURES = (
+    ProcessCycleTime(),
+    AverageLatencyPerTuple(),
+    Throughput(),
+    TailCycleTime(),
+)
+"""Default performance measures registered by :func:`repro.quality.framework.default_registry`."""

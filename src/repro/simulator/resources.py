@@ -1,0 +1,87 @@
+"""Hardware/software resource model for the simulator.
+
+Graph-level Flow Component Patterns include "management of the quality of
+Hw/Sw resources" (Section 2.2 of the paper).  The resource model captures
+the execution environment an ETL flow is deployed on: how many workers are
+available for parallel operations, the relative speed of the machine and
+the monetary cost per hour.  Selecting a different :class:`ResourceTier`
+is exposed as a graph-level pattern and trades performance against cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ResourceTier(enum.Enum):
+    """Named resource tiers, loosely modelled after cloud instance classes."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+    XLARGE = "xlarge"
+
+
+_TIER_SPECS: dict[ResourceTier, tuple[int, float, float]] = {
+    # tier: (workers, speed multiplier, cost units per hour)
+    ResourceTier.SMALL: (2, 0.8, 1.0),
+    ResourceTier.MEDIUM: (4, 1.0, 2.2),
+    ResourceTier.LARGE: (8, 1.4, 5.0),
+    ResourceTier.XLARGE: (16, 1.9, 11.0),
+}
+
+
+@dataclass(frozen=True)
+class ResourceModel:
+    """The execution environment of a simulated ETL flow run.
+
+    Attributes
+    ----------
+    workers:
+        Number of parallel workers available to parallelised operations.
+        The effective speed-up of a ``ParallelizeTask`` instance is capped
+        by this value.
+    speed:
+        Relative CPU speed multiplier (1.0 = the reference machine used to
+        calibrate per-tuple costs).
+    cost_per_hour:
+        Monetary cost (abstract units) of running the environment for an
+        hour; feeds the cost quality characteristic.
+    memory_mb:
+        Memory available for blocking operations, in MiB.
+    """
+
+    workers: int = 4
+    speed: float = 1.0
+    cost_per_hour: float = 2.2
+    memory_mb: float = 8192.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("a resource model needs at least one worker")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.cost_per_hour < 0:
+            raise ValueError("cost_per_hour must be non-negative")
+
+    @classmethod
+    def from_tier(cls, tier: ResourceTier | str) -> "ResourceModel":
+        """Build a resource model from a named tier."""
+        if isinstance(tier, str):
+            tier = ResourceTier(tier)
+        workers, speed, cost = _TIER_SPECS[tier]
+        return cls(workers=workers, speed=speed, cost_per_hour=cost)
+
+    def effective_parallelism(self, requested: int) -> int:
+        """The degree of parallelism actually achievable for a request."""
+        return max(1, min(int(requested), self.workers))
+
+    def scale_time(self, milliseconds: float) -> float:
+        """Scale a reference-machine duration to this environment."""
+        return milliseconds / self.speed
+
+    def cost_of(self, milliseconds: float) -> float:
+        """Monetary cost of occupying the environment for ``milliseconds``."""
+        hours = milliseconds / 3_600_000.0
+        return hours * self.cost_per_hour

@@ -1,0 +1,29 @@
+"""Text-based visualisation backends.
+
+The paper's tool is a GUI with an interactive multidimensional
+scatter-plot (Fig. 4), a relative-change bar graph with drill-down
+(Fig. 5) and tabular views of the measures (Fig. 1) and the pattern
+palette (Fig. 6).  This reproduction renders the same data as plain text
+(ASCII plots and tables) and as CSV/JSON records that external plotting
+tools can consume.
+"""
+
+from repro.viz.scatter import ScatterPoint, build_scatter_data, render_ascii_scatter, scatter_to_csv
+from repro.viz.bars import build_bar_data, render_bar_chart, render_drilldown
+from repro.viz.tables import measures_table, palette_table, render_table
+from repro.viz.report import planning_report, session_report
+
+__all__ = [
+    "ScatterPoint",
+    "build_scatter_data",
+    "render_ascii_scatter",
+    "scatter_to_csv",
+    "build_bar_data",
+    "render_bar_chart",
+    "render_drilldown",
+    "measures_table",
+    "palette_table",
+    "render_table",
+    "planning_report",
+    "session_report",
+]

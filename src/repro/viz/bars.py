@@ -1,0 +1,77 @@
+"""The relative-change bar graph and its drill-down (Fig. 5).
+
+For a selected alternative flow, the tool shows one bar per quality
+characteristic giving the relative change of its composite measure against
+the initial flow; clicking a bar expands the composite measure into its
+detailed metrics.  This module renders both views as ASCII bar charts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.comparison import FlowComparison, MeasureChange
+from repro.quality.framework import QualityCharacteristic
+
+
+def build_bar_data(comparison: FlowComparison) -> list[dict[str, object]]:
+    """The bar-chart records: one row per characteristic with its relative change."""
+    rows: list[dict[str, object]] = []
+    for characteristic, change in comparison.characteristic_changes.items():
+        rows.append(
+            {
+                "characteristic": characteristic.value,
+                "relative_change": change,
+                "detail_measures": [m.measure for m in comparison.expand(characteristic)],
+            }
+        )
+    return rows
+
+
+def _bar(value: float, max_abs: float, width: int) -> str:
+    """Render one signed horizontal bar of at most ``width`` characters per side."""
+    if max_abs <= 0:
+        filled = 0
+    else:
+        filled = int(round(abs(value) / max_abs * width))
+    filled = min(filled, width)
+    if value >= 0:
+        return " " * width + "|" + "#" * filled + " " * (width - filled)
+    return " " * (width - filled) + "#" * filled + "|" + " " * width
+
+
+def render_bar_chart(comparison: FlowComparison, width: int = 25) -> str:
+    """ASCII rendering of the Fig. 5 composite bar chart."""
+    changes = comparison.characteristic_changes
+    if not changes:
+        return "(no characteristics to compare)\n"
+    max_abs = max(abs(v) for v in changes.values()) or 1.0
+    lines = [
+        f"Relative change of measures: {comparison.flow_name} vs {comparison.baseline_name}",
+        f"{'characteristic':<18} {'-':>{width}}0{'+':<{width}}   change",
+    ]
+    for characteristic, change in changes.items():
+        bar = _bar(change, max_abs, width)
+        lines.append(f"{characteristic.label:<18} {bar} {change:+7.1%}")
+    lines.append("(click a bar = render_drilldown(comparison, characteristic))")
+    return "\n".join(lines) + "\n"
+
+
+def render_drilldown(
+    comparison: FlowComparison,
+    characteristic: QualityCharacteristic,
+    width: int = 25,
+) -> str:
+    """ASCII rendering of the expanded (detailed) measures of one characteristic."""
+    details: Sequence[MeasureChange] = comparison.expand(characteristic)
+    if not details:
+        return f"(no detailed measures recorded for {characteristic.label})\n"
+    max_abs = max(abs(d.relative_improvement) for d in details) or 1.0
+    lines = [f"{characteristic.label}: detailed measures ({comparison.flow_name})"]
+    for detail in details:
+        bar = _bar(detail.relative_improvement, max_abs, width)
+        lines.append(
+            f"{detail.measure:<28} {bar} {detail.relative_improvement:+7.1%}  "
+            f"({detail.baseline_value:.3f} -> {detail.new_value:.3f} {detail.unit})"
+        )
+    return "\n".join(lines) + "\n"

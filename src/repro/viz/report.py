@@ -1,0 +1,59 @@
+"""Per-session text reports.
+
+Combines the scatter plot, the skyline listing and the measure comparison
+of the best alternatives into one plain-text report, which is what the
+examples print and what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import PlanningResult
+from repro.core.session import RedesignSession
+from repro.viz.bars import render_bar_chart
+from repro.viz.scatter import build_scatter_data, render_ascii_scatter
+
+
+def planning_report(result: PlanningResult, max_listed: int = 10) -> str:
+    """A text report of one planning run: summary, skyline and scatter plot."""
+    lines = ["=" * 72]
+    lines.append(f"Planning run on initial flow: {result.initial_flow.name}")
+    lines.append(
+        f"  operations={result.initial_flow.node_count}  "
+        f"transitions={result.initial_flow.edge_count}"
+    )
+    lines.append(
+        f"  alternatives generated: {len(result.alternatives)}   "
+        f"skyline size: {len(result.skyline_indices)}   "
+        f"discarded by constraints: {result.discarded_by_constraints}"
+    )
+    lines.append("")
+    lines.append("Skyline (Pareto-optimal alternatives):")
+    for alternative in result.skyline[:max_listed]:
+        assert alternative.profile is not None
+        scores = ", ".join(
+            f"{characteristic.label}={alternative.profile.score(characteristic):.1f}"
+            for characteristic in result.characteristics
+        )
+        lines.append(f"  - {alternative.label}: {alternative.describe()}   [{scores}]")
+    if len(result.skyline) > max_listed:
+        lines.append(f"  ... and {len(result.skyline) - max_listed} more")
+    lines.append("")
+    points = build_scatter_data(result)
+    lines.append(render_ascii_scatter(points, result.characteristics))
+    if result.skyline:
+        best = result.skyline[0]
+        lines.append(render_bar_chart(result.comparison(best)))
+    return "\n".join(lines)
+
+
+def session_report(session: RedesignSession) -> str:
+    """A text report of a whole redesign session (one block per iteration)."""
+    lines = [f"Redesign session on flow {session.initial_flow.name!r}"]
+    lines.append(f"Iterations completed: {session.iteration_count}")
+    for iteration in session.iterations:
+        lines.append("")
+        lines.append(f"--- Iteration {iteration.index} ---")
+        lines.append(planning_report(iteration.result, max_listed=5))
+        if iteration.selected is not None:
+            lines.append(f"Selected: {iteration.selected.label}  ({iteration.selected.describe()})")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,117 @@
+"""The multidimensional scatter-plot of alternative flows (Fig. 4).
+
+The scatter plot places every presented alternative in a multidimensional
+space of quality characteristics (the paper's example axes are
+performance, data quality and reliability) and only shows the Pareto
+frontier.  This module builds the underlying data records, renders a
+two-dimensional ASCII projection for terminal inspection, and exports the
+full data as CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.alternatives import AlternativeFlow
+from repro.core.planner import PlanningResult
+from repro.quality.framework import QualityCharacteristic
+
+
+@dataclass(frozen=True)
+class ScatterPoint:
+    """One point of the Fig. 4 scatter plot."""
+
+    label: str
+    scores: tuple[float, ...]
+    on_skyline: bool
+    patterns: tuple[str, ...]
+
+    def coordinate(self, index: int) -> float:
+        """Score on the ``index``-th examined characteristic."""
+        return self.scores[index]
+
+
+def build_scatter_data(result: PlanningResult) -> list[ScatterPoint]:
+    """Build the scatter points (one per presented alternative) of a planning run."""
+    characteristics = result.characteristics
+    skyline = set(result.skyline_indices)
+    points: list[ScatterPoint] = []
+    for index, alternative in enumerate(result.alternatives):
+        if alternative.profile is None:
+            continue
+        points.append(
+            ScatterPoint(
+                label=alternative.label or f"ETL Flow {index + 1}",
+                scores=alternative.profile.as_vector(characteristics),
+                on_skyline=index in skyline,
+                patterns=alternative.pattern_names,
+            )
+        )
+    return points
+
+
+def render_ascii_scatter(
+    points: Sequence[ScatterPoint],
+    characteristics: Sequence[QualityCharacteristic],
+    x_axis: int = 0,
+    y_axis: int = 1,
+    width: int = 64,
+    height: int = 20,
+    skyline_only: bool = False,
+) -> str:
+    """Render a 2-D ASCII projection of the scatter plot.
+
+    Skyline points are drawn with ``*``, dominated points with ``.``; the
+    axes are labelled with the examined characteristics.
+    """
+    if not points:
+        return "(no alternative flows to plot)\n"
+    if width < 10 or height < 5:
+        raise ValueError("the plot needs at least a 10x5 character canvas")
+    selected = [p for p in points if p.on_skyline] if skyline_only else list(points)
+    if not selected:
+        selected = list(points)
+
+    xs = [p.coordinate(x_axis) for p in selected]
+    ys = [p.coordinate(y_axis) for p in selected]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for point in selected:
+        col = int((point.coordinate(x_axis) - x_min) / x_span * (width - 1))
+        row = int((point.coordinate(y_axis) - y_min) / y_span * (height - 1))
+        marker = "*" if point.on_skyline else "."
+        canvas[height - 1 - row][col] = marker
+
+    x_label = characteristics[x_axis].label
+    y_label = characteristics[y_axis].label
+    lines = [f"{y_label} (vertical) vs {x_label} (horizontal)   [* = skyline, . = dominated]"]
+    lines.append(f"{y_max:8.2f} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 9 + "|" + "".join(row) + "|")
+    lines.append(f"{y_min:8.2f} +" + "-" * width + "+")
+    lines.append(" " * 10 + f"{x_min:<10.2f}" + " " * max(0, width - 20) + f"{x_max:>10.2f}")
+    return "\n".join(lines) + "\n"
+
+
+def scatter_to_csv(
+    points: Sequence[ScatterPoint],
+    characteristics: Sequence[QualityCharacteristic],
+) -> str:
+    """Export the scatter data as CSV (one row per alternative)."""
+    buffer = io.StringIO()
+    header = ["label", "on_skyline", "patterns"] + [c.value for c in characteristics]
+    buffer.write(",".join(header) + "\n")
+    for point in points:
+        row = [
+            point.label,
+            "1" if point.on_skyline else "0",
+            "+".join(point.patterns) or "none",
+        ] + [f"{score:.4f}" for score in point.scores]
+        buffer.write(",".join(row) + "\n")
+    return buffer.getvalue()

@@ -1,0 +1,48 @@
+"""Tabular views: the quality-measure table (Fig. 1) and the FCP palette (Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.patterns.registry import PatternRegistry
+from repro.quality.framework import MeasureRegistry, QualityCharacteristic
+
+
+def measures_table(registry: MeasureRegistry) -> list[dict[str, str]]:
+    """Rows of the Fig. 1-style table: characteristic and measure description."""
+    rows: list[dict[str, str]] = []
+    for characteristic in registry.characteristics():
+        for measure in registry.for_characteristic(characteristic):
+            rows.append(
+                {
+                    "characteristic": characteristic.label,
+                    "measure": measure.description or measure.name,
+                    "name": measure.name,
+                    "source": "trace" if measure.requires_trace else "static structure",
+                }
+            )
+    return rows
+
+
+def palette_table(palette: PatternRegistry) -> list[dict[str, str]]:
+    """Rows of the Fig. 6 table: FCP and related quality attribute."""
+    return palette.palette_table()
+
+
+def render_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render a list of mappings as a fixed-width ASCII table."""
+    if not rows:
+        return "(empty table)\n"
+    selected = list(columns) if columns else list(rows[0].keys())
+    widths = {column: len(column) for column in selected}
+    for row in rows:
+        for column in selected:
+            widths[column] = max(widths[column], len(str(row.get(column, ""))))
+    header = " | ".join(column.ljust(widths[column]) for column in selected)
+    separator = "-+-".join("-" * widths[column] for column in selected)
+    lines = [header, separator]
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in selected)
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,25 @@
+"""Benchmark ETL workloads.
+
+The paper's demonstration uses two initial ETL processes based on the
+TPC-DS and TPC-H benchmarks, containing tens of operators and extracting
+data from multiple sources (Section 4), plus the ``S_Purchases`` sub-flow
+of Fig. 2.  Since the original processes (and the systems they ran on) are
+not available, this package provides schema-faithful, laptop-scale
+re-creations of those flows, together with a parameterised random flow
+generator used by the scalability benchmarks.
+"""
+
+from repro.workloads.purchases import purchases_flow
+from repro.workloads.tpch import tpch_refresh_flow, tpch_schemas
+from repro.workloads.tpcds import tpcds_sales_flow, tpcds_schemas
+from repro.workloads.generator import RandomFlowConfig, random_flow
+
+__all__ = [
+    "purchases_flow",
+    "tpch_refresh_flow",
+    "tpch_schemas",
+    "tpcds_sales_flow",
+    "tpcds_schemas",
+    "RandomFlowConfig",
+    "random_flow",
+]

@@ -1,0 +1,180 @@
+"""Tests for processing configurations, constraints and deployment policies."""
+
+import pytest
+
+from repro.core.configuration import MeasureConstraint, ProcessingConfiguration
+from repro.core.policies import (
+    ExhaustivePolicy,
+    GoalDrivenPolicy,
+    HeuristicPolicy,
+    RandomPolicy,
+    policy_by_name,
+)
+from repro.patterns.data_quality import FilterNullValues
+from repro.patterns.performance import ParallelizeTask
+from repro.patterns.reliability import AddCheckpoint
+from repro.quality.composite import QualityProfile
+from repro.quality.framework import MeasureValue, QualityCharacteristic
+
+
+def _profile(perf=50.0, cycle=1_000.0):
+    profile = QualityProfile(flow_name="f")
+    profile.scores[QualityCharacteristic.PERFORMANCE] = perf
+    profile.values["process_cycle_time_ms"] = MeasureValue(
+        measure="process_cycle_time_ms",
+        characteristic=QualityCharacteristic.PERFORMANCE,
+        value=cycle,
+        normalized=0.5,
+        higher_is_better=False,
+    )
+    return profile
+
+
+class TestMeasureConstraint:
+    def test_measure_bounds(self):
+        constraint = MeasureConstraint("process_cycle_time_ms", max_value=2_000.0)
+        assert constraint.is_satisfied_by(_profile(cycle=1_500.0))
+        assert not constraint.is_satisfied_by(_profile(cycle=2_500.0))
+
+    def test_characteristic_bounds(self):
+        constraint = MeasureConstraint("performance", min_value=40.0)
+        assert constraint.is_satisfied_by(_profile(perf=50.0))
+        assert not constraint.is_satisfied_by(_profile(perf=30.0))
+
+    def test_unknown_target_is_not_blocking(self):
+        constraint = MeasureConstraint("unknown_measure", min_value=1.0)
+        assert constraint.is_satisfied_by(_profile())
+
+    def test_min_and_max_together(self):
+        constraint = MeasureConstraint("process_cycle_time_ms", min_value=500.0, max_value=1_500.0)
+        assert constraint.is_satisfied_by(_profile(cycle=1_000.0))
+        assert not constraint.is_satisfied_by(_profile(cycle=100.0))
+
+
+class TestProcessingConfiguration:
+    def test_defaults_are_valid(self):
+        config = ProcessingConfiguration()
+        assert config.pattern_budget == 2
+        assert config.policy == "heuristic"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pattern_budget": 0},
+            {"max_points_per_pattern": 0},
+            {"max_alternatives": 0},
+            {"simulation_runs": 0},
+            {"parallel_workers": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcessingConfiguration(**kwargs)
+
+    def test_prioritized_characteristics(self):
+        config = ProcessingConfiguration(
+            goal_priorities={
+                QualityCharacteristic.RELIABILITY: 0.2,
+                QualityCharacteristic.PERFORMANCE: 0.9,
+            }
+        )
+        assert config.prioritized_characteristics()[0] is QualityCharacteristic.PERFORMANCE
+
+    def test_prioritized_defaults_to_skyline(self):
+        config = ProcessingConfiguration()
+        assert config.prioritized_characteristics() == list(config.skyline_characteristics)
+
+    def test_satisfies_constraints(self):
+        config = ProcessingConfiguration(
+            constraints=(MeasureConstraint("performance", min_value=40.0),)
+        )
+        assert config.satisfies_constraints(_profile(perf=50.0))
+        assert not config.satisfies_constraints(_profile(perf=10.0))
+
+
+class TestPolicies:
+    def _points(self, pattern, flow):
+        return pattern.find_application_points(flow)
+
+    def test_exhaustive_keeps_all_up_to_limit(self, small_purchases):
+        pattern = FilterNullValues()
+        points = self._points(pattern, small_purchases)
+        policy = ExhaustivePolicy()
+        assert len(policy.select_points(pattern, points, small_purchases, 0)) == len(points)
+        assert len(policy.select_points(pattern, points, small_purchases, 2)) == 2
+
+    def test_exhaustive_orders_by_fitness(self, small_purchases):
+        pattern = FilterNullValues()
+        points = self._points(pattern, small_purchases)
+        selected = ExhaustivePolicy().select_points(pattern, points, small_purchases, 3)
+        fitnesses = [p.fitness for p in selected]
+        assert fitnesses == sorted(fitnesses, reverse=True)
+
+    def test_heuristic_threshold_filters(self, small_purchases):
+        pattern = AddCheckpoint()
+        points = self._points(pattern, small_purchases)
+        strict = HeuristicPolicy(fitness_threshold=0.99)
+        selected = strict.select_points(pattern, points, small_purchases, 10)
+        # never empty: at least the single best placement survives
+        assert len(selected) >= 1
+        relaxed = HeuristicPolicy(fitness_threshold=0.0)
+        assert len(relaxed.select_points(pattern, points, small_purchases, 10)) >= len(selected)
+
+    def test_heuristic_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            HeuristicPolicy(fitness_threshold=1.5)
+
+    def test_random_policy_is_seeded(self, small_purchases):
+        pattern = FilterNullValues()
+        points = self._points(pattern, small_purchases)
+        a = RandomPolicy(seed=1).select_points(pattern, points, small_purchases, 3)
+        b = RandomPolicy(seed=1).select_points(pattern, points, small_purchases, 3)
+        c = RandomPolicy(seed=2).select_points(pattern, points, small_purchases, 3)
+        assert [p.key() for p in a] == [p.key() for p in b]
+        assert len(a) == 3
+        assert {p.key() for p in a} <= {p.key() for p in points}
+        # different seed very likely differs (not guaranteed, but stable here)
+        assert [p.key() for p in a] != [p.key() for p in c]
+
+    def test_random_policy_empty_points(self, small_purchases):
+        assert RandomPolicy().select_points(FilterNullValues(), [], small_purchases, 3) == []
+
+    def test_goal_driven_prioritises_matching_patterns(self, small_purchases):
+        priorities = {QualityCharacteristic.PERFORMANCE: 1.0, QualityCharacteristic.DATA_QUALITY: 0.2}
+        policy = GoalDrivenPolicy(priorities)
+        patterns = [FilterNullValues(), ParallelizeTask(), AddCheckpoint()]
+        ordered = policy.select_patterns(patterns)
+        assert ordered[0].name == "ParallelizeTask"
+
+        perf_points = policy.select_points(
+            ParallelizeTask(), self._points(ParallelizeTask(), small_purchases),
+            small_purchases, 4,
+        )
+        dq_points = policy.select_points(
+            FilterNullValues(), self._points(FilterNullValues(), small_purchases),
+            small_purchases, 4,
+        )
+        reliability_points = policy.select_points(
+            AddCheckpoint(), self._points(AddCheckpoint(), small_purchases),
+            small_purchases, 4,
+        )
+        assert len(perf_points) >= len(dq_points)
+        # reliability has priority 0 -> no points granted
+        assert reliability_points == []
+
+    def test_goal_driven_requires_priorities(self):
+        with pytest.raises(ValueError):
+            GoalDrivenPolicy({})
+
+    def test_policy_by_name(self):
+        assert isinstance(policy_by_name("exhaustive"), ExhaustivePolicy)
+        assert isinstance(policy_by_name("heuristic"), HeuristicPolicy)
+        assert isinstance(policy_by_name("random"), RandomPolicy)
+        assert isinstance(
+            policy_by_name("goal_driven", priorities={QualityCharacteristic.PERFORMANCE: 1.0}),
+            GoalDrivenPolicy,
+        )
+        with pytest.raises(ValueError):
+            policy_by_name("goal_driven")
+        with pytest.raises(ValueError):
+            policy_by_name("unknown")

@@ -1,0 +1,136 @@
+"""Unit tests for the fluent flow builder."""
+
+import pytest
+
+from repro.etl.builder import FlowBuilder
+from repro.etl.operations import OperationKind
+from repro.etl.schema import DataType, Field, Schema
+from repro.etl.validation import ValidationError
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.of(
+        Field("id", DataType.INTEGER, nullable=False, key=True),
+        Field("value", DataType.DECIMAL),
+        Field("label", DataType.STRING),
+    )
+
+
+class TestLinearConstruction:
+    def test_chaining_uses_previous_operation(self, schema):
+        builder = FlowBuilder("chain")
+        builder.extract_table("src", schema=schema, rows=10)
+        builder.filter("flt", predicate="value > 0")
+        builder.load_table("sink")
+        flow = builder.build()
+        assert flow.has_edge(flow.sources()[0].op_id, flow.operations()[1].op_id)
+        assert flow.node_count == 3
+        assert flow.edge_count == 2
+
+    def test_explicit_after(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_table("src", schema=schema, rows=10)
+        flt = builder.filter("flt", predicate="p", after=src)
+        der = builder.derive("der", after=src)
+        builder.load_table("sink_a", after=flt)
+        builder.load_table("sink_b", after=der)
+        flow = builder.build()
+        assert flow.out_degree(src.op_id) == 2
+
+    def test_schema_propagates_from_predecessor(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_table("src", schema=schema, rows=10)
+        flt = builder.filter("flt", predicate="p", after=src)
+        assert flt.output_schema == schema
+
+    def test_project_narrows_schema(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        projected = builder.project("proj", keep=["id", "value"])
+        assert projected.output_schema.names == ("id", "value")
+
+    def test_join_merges_schemas(self, schema):
+        builder = FlowBuilder()
+        a = builder.extract_table("a", schema=schema, rows=10)
+        b = builder.extract_table("b", schema=schema, rows=10)
+        join = builder.join("j", a, b, on=["id"])
+        builder.load_table("sink", after=join)
+        assert len(join.output_schema) == 2 * len(schema)
+        assert builder.build().merge_element_count() == 1
+
+
+class TestOperationConfiguration:
+    def test_extract_properties(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_table(
+            "src", schema=schema, rows=123, null_rate=0.1, duplicate_rate=0.05,
+            error_rate=0.02, freshness_lag=15.0, update_frequency=4.0,
+        )
+        assert src.config["rows"] == 123
+        assert src.properties.null_rate == pytest.approx(0.1)
+        assert src.properties.freshness_lag == pytest.approx(15.0)
+        assert src.kind is OperationKind.EXTRACT_TABLE
+
+    def test_extract_file_defaults_path(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_file("raw", schema=schema, rows=5)
+        assert src.config["path"] == "raw.csv"
+
+    def test_filter_selectivity(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        flt = builder.filter("flt", predicate="value > 0", selectivity=0.25)
+        assert flt.properties.selectivity == pytest.approx(0.25)
+        assert flt.config["predicate"] == "value > 0"
+
+    def test_aggregate_is_blocking_with_fixed_cost(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        agg = builder.aggregate("agg", group_by=["label"], selectivity=0.2)
+        assert agg.kind.is_blocking
+        assert agg.properties.fixed_cost > 0
+
+    def test_partition_and_split(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        part = builder.partition("part", key="id", partitions=3)
+        assert part.config["partitions"] == 3
+        assert part.kind.is_router
+
+    def test_lookup_and_surrogate_key(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        lk = builder.lookup("lk", reference="dim", on=["id"], error_rate=0.01)
+        sk = builder.surrogate_key("sk", key_field="surrogate")
+        assert lk.config["reference"] == "dim"
+        assert sk.config["key_field"] == "surrogate"
+
+    def test_load_table_defaults_table_name(self, schema):
+        builder = FlowBuilder()
+        builder.extract_table("src", schema=schema, rows=10)
+        sink = builder.load_table("load_fact")
+        assert sink.config["table"] == "load_fact"
+
+
+class TestBuildValidation:
+    def test_build_validates_by_default(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_table("src", schema=schema, rows=10)
+        builder.extract_table("orphan", schema=schema, rows=10)
+        builder.load_table("sink", after=src)
+        with pytest.raises(ValidationError):
+            builder.build()
+
+    def test_build_can_skip_validation(self, schema):
+        builder = FlowBuilder()
+        src = builder.extract_table("src", schema=schema, rows=10)
+        builder.extract_table("orphan", schema=schema, rows=10)
+        builder.load_table("sink", after=src)
+        flow = builder.build(validate=False)
+        assert flow.node_count == 3
+
+    def test_flow_property_returns_live_reference(self, schema):
+        builder = FlowBuilder("live")
+        builder.extract_table("src", schema=schema, rows=10)
+        assert builder.flow.node_count == 1

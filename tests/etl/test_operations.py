@@ -1,0 +1,153 @@
+"""Unit tests for the operation taxonomy."""
+
+import pytest
+
+from repro.etl.operations import Operation, OperationCategory, OperationKind
+from repro.etl.properties import OperationProperties
+from repro.etl.schema import DataType, Field, Schema
+
+
+class TestOperationKind:
+    def test_every_kind_has_a_category(self):
+        for kind in OperationKind:
+            assert isinstance(kind.category, OperationCategory)
+
+    def test_source_kinds(self):
+        assert OperationKind.EXTRACT_TABLE.is_source
+        assert OperationKind.EXTRACT_FILE.is_source
+        assert not OperationKind.FILTER.is_source
+
+    def test_sink_kinds(self):
+        assert OperationKind.LOAD_TABLE.is_sink
+        assert OperationKind.LOAD_FILE.is_sink
+        assert not OperationKind.DERIVE.is_sink
+
+    def test_blocking_kinds(self):
+        assert OperationKind.SORT.is_blocking
+        assert OperationKind.AGGREGATE.is_blocking
+        assert not OperationKind.FILTER.is_blocking
+
+    def test_router_kinds(self):
+        assert OperationKind.SPLIT.is_router
+        assert OperationKind.PARTITION.is_router
+        assert not OperationKind.JOIN.is_router
+
+    def test_merger_kinds(self):
+        assert OperationKind.JOIN.is_merger
+        assert OperationKind.MERGE.is_merger
+        assert OperationKind.UNION.is_merger
+        assert not OperationKind.SPLIT.is_merger
+
+    def test_data_quality_category(self):
+        assert OperationKind.DEDUPLICATE.category is OperationCategory.DATA_QUALITY
+        assert OperationKind.FILTER_NULLS.category is OperationCategory.DATA_QUALITY
+        assert OperationKind.CHECKPOINT.category is OperationCategory.CONTROL
+
+
+class TestOperation:
+    def test_generated_identifiers_are_unique(self):
+        a = Operation(OperationKind.FILTER)
+        b = Operation(OperationKind.FILTER)
+        assert a.op_id != b.op_id
+        assert a.op_id.startswith("filter_")
+
+    def test_name_defaults_to_id(self):
+        op = Operation(OperationKind.DERIVE)
+        assert op.name == op.op_id
+
+    def test_explicit_identifiers_are_kept(self):
+        op = Operation(OperationKind.FILTER, name="my filter", op_id="f1")
+        assert op.op_id == "f1"
+        assert op.name == "my filter"
+
+    def test_category_and_flags_delegate_to_kind(self):
+        op = Operation(OperationKind.EXTRACT_TABLE)
+        assert op.is_source
+        assert not op.is_sink
+        assert op.category is OperationCategory.EXTRACTION
+
+    def test_parallelism_defaults_to_one(self):
+        op = Operation(OperationKind.DERIVE)
+        assert op.parallelism == 1
+        op.config["parallelism"] = 8
+        assert op.parallelism == 8
+
+    def test_copy_is_independent(self):
+        op = Operation(
+            OperationKind.FILTER,
+            config={"predicate": "x > 1"},
+            properties=OperationProperties(selectivity=0.4),
+        )
+        clone = op.copy()
+        clone.config["predicate"] = "changed"
+        clone.properties.selectivity = 0.9
+        assert op.config["predicate"] == "x > 1"
+        assert op.properties.selectivity == 0.4
+
+    def test_copy_with_overrides(self):
+        op = Operation(OperationKind.FILTER, name="original")
+        clone = op.copy(name="renamed")
+        assert clone.name == "renamed"
+        assert clone.kind is OperationKind.FILTER
+
+    def test_round_trip_serialisation(self):
+        schema = Schema.of(Field("id", DataType.INTEGER, nullable=False, key=True))
+        op = Operation(
+            OperationKind.AGGREGATE,
+            name="agg",
+            op_id="agg_1",
+            output_schema=schema,
+            config={"group_by": ["id"]},
+            properties=OperationProperties(cost_per_tuple=0.2, selectivity=0.1),
+        )
+        restored = Operation.from_dict(op.to_dict())
+        assert restored.op_id == "agg_1"
+        assert restored.kind is OperationKind.AGGREGATE
+        assert restored.output_schema == schema
+        assert restored.config == {"group_by": ["id"]}
+        assert restored.properties.cost_per_tuple == pytest.approx(0.2)
+        assert restored.properties.selectivity == pytest.approx(0.1)
+
+
+class TestOperationProperties:
+    def test_defaults_are_sane(self):
+        props = OperationProperties()
+        assert props.selectivity == 1.0
+        assert props.failure_rate == 0.0
+
+    @pytest.mark.parametrize("field", ["error_rate", "null_rate", "duplicate_rate", "failure_rate"])
+    def test_rates_must_be_probabilities(self, field):
+        with pytest.raises(ValueError):
+            OperationProperties(**{field: 1.5})
+        with pytest.raises(ValueError):
+            OperationProperties(**{field: -0.1})
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            OperationProperties(cost_per_tuple=-1.0)
+        with pytest.raises(ValueError):
+            OperationProperties(fixed_cost=-1.0)
+        with pytest.raises(ValueError):
+            OperationProperties(selectivity=-0.1)
+
+    def test_copy_is_independent(self):
+        props = OperationProperties(extra={"note": "x"})
+        clone = props.copy()
+        clone.extra["note"] = "changed"
+        clone.cost_per_tuple = 99.0
+        assert props.extra["note"] == "x"
+        assert props.cost_per_tuple != 99.0
+
+    def test_round_trip_serialisation(self):
+        props = OperationProperties(
+            cost_per_tuple=0.5, selectivity=0.3, failure_rate=0.1, extra={"k": 1}
+        )
+        restored = OperationProperties.from_dict(props.to_dict())
+        assert restored.cost_per_tuple == pytest.approx(0.5)
+        assert restored.selectivity == pytest.approx(0.3)
+        assert restored.failure_rate == pytest.approx(0.1)
+        assert restored.extra == {"k": 1}
+
+    def test_from_dict_ignores_unknown_keys(self):
+        restored = OperationProperties.from_dict({"cost_per_tuple": 0.2, "bogus": 1})
+        assert restored.cost_per_tuple == pytest.approx(0.2)

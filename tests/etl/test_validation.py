@@ -1,0 +1,158 @@
+"""Unit tests for flow validation."""
+
+import pytest
+
+from repro.etl.graph import ETLGraph
+from repro.etl.operations import Operation, OperationKind
+from repro.etl.schema import DataType, Field, Schema
+from repro.etl.validation import (
+    Severity,
+    ValidationError,
+    is_valid,
+    validate_flow,
+)
+
+
+def _schema() -> Schema:
+    return Schema.of(Field("id", DataType.INTEGER, nullable=False, key=True))
+
+
+def _flow(*ops_and_edges) -> ETLGraph:
+    flow = ETLGraph("t")
+    for op in ops_and_edges[0]:
+        flow.add_operation(op)
+    for edge in ops_and_edges[1]:
+        flow.add_edge(*edge)
+    return flow
+
+
+def _op(kind, op_id):
+    return Operation(kind, op_id=op_id, output_schema=_schema())
+
+
+class TestStructuralChecks:
+    def test_empty_flow_is_an_error(self):
+        issues = validate_flow(ETLGraph("empty"))
+        assert any(i.code == "EMPTY_FLOW" for i in issues)
+        assert not is_valid(ETLGraph("empty"))
+
+    def test_valid_linear_flow(self, linear_flow):
+        assert is_valid(linear_flow)
+        assert validate_flow(linear_flow) == []
+
+    def test_disconnected_flow(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.LOAD_TABLE, "b"),
+                _op(OperationKind.EXTRACT_TABLE, "c"),
+                _op(OperationKind.LOAD_TABLE, "d"),
+            ],
+            [("a", "b"), ("c", "d")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        assert "DISCONNECTED" in codes
+
+    def test_isolated_operation(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.LOAD_TABLE, "b"),
+                _op(OperationKind.FILTER, "floating"),
+            ],
+            [("a", "b")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        assert "ISOLATED_OPERATION" in codes
+
+    def test_missing_source_and_sink(self):
+        flow = _flow(
+            [_op(OperationKind.FILTER, "f"), _op(OperationKind.DERIVE, "d")],
+            [("f", "d")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        # f has no incoming edge so it is an entry point, but not an extraction.
+        assert "NON_EXTRACT_SOURCE" in codes
+        assert "NON_LOAD_SINK" in codes
+
+    def test_raise_on_error(self):
+        with pytest.raises(ValidationError):
+            validate_flow(ETLGraph("empty"), raise_on_error=True)
+
+    def test_warnings_do_not_raise(self):
+        flow = _flow(
+            [_op(OperationKind.EXTRACT_TABLE, "a"), _op(OperationKind.DERIVE, "d")],
+            [("a", "d")],
+        )
+        issues = validate_flow(flow, raise_on_error=True)
+        assert all(i.severity is Severity.WARNING for i in issues)
+
+
+class TestArityChecks:
+    def test_source_with_input_is_error(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.EXTRACT_TABLE, "b"),
+                _op(OperationKind.LOAD_TABLE, "l"),
+            ],
+            [("a", "b"), ("b", "l")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        assert "SOURCE_WITH_INPUT" in codes
+        assert not is_valid(flow)
+
+    def test_join_needs_two_inputs(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.JOIN, "j"),
+                _op(OperationKind.LOAD_TABLE, "l"),
+            ],
+            [("a", "j"), ("j", "l")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        assert "JOIN_ARITY" in codes
+
+    def test_router_with_single_output_warns(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.SPLIT, "s"),
+                _op(OperationKind.LOAD_TABLE, "l"),
+            ],
+            [("a", "s"), ("s", "l")],
+        )
+        issues = [i for i in validate_flow(flow) if i.code == "ROUTER_ARITY"]
+        assert issues and issues[0].severity is Severity.WARNING
+
+    def test_sink_with_output_warns(self):
+        flow = _flow(
+            [
+                _op(OperationKind.EXTRACT_TABLE, "a"),
+                _op(OperationKind.LOAD_TABLE, "l"),
+                _op(OperationKind.LOAD_TABLE, "l2"),
+            ],
+            [("a", "l"), ("l", "l2")],
+        )
+        codes = {i.code for i in validate_flow(flow)}
+        assert "SINK_WITH_OUTPUT" in codes
+
+
+class TestSchemaChecks:
+    def test_incompatible_edge_schema_warns(self):
+        flow = ETLGraph("t")
+        flow.add_operation(
+            Operation(OperationKind.EXTRACT_TABLE, op_id="a", output_schema=_schema())
+        )
+        flow.add_operation(
+            Operation(OperationKind.LOAD_TABLE, op_id="l", output_schema=_schema())
+        )
+        required = Schema.of(Field("missing_field", DataType.STRING))
+        flow.add_edge("a", "l", schema=required)
+        codes = {i.code for i in validate_flow(flow)}
+        assert "SCHEMA_MISMATCH" in codes
+
+    def test_issue_string_rendering(self):
+        issues = validate_flow(ETLGraph("empty"))
+        assert "EMPTY_FLOW" in str(issues[0])

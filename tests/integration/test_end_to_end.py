@@ -1,0 +1,214 @@
+"""Integration tests: the full POIESIS pipeline on the paper's workloads.
+
+These tests exercise the same paths as the demo walkthrough (Section 4):
+importing a logical model, configuring the palette and policy, generating
+and evaluating alternatives, inspecting the skyline and the measure
+comparison, selecting a design and iterating.
+"""
+
+import pytest
+
+from repro.core import (
+    MeasureConstraint,
+    Planner,
+    ProcessingConfiguration,
+    RedesignSession,
+)
+from repro.core.policies import ExhaustivePolicy
+from repro.io.xlm import flow_from_xlm, flow_to_xlm
+from repro.io.pdi import flow_from_pdi, flow_to_pdi
+from repro.patterns.registry import default_palette, figure6_palette
+from repro.quality.framework import QualityCharacteristic
+from repro.workloads import purchases_flow, tpch_refresh_flow
+
+
+@pytest.fixture(scope="module")
+def tpch_small():
+    return tpch_refresh_flow(scale=0.02)
+
+
+def _config(**overrides):
+    defaults = dict(
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=300,
+    )
+    defaults.update(overrides)
+    return ProcessingConfiguration(**defaults)
+
+
+class TestDemoPartP1:
+    """Scatter-plot interaction: skyline points, per-flow measures, drill-down."""
+
+    def test_tpch_planning_produces_skyline_with_measures(self, tpch_small):
+        planner = Planner(configuration=_config(pattern_budget=2, max_points_per_pattern=2))
+        result = planner.plan(tpch_small)
+        assert len(result.alternatives) > 50
+        assert result.skyline
+        for alternative in result.skyline:
+            profile = alternative.profile
+            assert profile is not None
+            for characteristic in result.characteristics:
+                assert 0.0 <= profile.score(characteristic) <= 100.0
+            # drill-down of a composite into detailed measures
+            details = profile.expand(QualityCharacteristic.PERFORMANCE)
+            assert details
+
+    def test_skyline_is_small_fraction_of_space(self, tpch_small):
+        planner = Planner(configuration=_config(pattern_budget=2, max_points_per_pattern=2))
+        result = planner.plan(tpch_small)
+        assert len(result.skyline) < len(result.alternatives) / 2
+
+    def test_comparison_available_for_every_alternative(self, tpch_small):
+        planner = Planner(configuration=_config())
+        result = planner.plan(tpch_small)
+        for alternative in result.alternatives:
+            comparison = result.comparison(alternative)
+            assert comparison.characteristic_changes
+
+
+class TestDemoPartP2:
+    """Configuring the processing parameters: palette restriction, policies, constraints."""
+
+    def test_palette_restriction_limits_patterns_used(self, small_purchases):
+        planner = Planner(
+            configuration=_config(pattern_names=("ParallelizeTask", "AddCheckpoint")),
+        )
+        result = planner.plan(small_purchases)
+        used = {name for alt in result.alternatives for name in alt.pattern_names}
+        assert used <= {"ParallelizeTask", "AddCheckpoint"}
+
+    def test_policy_choice_changes_the_explored_space(self, small_purchases):
+        heuristic = Planner(configuration=_config(policy="heuristic"))
+        exhaustive = Planner(
+            configuration=_config(policy="exhaustive", max_points_per_pattern=6)
+        )
+        h_result = heuristic.plan(small_purchases)
+        e_result = exhaustive.plan(small_purchases)
+        assert len(e_result.alternatives) >= len(h_result.alternatives)
+
+    def test_goal_driven_policy_focuses_on_priority(self, small_purchases):
+        config = _config(
+            policy="goal_driven",
+            goal_priorities={QualityCharacteristic.RELIABILITY: 1.0},
+        )
+        result = Planner(configuration=config).plan(small_purchases)
+        used = {name for alt in result.alternatives for name in alt.pattern_names}
+        assert "AddCheckpoint" in used
+
+    def test_constraints_prune_alternatives(self, small_purchases):
+        unconstrained = Planner(configuration=_config(pattern_budget=2)).plan(small_purchases)
+        baseline_cycle = unconstrained.baseline_profile.value("process_cycle_time_ms").value
+        constrained_config = _config(
+            pattern_budget=2,
+            constraints=(
+                MeasureConstraint("process_cycle_time_ms", max_value=baseline_cycle),
+            ),
+        )
+        constrained = Planner(configuration=constrained_config).plan(small_purchases)
+        assert constrained.discarded_by_constraints > 0
+        for alternative in constrained.alternatives:
+            assert alternative.profile.value("process_cycle_time_ms").value <= baseline_cycle
+
+
+class TestDemoPartP3:
+    """User-defined patterns joining the palette for future executions."""
+
+    def test_custom_pattern_in_full_pipeline(self, small_purchases):
+        from repro.etl.operations import OperationKind
+        from repro.patterns.custom import CustomPatternSpec
+
+        palette = default_palette()
+        palette.register_custom(
+            CustomPatternSpec(
+                name="ArchiveRawExtract",
+                description="archive raw extractions for audit",
+                operation_kind=OperationKind.LOAD_FILE,
+                improves=(QualityCharacteristic.RELIABILITY,),
+                cost_per_tuple=0.004,
+                prefer_near_sources=True,
+            )
+        )
+        planner = Planner(palette=palette, configuration=_config(pattern_budget=1))
+        result = planner.plan(small_purchases)
+        used = {name for alt in result.alternatives for name in alt.pattern_names}
+        assert "ArchiveRawExtract" in used
+
+
+class TestImportAndIterate:
+    def test_xlm_import_plan_select_iterate(self, tpch_small):
+        # import from xLM (the format the demo loads)
+        imported = flow_from_xlm(flow_to_xlm(tpch_small))
+        session = RedesignSession(imported, configuration=_config())
+        first = session.iterate()
+        assert first.result.alternatives
+        chosen = session.select_best(QualityCharacteristic.PERFORMANCE)
+        assert chosen.flow is session.current_flow
+        # second iteration starts from the improved flow and still finds options
+        second = session.iterate()
+        assert second.result.initial_flow is session.current_flow
+        assert second.result.alternatives
+
+    def test_pdi_import_is_equivalent_to_xlm_import(self, small_purchases):
+        via_xlm = flow_from_xlm(flow_to_xlm(small_purchases))
+        via_pdi = flow_from_pdi(flow_to_pdi(small_purchases))
+        planner = Planner(configuration=_config(pattern_budget=1, max_points_per_pattern=1))
+        result_xlm = planner.plan(via_xlm)
+        result_pdi = planner.plan(via_pdi)
+        assert len(result_xlm.alternatives) == len(result_pdi.alternatives)
+
+    def test_iterative_improvement_of_primary_goal(self, small_purchases):
+        session = RedesignSession(
+            small_purchases,
+            configuration=_config(pattern_budget=1, max_points_per_pattern=2),
+        )
+        initial_profile = session.current_profile
+        session.run(iterations=2)
+        final_profile = session.current_profile
+        primary = session.planner.configuration.skyline_characteristics[0]
+        assert final_profile.score(primary) >= initial_profile.score(primary)
+        assert len(session.current_flow.applied_patterns) >= 2
+
+
+class TestFigureShapes:
+    """Directional checks matching the paper's Fig. 2 narratives."""
+
+    def test_fig2a_performance_patterns_reduce_cycle_time(self):
+        flow = purchases_flow(rows_per_source=5_000)
+        planner = Planner(
+            palette=figure6_palette(),
+            configuration=_config(pattern_names=("ParallelizeTask",)),
+        )
+        result = planner.plan(flow)
+        best = result.best_for(QualityCharacteristic.PERFORMANCE)
+        comparison = result.comparison(best)
+        cycle = comparison.measure_changes["process_cycle_time_ms"]
+        assert cycle.new_value < cycle.baseline_value
+
+    def test_fig2b_reliability_pattern_improves_reliability_at_small_cost(self):
+        flow = purchases_flow(rows_per_source=5_000, failure_rate=0.3)
+        planner = Planner(
+            palette=figure6_palette(),
+            configuration=_config(pattern_names=("AddCheckpoint",), simulation_runs=5),
+        )
+        result = planner.plan(flow)
+        best = result.best_for(QualityCharacteristic.RELIABILITY)
+        comparison = result.comparison(best)
+        assert comparison.change(QualityCharacteristic.RELIABILITY) > 0
+        lost = comparison.measure_changes["mean_lost_work_ms"]
+        assert lost.new_value <= lost.baseline_value
+
+    def test_data_quality_patterns_improve_data_quality(self):
+        flow = purchases_flow(rows_per_source=5_000)
+        planner = Planner(
+            configuration=_config(
+                pattern_names=("FilterNullValues", "RemoveDuplicateEntries", "CrosscheckSources"),
+                pattern_budget=2,
+                max_points_per_pattern=2,
+            ),
+        )
+        result = planner.plan(flow)
+        best = result.best_for(QualityCharacteristic.DATA_QUALITY)
+        comparison = result.comparison(best)
+        assert comparison.change(QualityCharacteristic.DATA_QUALITY) > 0

@@ -1,0 +1,50 @@
+"""Tests for the bundled sample model documents under ``examples/data``."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import Planner, ProcessingConfiguration
+from repro.etl.validation import is_valid
+from repro.io.jsonflow import load_flow_json
+from repro.io.pdi import load_flow_pdi
+from repro.io.xlm import load_flow_xlm
+
+DATA_DIR = Path(__file__).resolve().parents[2] / "examples" / "data"
+
+
+@pytest.mark.skipif(not DATA_DIR.exists(), reason="sample documents not generated")
+class TestSampleDocuments:
+    def test_all_samples_present(self):
+        names = {path.name for path in DATA_DIR.iterdir()}
+        assert {"tpch_refresh.xlm", "s_purchases.xlm", "tpcds_sales.ktr", "s_purchases.json"} <= names
+
+    def test_xlm_samples_import_as_valid_flows(self):
+        tpch = load_flow_xlm(DATA_DIR / "tpch_refresh.xlm")
+        purchases = load_flow_xlm(DATA_DIR / "s_purchases.xlm")
+        assert is_valid(tpch)
+        assert is_valid(purchases)
+        assert tpch.node_count >= 25
+        assert purchases.node_count == 7
+
+    def test_pdi_sample_imports_as_valid_flow(self):
+        tpcds = load_flow_pdi(DATA_DIR / "tpcds_sales.ktr")
+        assert is_valid(tpcds)
+        assert tpcds.node_count >= 28
+        assert len(tpcds.sources()) >= 5
+
+    def test_json_and_xlm_purchases_documents_agree(self):
+        via_xlm = load_flow_xlm(DATA_DIR / "s_purchases.xlm")
+        via_json = load_flow_json(DATA_DIR / "s_purchases.json")
+        assert via_xlm.structurally_equal(via_json)
+
+    def test_imported_sample_is_plannable(self):
+        purchases = load_flow_xlm(DATA_DIR / "s_purchases.xlm")
+        planner = Planner(
+            configuration=ProcessingConfiguration(
+                pattern_budget=1, max_points_per_pattern=1, simulation_runs=1
+            )
+        )
+        result = planner.plan(purchases)
+        assert result.alternatives
+        assert result.skyline

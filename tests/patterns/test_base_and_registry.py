@@ -1,0 +1,176 @@
+"""Tests for the pattern framework (application points, prerequisites) and the palette."""
+
+import pytest
+
+from repro.etl.graph import ETLGraph
+from repro.patterns.base import (
+    ApplicationPoint,
+    ApplicationPointType,
+    FlowComponentPattern,
+    PatternApplication,
+    Prerequisite,
+)
+from repro.patterns.custom import CustomPatternSpec
+from repro.patterns.registry import PatternRegistry, default_palette, figure6_palette
+from repro.quality.framework import QualityCharacteristic
+
+
+class _NoopEdgePattern(FlowComponentPattern):
+    """Minimal edge pattern used to exercise the framework."""
+
+    name = "NoopEdge"
+    description = "does nothing"
+    improves = (QualityCharacteristic.MANAGEABILITY,)
+    point_type = ApplicationPointType.EDGE
+
+    def __init__(self, require_label=""):
+        self.require_label = require_label
+
+    def prerequisites(self):
+        if not self.require_label:
+            return ()
+        return (
+            Prerequisite(
+                "label_matches",
+                lambda flow, point: flow.edge(*point.edge).label == self.require_label,
+            ),
+        )
+
+    def fitness(self, flow, point):
+        return 0.9
+
+    def apply(self, flow, point):
+        new_flow = flow.copy()
+        new_flow.record_pattern(f"{self.name} @ {point.describe()}")
+        return new_flow
+
+
+class TestApplicationPoint:
+    def test_describe(self):
+        assert ApplicationPoint(ApplicationPointType.NODE, node_id="n").describe() == "node n"
+        assert (
+            ApplicationPoint(ApplicationPointType.EDGE, edge=("a", "b")).describe()
+            == "edge a->b"
+        )
+        assert ApplicationPoint(ApplicationPointType.GRAPH).describe() == "entire flow"
+
+    def test_key_ignores_fitness(self):
+        a = ApplicationPoint(ApplicationPointType.NODE, node_id="n", fitness=0.1)
+        b = ApplicationPoint(ApplicationPointType.NODE, node_id="n", fitness=0.9)
+        assert a.key() == b.key()
+
+    def test_pattern_application_describe(self):
+        app = PatternApplication("P", ApplicationPoint(ApplicationPointType.NODE, node_id="x"))
+        assert app.describe() == "P @ node x"
+
+
+class TestFindApplicationPoints:
+    def test_edge_pattern_checks_every_edge(self, linear_flow):
+        pattern = _NoopEdgePattern()
+        points = pattern.find_application_points(linear_flow)
+        assert len(points) == linear_flow.edge_count
+        assert all(p.point_type is ApplicationPointType.EDGE for p in points)
+        assert all(p.fitness == pytest.approx(0.9) for p in points)
+
+    def test_prerequisites_filter_points(self, linear_flow):
+        pattern = _NoopEdgePattern(require_label="never_matches")
+        assert pattern.find_application_points(linear_flow) == []
+
+    def test_wrong_point_type_is_never_applicable(self, linear_flow):
+        pattern = _NoopEdgePattern()
+        node_point = ApplicationPoint(ApplicationPointType.NODE, node_id="x")
+        assert not pattern.is_applicable_at(linear_flow, node_point)
+
+    def test_apply_checked_rejects_invalid_point(self, linear_flow):
+        pattern = _NoopEdgePattern(require_label="never")
+        edge = linear_flow.edges()[0]
+        point = ApplicationPoint(ApplicationPointType.EDGE, edge=(edge.source, edge.target))
+        with pytest.raises(ValueError, match="not applicable"):
+            pattern.apply_checked(linear_flow, point)
+
+    def test_apply_checked_accepts_valid_point(self, linear_flow):
+        pattern = _NoopEdgePattern()
+        edge = linear_flow.edges()[0]
+        point = ApplicationPoint(ApplicationPointType.EDGE, edge=(edge.source, edge.target))
+        new_flow = pattern.apply_checked(linear_flow, point)
+        assert new_flow.applied_patterns
+
+    def test_describe_metadata(self):
+        info = _NoopEdgePattern().describe()
+        assert info["name"] == "NoopEdge"
+        assert info["application_point"] == "edge"
+        assert info["improves"] == ["Manageability"]
+
+
+class TestPatternRegistry:
+    def test_default_palette_contains_fig6_patterns(self):
+        palette = default_palette()
+        for name in (
+            "RemoveDuplicateEntries",
+            "FilterNullValues",
+            "CrosscheckSources",
+            "ParallelizeTask",
+            "AddCheckpoint",
+        ):
+            assert name in palette
+
+    def test_default_palette_includes_graph_level_patterns(self):
+        palette = default_palette()
+        assert "EncryptDataFlow" in palette
+        assert "UpgradeResourceTier" in palette
+        smaller = default_palette(include_graph_level=False)
+        assert "EncryptDataFlow" not in smaller
+        assert len(smaller) < len(palette)
+
+    def test_figure6_palette_is_exactly_the_paper_table(self):
+        palette = figure6_palette()
+        assert sorted(palette.names()) == sorted(
+            [
+                "RemoveDuplicateEntries",
+                "FilterNullValues",
+                "CrosscheckSources",
+                "ParallelizeTask",
+                "AddCheckpoint",
+            ]
+        )
+
+    def test_palette_table_rows(self):
+        rows = figure6_palette().palette_table()
+        by_name = {row["fcp"]: row["related_quality_attribute"] for row in rows}
+        assert by_name["FilterNullValues"] == "Data Quality"
+        assert by_name["ParallelizeTask"] == "Performance"
+        assert by_name["AddCheckpoint"] == "Reliability"
+
+    def test_subset_and_unknown(self):
+        palette = default_palette()
+        subset = palette.subset(["FilterNullValues", "AddCheckpoint"])
+        assert len(subset) == 2
+        with pytest.raises(KeyError):
+            palette.subset(["DoesNotExist"])
+
+    def test_for_characteristic(self):
+        palette = default_palette()
+        names = {p.name for p in palette.for_characteristic(QualityCharacteristic.DATA_QUALITY)}
+        assert {"RemoveDuplicateEntries", "FilterNullValues", "CrosscheckSources"} <= names
+
+    def test_register_custom_pattern(self):
+        palette = PatternRegistry()
+        spec = CustomPatternSpec(name="MyCleaner", description="custom")
+        pattern = palette.register_custom(spec)
+        assert "MyCleaner" in palette
+        assert palette.get("MyCleaner") is pattern
+
+    def test_register_requires_name(self):
+        pattern = _NoopEdgePattern()
+        pattern.name = ""
+        with pytest.raises(ValueError):
+            PatternRegistry().register(pattern)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            default_palette().get("Missing")
+
+    def test_unregister(self):
+        palette = default_palette()
+        palette.unregister("FilterNullValues")
+        assert "FilterNullValues" not in palette

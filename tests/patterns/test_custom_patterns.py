@@ -1,0 +1,120 @@
+"""Tests for user-defined Flow Component Patterns (demo part P3)."""
+
+import pytest
+
+from repro.etl.operations import OperationKind
+from repro.etl.validation import is_valid
+from repro.patterns.custom import CustomEdgePattern, CustomPatternSpec
+from repro.quality.framework import QualityCharacteristic
+
+
+@pytest.fixture
+def anonymize_spec() -> CustomPatternSpec:
+    """A custom pattern that anonymises data close to the loads (security-motivated)."""
+    return CustomPatternSpec(
+        name="AnonymizeSensitiveFields",
+        description="Mask personally identifiable information",
+        operation_kind=OperationKind.CLEANSE,
+        improves=(QualityCharacteristic.SECURITY,),
+        cost_per_tuple=0.012,
+        operation_config={"fields": ["name"]},
+        prefer_near_sources=False,
+    )
+
+
+class TestCustomPatternSpec:
+    def test_round_trip_serialisation(self, anonymize_spec):
+        restored = CustomPatternSpec.from_dict(anonymize_spec.to_dict())
+        assert restored == anonymize_spec
+
+    def test_defaults(self):
+        spec = CustomPatternSpec(name="X")
+        assert spec.operation_kind is OperationKind.CLEANSE
+        assert spec.improves == (QualityCharacteristic.DATA_QUALITY,)
+
+
+class TestCustomEdgePattern:
+    def test_pattern_metadata_comes_from_spec(self, anonymize_spec):
+        pattern = CustomEdgePattern(anonymize_spec)
+        assert pattern.name == "AnonymizeSensitiveFields"
+        assert pattern.improves == (QualityCharacteristic.SECURITY,)
+
+    def test_apply_inserts_configured_operation(self, linear_flow, anonymize_spec):
+        pattern = CustomEdgePattern(anonymize_spec)
+        points = pattern.find_application_points(linear_flow)
+        assert points
+        new_flow = pattern.apply(linear_flow, points[0])
+        added = [
+            op for op in new_flow.operations()
+            if op.kind is OperationKind.CLEANSE and op.config.get("fields") == ["name"]
+        ]
+        assert len(added) == 1
+        assert added[0].properties.cost_per_tuple == pytest.approx(0.012)
+        assert is_valid(new_flow)
+
+    def test_prefer_near_sinks_heuristic(self, linear_flow, anonymize_spec):
+        pattern = CustomEdgePattern(anonymize_spec)
+        points = pattern.find_application_points(linear_flow)
+        # prefer_near_sources=False -> fitness increases with distance from sources
+        ordered = sorted(points, key=lambda p: linear_flow.distance_from_sources(p.edge[0]))
+        assert ordered[0].fitness <= ordered[-1].fitness
+
+    def test_prefer_near_sources_heuristic(self, linear_flow):
+        spec = CustomPatternSpec(name="EarlyCleanser", prefer_near_sources=True)
+        pattern = CustomEdgePattern(spec)
+        points = pattern.find_application_points(linear_flow)
+        ordered = sorted(points, key=lambda p: linear_flow.distance_from_sources(p.edge[0]))
+        assert ordered[0].fitness >= ordered[-1].fitness
+
+    def test_numeric_field_requirement(self, linear_flow):
+        spec = CustomPatternSpec(name="NeedsNumbers", requires_numeric_field=True)
+        assert CustomEdgePattern(spec).find_application_points(linear_flow)
+
+    def test_temporal_field_requirement_unsatisfied(self, linear_flow):
+        # The linear flow schema has a timestamp, so build a spec requiring
+        # something that is absent from the schema: strip temporal fields.
+        spec = CustomPatternSpec(name="NeedsDates", requires_temporal_field=True)
+        pattern = CustomEdgePattern(spec)
+        assert pattern.find_application_points(linear_flow)  # timestamp present
+
+        from repro.etl.builder import FlowBuilder
+        from repro.etl.schema import DataType, Field, Schema
+
+        builder = FlowBuilder("no_dates")
+        builder.extract_table(
+            "src",
+            schema=Schema.of(Field("id", DataType.INTEGER, nullable=False, key=True)),
+            rows=10,
+        )
+        builder.load_table("load")
+        flow = builder.build()
+        assert pattern.find_application_points(flow) == []
+
+    def test_nullable_field_requirement(self, linear_flow):
+        spec = CustomPatternSpec(name="NeedsNullable", requires_nullable_field=True)
+        assert CustomEdgePattern(spec).find_application_points(linear_flow)
+
+    def test_not_applicable_next_to_same_operation(self, linear_flow):
+        spec = CustomPatternSpec(name="OnceOnly", operation_kind=OperationKind.CLEANSE)
+        pattern = CustomEdgePattern(spec)
+        point = pattern.find_application_points(linear_flow)[0]
+        once = pattern.apply(linear_flow, point)
+        cleanse_ids = {op.op_id for op in once.operations_of_kind(OperationKind.CLEANSE)}
+        for p in pattern.find_application_points(once):
+            assert not (set(p.edge) & cleanse_ids)
+
+    def test_custom_pattern_usable_by_planner(self, linear_flow, anonymize_spec):
+        from repro.core import Planner, ProcessingConfiguration
+        from repro.patterns.registry import PatternRegistry
+
+        palette = PatternRegistry()
+        palette.register_custom(anonymize_spec)
+        planner = Planner(
+            palette=palette,
+            configuration=ProcessingConfiguration(pattern_budget=1, simulation_runs=1),
+        )
+        result = planner.plan(linear_flow)
+        assert result.alternatives
+        assert all(
+            alt.pattern_names == ("AnonymizeSensitiveFields",) for alt in result.alternatives
+        )

@@ -1,0 +1,182 @@
+"""Unit tests for the quality measurement framework."""
+
+import math
+
+import pytest
+
+from repro.etl.graph import ETLGraph
+from repro.quality.framework import (
+    Measure,
+    MeasureRegistry,
+    MeasureValue,
+    QualityCharacteristic,
+    default_registry,
+)
+
+
+class _StaticMeasure(Measure):
+    name = "static_test_measure"
+    description = "a test measure"
+    characteristic = QualityCharacteristic.MANAGEABILITY
+    higher_is_better = False
+    scale = 10.0
+
+    def compute(self, flow, archive=None):
+        return float(flow.node_count)
+
+
+class _TraceMeasure(Measure):
+    name = "trace_test_measure"
+    characteristic = QualityCharacteristic.PERFORMANCE
+    requires_trace = True
+    higher_is_better = True
+    scale = 100.0
+
+    def compute(self, flow, archive=None):
+        return 42.0
+
+
+class TestQualityCharacteristic:
+    def test_labels(self):
+        assert QualityCharacteristic.DATA_QUALITY.label == "Data Quality"
+        assert QualityCharacteristic.PERFORMANCE.label == "Performance"
+
+    def test_all_six_characteristics_exist(self):
+        assert len(QualityCharacteristic) == 6
+
+
+class TestMeasure:
+    def test_default_normalisation_lower_is_better(self):
+        measure = _StaticMeasure()
+        # value 0 -> perfect (1.0), large value -> towards 0
+        assert measure.normalize(0.0) == pytest.approx(1.0)
+        assert measure.normalize(1000.0) < 0.01
+        assert measure.normalize(measure.scale) == pytest.approx(math.exp(-1))
+
+    def test_default_normalisation_higher_is_better(self):
+        measure = _TraceMeasure()
+        assert measure.normalize(0.0) == pytest.approx(0.0)
+        assert measure.normalize(1e9) == pytest.approx(1.0)
+
+    def test_evaluate_produces_measure_value(self, linear_flow):
+        value = _StaticMeasure().evaluate(linear_flow)
+        assert isinstance(value, MeasureValue)
+        assert value.value == float(linear_flow.node_count)
+        assert 0.0 <= value.normalized <= 1.0
+        assert value.characteristic is QualityCharacteristic.MANAGEABILITY
+
+    def test_trace_measure_requires_archive(self, linear_flow):
+        with pytest.raises(ValueError, match="requires"):
+            _TraceMeasure().evaluate(linear_flow, archive=None)
+
+    def test_non_positive_scale_rejected(self, linear_flow):
+        measure = _StaticMeasure()
+        measure.scale = 0.0
+        with pytest.raises(ValueError):
+            measure.normalize(1.0)
+
+
+class TestMeasureValue:
+    def _value(self, name="m", value=10.0, higher=False):
+        return MeasureValue(
+            measure=name,
+            characteristic=QualityCharacteristic.PERFORMANCE,
+            value=value,
+            normalized=0.5,
+            higher_is_better=higher,
+        )
+
+    def test_relative_change_lower_is_better(self):
+        baseline = self._value(value=100.0)
+        improved = self._value(value=50.0)
+        # halving a lower-is-better measure is a +50% improvement
+        assert improved.relative_change(baseline) == pytest.approx(0.5)
+
+    def test_relative_change_higher_is_better(self):
+        baseline = self._value(value=100.0, higher=True)
+        improved = self._value(value=150.0, higher=True)
+        assert improved.relative_change(baseline) == pytest.approx(0.5)
+
+    def test_relative_change_degradation_is_negative(self):
+        baseline = self._value(value=100.0)
+        worse = self._value(value=130.0)
+        assert worse.relative_change(baseline) == pytest.approx(-0.3)
+
+    def test_relative_change_zero_baseline(self):
+        baseline = self._value(value=0.0)
+        same = self._value(value=0.0)
+        worse = self._value(value=5.0)
+        assert same.relative_change(baseline) == 0.0
+        assert worse.relative_change(baseline) == -1.0
+
+    def test_relative_change_requires_same_measure(self):
+        with pytest.raises(ValueError):
+            self._value(name="a").relative_change(self._value(name="b"))
+
+
+class TestMeasureRegistry:
+    def test_register_and_get(self):
+        registry = MeasureRegistry([_StaticMeasure()])
+        assert "static_test_measure" in registry
+        assert registry.get("static_test_measure").name == "static_test_measure"
+        assert len(registry) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MeasureRegistry().get("nope")
+
+    def test_unnamed_measure_rejected(self):
+        bad = _StaticMeasure()
+        bad.name = ""
+        with pytest.raises(ValueError):
+            MeasureRegistry().register(bad)
+
+    def test_unregister(self):
+        registry = MeasureRegistry([_StaticMeasure()])
+        registry.unregister("static_test_measure")
+        assert len(registry) == 0
+
+    def test_for_characteristic(self):
+        registry = MeasureRegistry([_StaticMeasure(), _TraceMeasure()])
+        perf = registry.for_characteristic(QualityCharacteristic.PERFORMANCE)
+        assert [m.name for m in perf] == ["trace_test_measure"]
+
+    def test_characteristics_listing(self):
+        registry = MeasureRegistry([_StaticMeasure(), _TraceMeasure()])
+        assert set(registry.characteristics()) == {
+            QualityCharacteristic.MANAGEABILITY,
+            QualityCharacteristic.PERFORMANCE,
+        }
+
+
+class TestDefaultRegistry:
+    def test_contains_fig1_measures(self):
+        registry = default_registry()
+        # Fig. 1 names the cycle time, latency, freshness and the three
+        # manageability measures; all must be present.
+        for name in (
+            "process_cycle_time_ms",
+            "avg_latency_per_tuple_ms",
+            "freshness_age_minutes",
+            "freshness_score",
+            "longest_path_length",
+            "coupling",
+            "merge_element_count",
+        ):
+            assert name in registry
+
+    def test_covers_five_characteristics(self):
+        registry = default_registry()
+        covered = set(registry.characteristics())
+        assert QualityCharacteristic.PERFORMANCE in covered
+        assert QualityCharacteristic.DATA_QUALITY in covered
+        assert QualityCharacteristic.RELIABILITY in covered
+        assert QualityCharacteristic.MANAGEABILITY in covered
+        assert QualityCharacteristic.COST in covered
+
+    def test_every_measure_has_description_and_unique_name(self):
+        registry = default_registry()
+        names = registry.names()
+        assert len(names) == len(set(names))
+        for measure in registry:
+            assert measure.description

@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic data generator and source profiles."""
+
+import pytest
+
+from repro.etl.operations import Operation, OperationKind
+from repro.etl.properties import OperationProperties
+from repro.simulator.datagen import SourceProfile, SyntheticDataGenerator
+
+
+class TestSourceProfile:
+    def test_defaults(self):
+        profile = SourceProfile()
+        assert profile.rows == 1000
+        assert profile.null_rate == 0.0
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError):
+            SourceProfile(null_rate=1.5)
+        with pytest.raises(ValueError):
+            SourceProfile(rows=-1)
+
+    def test_from_operation(self):
+        op = Operation(
+            OperationKind.EXTRACT_TABLE,
+            config={"rows": 321},
+            properties=OperationProperties(
+                null_rate=0.1, duplicate_rate=0.05, error_rate=0.02,
+                freshness_lag=15.0, update_frequency=4.0,
+            ),
+        )
+        profile = SourceProfile.from_operation(op)
+        assert profile.rows == 321
+        assert profile.null_rate == pytest.approx(0.1)
+        assert profile.update_frequency_per_day == pytest.approx(4.0)
+
+
+class TestSyntheticDataGenerator:
+    def test_deterministic_for_same_seed(self):
+        profile = SourceProfile(rows=10_000, null_rate=0.1, duplicate_rate=0.05, error_rate=0.02)
+        a = SyntheticDataGenerator(seed=42).sample(profile)
+        b = SyntheticDataGenerator(seed=42).sample(profile)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        profile = SourceProfile(rows=10_000, null_rate=0.1)
+        a = SyntheticDataGenerator(seed=1).sample(profile)
+        b = SyntheticDataGenerator(seed=2).sample(profile)
+        assert a != b
+
+    def test_sampled_volumes_respect_jitter(self):
+        profile = SourceProfile(rows=10_000)
+        generator = SyntheticDataGenerator(seed=5, jitter=0.1)
+        for _ in range(20):
+            sample = generator.sample(profile)
+            assert 9_000 <= sample["rows"] <= 11_000
+
+    def test_defect_counts_bounded_by_rows(self):
+        profile = SourceProfile(rows=5_000, null_rate=0.5, duplicate_rate=0.5, error_rate=0.5)
+        generator = SyntheticDataGenerator(seed=9)
+        sample = generator.sample(profile)
+        for key in ("null_rows", "duplicate_rows", "error_rows"):
+            assert 0 <= sample[key] <= sample["rows"]
+
+    def test_zero_rows(self):
+        sample = SyntheticDataGenerator(seed=1).sample(SourceProfile(rows=0))
+        assert sample["rows"] == 0
+        assert sample["null_rows"] == 0
+
+    def test_extreme_rates(self):
+        profile = SourceProfile(rows=100, null_rate=1.0, error_rate=0.0)
+        sample = SyntheticDataGenerator(seed=1, jitter=0.0).sample(profile)
+        assert sample["null_rows"] == sample["rows"]
+        assert sample["error_rows"] == 0
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticDataGenerator(jitter=1.0)
+
+    def test_uniform_and_random_within_bounds(self):
+        generator = SyntheticDataGenerator(seed=3)
+        assert 2.0 <= generator.uniform(2.0, 5.0) <= 5.0
+        assert 0.0 <= generator.random() < 1.0

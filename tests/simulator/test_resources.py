@@ -1,0 +1,52 @@
+"""Unit tests for the resource model."""
+
+import pytest
+
+from repro.simulator.resources import ResourceModel, ResourceTier
+
+
+class TestResourceModel:
+    def test_defaults(self):
+        model = ResourceModel()
+        assert model.workers == 4
+        assert model.speed == 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceModel(workers=0)
+        with pytest.raises(ValueError):
+            ResourceModel(speed=0.0)
+        with pytest.raises(ValueError):
+            ResourceModel(cost_per_hour=-1.0)
+
+    def test_from_tier(self):
+        small = ResourceModel.from_tier(ResourceTier.SMALL)
+        xlarge = ResourceModel.from_tier("xlarge")
+        assert xlarge.workers > small.workers
+        assert xlarge.speed > small.speed
+        assert xlarge.cost_per_hour > small.cost_per_hour
+
+    def test_tiers_are_ordered(self):
+        tiers = [ResourceTier.SMALL, ResourceTier.MEDIUM, ResourceTier.LARGE, ResourceTier.XLARGE]
+        models = [ResourceModel.from_tier(t) for t in tiers]
+        workers = [m.workers for m in models]
+        costs = [m.cost_per_hour for m in models]
+        assert workers == sorted(workers)
+        assert costs == sorted(costs)
+
+    def test_effective_parallelism_capped_by_workers(self):
+        model = ResourceModel(workers=4)
+        assert model.effective_parallelism(1) == 1
+        assert model.effective_parallelism(3) == 3
+        assert model.effective_parallelism(100) == 4
+        assert model.effective_parallelism(0) == 1
+
+    def test_scale_time(self):
+        fast = ResourceModel(speed=2.0)
+        assert fast.scale_time(100.0) == pytest.approx(50.0)
+
+    def test_cost_of(self):
+        model = ResourceModel(cost_per_hour=3.6)
+        # one hour of occupation costs cost_per_hour
+        assert model.cost_of(3_600_000.0) == pytest.approx(3.6)
+        assert model.cost_of(0.0) == 0.0

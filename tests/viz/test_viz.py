@@ -1,0 +1,146 @@
+"""Tests for the text-based visualisation backends (Figs. 1, 4, 5, 6)."""
+
+import pytest
+
+from repro.core import Planner, ProcessingConfiguration
+from repro.core.session import RedesignSession
+from repro.patterns.registry import figure6_palette
+from repro.quality.framework import QualityCharacteristic, default_registry
+from repro.viz.bars import build_bar_data, render_bar_chart, render_drilldown
+from repro.viz.report import planning_report, session_report
+from repro.viz.scatter import build_scatter_data, render_ascii_scatter, scatter_to_csv
+from repro.viz.tables import measures_table, palette_table, render_table
+
+
+@pytest.fixture(scope="module")
+def planning_result():
+    from repro.workloads import purchases_flow
+
+    planner = Planner(
+        configuration=ProcessingConfiguration(
+            pattern_budget=1, max_points_per_pattern=2, simulation_runs=1
+        )
+    )
+    return planner.plan(purchases_flow(rows_per_source=1_000))
+
+
+class TestScatter:
+    def test_one_point_per_alternative(self, planning_result):
+        points = build_scatter_data(planning_result)
+        assert len(points) == len(planning_result.alternatives)
+        assert sum(1 for p in points if p.on_skyline) == len(planning_result.skyline_indices)
+        for point in points:
+            assert len(point.scores) == len(planning_result.characteristics)
+
+    def test_ascii_plot_contains_markers_and_labels(self, planning_result):
+        points = build_scatter_data(planning_result)
+        text = render_ascii_scatter(points, planning_result.characteristics)
+        assert "*" in text
+        assert "Performance" in text
+        assert text.endswith("\n")
+
+    def test_ascii_plot_skyline_only(self, planning_result):
+        points = build_scatter_data(planning_result)
+        text = render_ascii_scatter(points, planning_result.characteristics, skyline_only=True)
+        canvas_rows = [line for line in text.splitlines() if line.strip().startswith("|")]
+        assert canvas_rows
+        assert all("." not in row for row in canvas_rows)  # no dominated markers plotted
+
+    def test_ascii_plot_empty(self):
+        assert "no alternative flows" in render_ascii_scatter([], ())
+
+    def test_ascii_plot_small_canvas_rejected(self, planning_result):
+        points = build_scatter_data(planning_result)
+        with pytest.raises(ValueError):
+            render_ascii_scatter(points, planning_result.characteristics, width=5, height=2)
+
+    def test_csv_export(self, planning_result):
+        points = build_scatter_data(planning_result)
+        csv = scatter_to_csv(points, planning_result.characteristics)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("label,on_skyline,patterns")
+        assert len(lines) == len(points) + 1
+        assert "performance" in lines[0]
+
+
+class TestBars:
+    def test_bar_data_per_characteristic(self, planning_result):
+        comparison = planning_result.comparison(planning_result.skyline[0])
+        rows = build_bar_data(comparison)
+        assert {row["characteristic"] for row in rows} == {
+            c.value for c in comparison.characteristic_changes
+        }
+        for row in rows:
+            assert isinstance(row["relative_change"], float)
+            assert isinstance(row["detail_measures"], list)
+
+    def test_render_bar_chart(self, planning_result):
+        comparison = planning_result.comparison(planning_result.skyline[0])
+        text = render_bar_chart(comparison)
+        assert "Relative change of measures" in text
+        assert "%" in text
+        for characteristic in comparison.characteristic_changes:
+            assert characteristic.label in text
+
+    def test_render_drilldown(self, planning_result):
+        comparison = planning_result.comparison(planning_result.skyline[0])
+        text = render_drilldown(comparison, QualityCharacteristic.PERFORMANCE)
+        assert "process_cycle_time_ms" in text
+
+    def test_render_drilldown_empty_characteristic(self, planning_result):
+        comparison = planning_result.comparison(planning_result.skyline[0])
+        text = render_drilldown(comparison, QualityCharacteristic.SECURITY)
+        assert "no detailed measures" in text
+
+
+class TestTables:
+    def test_measures_table_matches_fig1_content(self):
+        rows = measures_table(default_registry())
+        rendered = render_table(rows, columns=["characteristic", "measure"])
+        assert "Process cycle time" in rendered
+        assert "Average latency per tuple" in rendered
+        assert "longest path" in rendered
+        assert "# of merge elements" in rendered
+
+    def test_palette_table_matches_fig6(self):
+        rows = palette_table(figure6_palette())
+        rendered = render_table(rows)
+        for name in (
+            "RemoveDuplicateEntries",
+            "FilterNullValues",
+            "CrosscheckSources",
+            "ParallelizeTask",
+            "AddCheckpoint",
+        ):
+            assert name in rendered
+        assert "Data Quality" in rendered and "Performance" in rendered and "Reliability" in rendered
+
+    def test_render_table_empty(self):
+        assert render_table([]) == "(empty table)\n"
+
+    def test_render_table_column_selection(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        rendered = render_table(rows, columns=["b"])
+        assert "a" not in rendered.splitlines()[0]
+
+
+class TestReports:
+    def test_planning_report(self, planning_result):
+        text = planning_report(planning_result)
+        assert "Planning run on initial flow" in text
+        assert "Skyline" in text
+        assert "skyline size" in text
+
+    def test_session_report(self):
+        from repro.workloads import purchases_flow
+
+        session = RedesignSession(
+            purchases_flow(rows_per_source=500),
+            configuration=ProcessingConfiguration(
+                pattern_budget=1, max_points_per_pattern=1, simulation_runs=1
+            ),
+        )
+        session.run(iterations=1)
+        text = session_report(session)
+        assert "Iteration 1" in text
+        assert "Selected:" in text

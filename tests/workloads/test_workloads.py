@@ -1,0 +1,152 @@
+"""Tests for the benchmark workloads (purchases, TPC-H, TPC-DS, generator)."""
+
+import pytest
+
+from repro.etl.operations import OperationKind
+from repro.etl.validation import is_valid, validate_flow
+from repro.simulator.engine import simulate_flow
+from repro.workloads import (
+    RandomFlowConfig,
+    purchases_flow,
+    random_flow,
+    tpcds_sales_flow,
+    tpcds_schemas,
+    tpch_refresh_flow,
+    tpch_schemas,
+)
+
+
+class TestPurchasesFlow:
+    def test_structure_matches_fig2(self):
+        flow = purchases_flow()
+        assert is_valid(flow)
+        # two purchase sources, a filter, an attribute split, the derive
+        # task and a fact load
+        sources = flow.sources()
+        assert len(sources) == 2
+        assert {op.name for op in sources} == {"S_Purchases_3", "S_Purchases_4"}
+        assert flow.operations_of_kind(OperationKind.FILTER)
+        assert flow.operations_of_kind(OperationKind.DERIVE)
+        assert len(flow.sinks()) == 1
+
+    def test_derive_dominates_cost(self):
+        flow = purchases_flow()
+        derive = flow.operations_of_kind(OperationKind.DERIVE)[0]
+        others = [
+            op.properties.cost_per_tuple
+            for op in flow.operations()
+            if op.kind is not OperationKind.DERIVE
+        ]
+        assert derive.properties.cost_per_tuple > max(others)
+        assert derive.properties.failure_rate > 0
+
+    def test_parameterisation(self):
+        flow = purchases_flow(rows_per_source=123, derive_cost_per_tuple=0.5, failure_rate=0.3)
+        sources = flow.sources()
+        assert all(op.config["rows"] == 123 for op in sources)
+        derive = flow.operations_of_kind(OperationKind.DERIVE)[0]
+        assert derive.properties.cost_per_tuple == pytest.approx(0.5)
+        assert derive.properties.failure_rate == pytest.approx(0.3)
+
+    def test_simulatable(self):
+        archive = simulate_flow(purchases_flow(rows_per_source=1_000), runs=2, seed=1)
+        assert archive.mean_cycle_time_ms() > 0
+        assert archive.mean_rows_loaded() > 0
+
+
+class TestTpchFlow:
+    def test_size_and_validity(self, tpch_flow):
+        # "tens of operators, extracting data from multiple sources"
+        assert tpch_flow.node_count >= 25
+        assert len(tpch_flow.sources()) >= 5
+        assert len(tpch_flow.sinks()) >= 4
+        assert is_valid(tpch_flow)
+
+    def test_schema_catalogue(self):
+        schemas = tpch_schemas()
+        assert {"customer", "orders", "lineitem", "part", "supplier", "nation"} <= set(schemas)
+        assert "l_extendedprice" in schemas["lineitem"]
+
+    def test_contains_typical_warehouse_operations(self, tpch_flow):
+        assert tpch_flow.operations_of_kind(OperationKind.JOIN)
+        assert tpch_flow.operations_of_kind(OperationKind.SURROGATE_KEY)
+        assert tpch_flow.operations_of_kind(OperationKind.AGGREGATE)
+        assert tpch_flow.operations_of_kind(OperationKind.LOOKUP)
+
+    def test_scale_parameter(self):
+        small = tpch_refresh_flow(scale=0.01)
+        large = tpch_refresh_flow(scale=1.0)
+        small_rows = sum(op.config["rows"] for op in small.sources())
+        large_rows = sum(op.config["rows"] for op in large.sources())
+        assert small_rows < large_rows
+        assert small.node_count == large.node_count
+
+    def test_simulatable(self, tpch_flow):
+        archive = simulate_flow(tpch_flow, runs=1, seed=2)
+        assert archive.mean_cycle_time_ms() > 0
+
+
+class TestTpcdsFlow:
+    def test_size_and_validity(self):
+        flow = tpcds_sales_flow(scale=0.05)
+        assert flow.node_count >= 28
+        assert len(flow.sources()) >= 5
+        assert is_valid(flow)
+
+    def test_schema_catalogue(self):
+        schemas = tpcds_schemas()
+        assert {"store_sales", "web_sales", "item", "customer", "store", "date_dim"} == set(schemas)
+
+    def test_two_sales_channels_union(self):
+        flow = tpcds_sales_flow(scale=0.05)
+        unions = flow.operations_of_kind(OperationKind.UNION)
+        assert any(op.name == "union_sales_channels" for op in unions)
+        assert flow.operations_of_kind(OperationKind.SLOWLY_CHANGING_DIM)
+
+    def test_simulatable(self):
+        archive = simulate_flow(tpcds_sales_flow(scale=0.02), runs=1, seed=2)
+        assert archive.mean_rows_loaded() > 0
+
+
+class TestRandomFlowGenerator:
+    def test_reproducible(self):
+        a = random_flow(RandomFlowConfig(operations=20, seed=9))
+        b = random_flow(RandomFlowConfig(operations=20, seed=9))
+        assert a.structurally_equal(b)
+
+    def test_different_seeds_differ(self):
+        a = random_flow(RandomFlowConfig(operations=20, seed=1))
+        b = random_flow(RandomFlowConfig(operations=20, seed=2))
+        assert not a.structurally_equal(b)
+
+    @pytest.mark.parametrize("operations", [10, 20, 40])
+    def test_requested_size_is_respected(self, operations):
+        flow = random_flow(RandomFlowConfig(operations=operations, sources=3, seed=5))
+        assert is_valid(flow)
+        # the generator may add a couple of structural operations
+        assert operations <= flow.node_count <= operations + 4
+
+    def test_sources_count(self):
+        flow = random_flow(RandomFlowConfig(operations=20, sources=5, seed=4))
+        assert len(flow.sources()) == 5
+
+    def test_invalid_configurations_rejected(self):
+        with pytest.raises(ValueError):
+            RandomFlowConfig(operations=2)
+        with pytest.raises(ValueError):
+            RandomFlowConfig(operations=10, sources=0)
+        with pytest.raises(ValueError):
+            RandomFlowConfig(operations=10, sources=8)
+
+    def test_generated_flows_are_simulatable_and_plannable(self):
+        from repro.core import Planner, ProcessingConfiguration
+
+        flow = random_flow(RandomFlowConfig(operations=15, sources=2, seed=7))
+        archive = simulate_flow(flow, runs=1, seed=1)
+        assert archive.mean_cycle_time_ms() > 0
+        planner = Planner(
+            configuration=ProcessingConfiguration(
+                pattern_budget=1, max_points_per_pattern=1, simulation_runs=1
+            )
+        )
+        assert planner.plan(flow).alternatives
