@@ -123,7 +123,15 @@ class AlternativeGenerator:
     # ------------------------------------------------------------------
 
     def generate(self, flow: ETLGraph) -> list[AlternativeFlow]:
-        """Produce alternative flows by combining candidate deployments.
+        """Produce every alternative flow eagerly, as a list.
+
+        Equivalent to ``list(generate_iter(flow))``; kept for callers that
+        want the full alternative space at once (reports, ablations).
+        """
+        return list(self.generate_iter(flow))
+
+    def generate_iter(self, flow: ETLGraph) -> Iterator[AlternativeFlow]:
+        """Lazily produce alternative flows by combining candidate deployments.
 
         Combinations of size 1 up to ``pattern_budget`` are enumerated in
         increasing size; each combination is applied sequentially on a copy
@@ -132,16 +140,22 @@ class AlternativeGenerator:
         combination are skipped; combinations that end up applying nothing
         new, produce an invalid flow, or duplicate an already generated
         structure are discarded.
+
+        This is a *true* generator: each alternative is built only when
+        the consumer asks for the next one, so a streaming evaluator (or a
+        benchmark slicing the space) never pays for candidates it does not
+        consume.  Labels (``ETL Flow 1``, ``ETL Flow 2``, ...) follow the
+        enumeration order and match the eager :meth:`generate` exactly.
         """
         deployments = self.candidate_deployments(flow)
         config = self.configuration
-        alternatives: list[AlternativeFlow] = []
+        produced = 0
         seen_signatures = {flow.signature()}
 
         for combo_size in range(1, config.pattern_budget + 1):
             for combo in itertools.combinations(deployments, combo_size):
-                if len(alternatives) >= config.max_alternatives:
-                    return alternatives
+                if produced >= config.max_alternatives:
+                    return
                 if not self._combination_is_reasonable(combo):
                     continue
                 alternative = self._apply_combination(flow, combo)
@@ -151,13 +165,9 @@ class AlternativeGenerator:
                 if signature in seen_signatures:
                     continue
                 seen_signatures.add(signature)
-                alternative.label = f"ETL Flow {len(alternatives) + 1}"
-                alternatives.append(alternative)
-        return alternatives
-
-    def generate_iter(self, flow: ETLGraph) -> Iterator[AlternativeFlow]:
-        """Generator variant of :meth:`generate` (used by benchmarks)."""
-        yield from self.generate(flow)
+                produced += 1
+                alternative.label = f"ETL Flow {produced}"
+                yield alternative
 
     # ------------------------------------------------------------------
 

@@ -97,6 +97,21 @@ class ProcessingConfiguration:
     parallel_workers:
         Number of workers used for concurrent measure estimation
         (the reproduction's substitute for the paper's cloud nodes).
+    screening_beam:
+        When set, planning runs in two phases: every generated candidate
+        is first scored with cheap *static-only* estimation (no
+        simulation), and only the top ``screening_beam`` survivors receive
+        the full simulated profile.  ``None`` (the default) disables
+        screening and reproduces the exhaustive single-phase behaviour.
+    eval_batch_size:
+        Upper bound on in-flight submissions while streaming candidates
+        through the parallel evaluator; generation and estimation overlap
+        within this window.
+    cache_profiles:
+        When true (the default) the planner memoizes quality profiles by
+        flow fingerprint, so structurally identical flows -- within one
+        run or across the iterations of a redesign session -- are
+        simulated only once.
     """
 
     pattern_names: tuple[str, ...] = ()
@@ -114,6 +129,9 @@ class ProcessingConfiguration:
     simulation_runs: int = 3
     seed: int = 7
     parallel_workers: int = 1
+    screening_beam: int | None = None
+    eval_batch_size: int = 16
+    cache_profiles: bool = True
 
     def __post_init__(self) -> None:
         if self.pattern_budget < 1:
@@ -126,6 +144,10 @@ class ProcessingConfiguration:
             raise ValueError("simulation_runs must be at least 1")
         if self.parallel_workers < 1:
             raise ValueError("parallel_workers must be at least 1")
+        if self.screening_beam is not None and self.screening_beam < 1:
+            raise ValueError("screening_beam must be at least 1 (or None to disable)")
+        if self.eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be at least 1")
 
     def prioritized_characteristics(self) -> list[QualityCharacteristic]:
         """Characteristics ordered by decreasing user priority."""

@@ -1,19 +1,31 @@
-"""Concurrent evaluation of alternative flows.
+"""Concurrent, streaming evaluation of alternative flows.
 
 The processing and analysis of the alternative process designs is a
 process-intensive task, mainly due to the large number of alternative
 flows that have to be concurrently evaluated; the paper offloads it to
 Amazon EC2 elastic infrastructures running in the background.  This
 reproduction substitutes a local worker pool (threads or processes from
-:mod:`concurrent.futures`), which exercises the same code path: the
-measure estimation of many alternatives dispatched to parallel workers
-while the caller stays responsive.
+:mod:`concurrent.futures`) and adds two scaling levers on top:
+
+* **Streaming** -- :meth:`ParallelEvaluator.evaluate_stream` consumes a
+  *generator* of alternatives with a bounded number of in-flight
+  submissions, so Pattern Application (generation) and Measures
+  Estimation overlap instead of running as two sequential barriers.
+  Results are yielded in input order as soon as their turn completes.
+* **Memoization** -- when the estimator carries a
+  :class:`~repro.quality.estimator.ProfileCache`, the evaluator performs
+  the cache lookups in the *parent* process before submitting work, and
+  inserts freshly computed profiles back afterwards.  This keeps the
+  cache effective even with the process backend (workers are handed an
+  empty memo by design) and counts every alternative exactly once in the
+  hit/miss statistics.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Literal, Sequence
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Iterator, Literal, Sequence
 
 from repro.core.alternatives import AlternativeFlow
 from repro.quality.composite import QualityProfile
@@ -21,12 +33,16 @@ from repro.quality.estimator import QualityEstimator
 
 
 def _evaluate_one(estimator: QualityEstimator, alternative: AlternativeFlow) -> QualityProfile:
-    """Evaluate a single alternative (module-level so process pools can pickle it)."""
-    return estimator.evaluate(alternative.flow)
+    """Evaluate a single alternative (module-level so process pools can pickle it).
+
+    Cache handling happens in the parent process (see the module
+    docstring), so workers always run the raw estimation.
+    """
+    return estimator.evaluate_uncached(alternative.flow)
 
 
 class ParallelEvaluator:
-    """Evaluates batches of alternative flows, optionally in parallel.
+    """Evaluates batches or streams of alternative flows, optionally in parallel.
 
     Parameters
     ----------
@@ -54,28 +70,82 @@ class ParallelEvaluator:
         self.workers = workers
         self.backend = backend
 
+    # ------------------------------------------------------------------
+
     def evaluate(self, alternatives: Sequence[AlternativeFlow]) -> list[AlternativeFlow]:
         """Fill in the quality profile of every alternative, in place.
 
-        Returns the same list for convenience.  Order is preserved
-        regardless of the completion order of the workers.
+        Returns the same alternatives as a list for convenience.  Order is
+        preserved regardless of the completion order of the workers.
         """
-        if not alternatives:
-            return list(alternatives)
-        if self.workers == 1:
-            for alternative in alternatives:
-                alternative.profile = _evaluate_one(self.estimator, alternative)
-            return list(alternatives)
+        return list(self.evaluate_stream(list(alternatives)))
 
+    def evaluate_stream(
+        self,
+        alternatives: Iterable[AlternativeFlow],
+        batch_size: int | None = None,
+    ) -> Iterator[AlternativeFlow]:
+        """Lazily evaluate a stream of alternatives, yielding in input order.
+
+        The input iterable is consumed on demand: at most ``batch_size``
+        submissions are in flight at any moment (defaulting to twice the
+        worker count), so a lazy generator upstream keeps producing while
+        earlier candidates are still simulating.  Each yielded alternative
+        has its ``profile`` filled in.
+
+        Cache lookups and insertions happen here, in the caller's process;
+        cached alternatives are yielded without ever reaching the pool.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        return self._stream(iter(alternatives), batch_size or 2 * self.workers)
+
+    def _stream(
+        self, iterator: Iterator[AlternativeFlow], max_inflight: int
+    ) -> Iterator[AlternativeFlow]:
+        estimator = self.estimator
+
+        if self.workers == 1:
+            for alternative in iterator:
+                alternative.profile = estimator.evaluate(alternative.flow)
+                yield alternative
+            return
+
+        # Peek before spinning up a pool: an empty stream must stay free.
+        try:
+            first = next(iterator)
+        except StopIteration:
+            return
+
+        pending: deque[tuple[AlternativeFlow, tuple | None, Future | None]] = deque()
         executor_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+
         with executor_cls(max_workers=self.workers) as executor:
-            profiles = list(
-                executor.map(
-                    _evaluate_one,
-                    [self.estimator] * len(alternatives),
-                    alternatives,
-                )
-            )
-        for alternative, profile in zip(alternatives, profiles):
-            alternative.profile = profile
-        return list(alternatives)
+
+            def submit(alternative: AlternativeFlow) -> None:
+                key = estimator.cache_key(alternative.flow) if estimator.cache else None
+                cached = estimator.cached_profile(alternative.flow, key)
+                if cached is not None:
+                    alternative.profile = cached
+                    pending.append((alternative, None, None))
+                else:
+                    future = executor.submit(_evaluate_one, estimator, alternative)
+                    pending.append((alternative, key, future))
+
+            def refill() -> None:
+                while len(pending) < max_inflight:
+                    try:
+                        submit(next(iterator))
+                    except StopIteration:
+                        return
+
+            submit(first)
+            refill()
+            while pending:
+                alternative, key, future = pending.popleft()
+                if future is not None:
+                    profile = future.result()
+                    estimator.store_profile(alternative.flow, profile, key)
+                    alternative.profile = profile
+                refill()
+                yield alternative

@@ -7,12 +7,21 @@ the planner produces a set of alternative ETL flows with quality profiles,
 filters them against the user's constraints, and computes the Pareto
 frontier (skyline) presented to the user together with the relative-change
 comparison of every alternative against the initial flow.
+
+The stages run as a *streaming pipeline*: candidates flow out of the lazy
+generator straight into the parallel evaluator with a bounded in-flight
+window (``eval_batch_size``), profiles are memoized in a shared
+:class:`~repro.quality.estimator.ProfileCache` (``cache_profiles``), and
+an optional two-phase beam screening (``screening_beam``) scores every
+candidate with cheap static-only estimation before spending simulation
+time on the survivors.  With all knobs at their defaults the results are
+identical to the original eager generate-then-evaluate pipeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
 from repro.core.comparison import FlowComparison, compare_profiles
@@ -24,8 +33,8 @@ from repro.etl.graph import ETLGraph
 from repro.etl.validation import validate_flow
 from repro.patterns.registry import PatternRegistry, default_palette
 from repro.quality.composite import QualityProfile
-from repro.quality.estimator import EstimationSettings, QualityEstimator
-from repro.quality.framework import MeasureRegistry, QualityCharacteristic
+from repro.quality.estimator import EstimationSettings, ProfileCache, QualityEstimator
+from repro.quality.framework import MeasureRegistry, QualityCharacteristic, default_registry
 
 
 @dataclass
@@ -69,13 +78,18 @@ class PlanningResult:
         return compare_profiles(alternative.profile, self.baseline_profile)
 
     def best_for(self, characteristic: QualityCharacteristic) -> AlternativeFlow:
-        """The alternative with the highest composite score on one characteristic."""
+        """The alternative with the highest composite score on one characteristic.
+
+        Unevaluated alternatives (``profile is None``) are skipped rather
+        than silently scored as 0.0; if nothing has been evaluated the
+        ranking would be meaningless, so a :class:`ValueError` is raised.
+        """
         if not self.alternatives:
             raise ValueError("the planning run produced no alternatives")
-        return max(
-            self.alternatives,
-            key=lambda alt: alt.profile.score(characteristic) if alt.profile else 0.0,
-        )
+        evaluated = [alt for alt in self.alternatives if alt.profile is not None]
+        if not evaluated:
+            raise ValueError("none of the alternatives has been evaluated yet")
+        return max(evaluated, key=lambda alt: alt.profile.score(characteristic))
 
     def summary(self) -> dict[str, object]:
         """Compact numeric summary of the planning run (used by reports/benches)."""
@@ -120,13 +134,33 @@ class Planner:
             priorities=dict(self.configuration.goal_priorities) or None,
             seed=self.configuration.seed,
         )
+        self.measures = measures or default_registry()
+        self.profile_cache: ProfileCache | None = (
+            ProfileCache() if self.configuration.cache_profiles else None
+        )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,
             seed=self.configuration.seed,
         )
-        self.estimator = QualityEstimator(registry=measures, settings=estimator_settings)
+        self.estimator = QualityEstimator(
+            registry=self.measures, settings=estimator_settings, cache=self.profile_cache
+        )
         self.evaluator = ParallelEvaluator(
             estimator=self.estimator, workers=self.configuration.parallel_workers
+        )
+        # Static-only twin used by the beam-screening first phase; shares
+        # the registry and the profile cache (settings fingerprints keep
+        # static and simulated entries apart).
+        screening_settings = EstimationSettings(
+            simulation_runs=self.configuration.simulation_runs,
+            seed=self.configuration.seed,
+            use_simulation=False,
+        )
+        self.screening_estimator = QualityEstimator(
+            registry=self.measures, settings=screening_settings, cache=self.profile_cache
+        )
+        self.screening_evaluator = ParallelEvaluator(
+            estimator=self.screening_estimator, workers=self.configuration.parallel_workers
         )
         self.generator = AlternativeGenerator(
             palette=self.palette, policy=self.policy, configuration=self.configuration
@@ -140,6 +174,11 @@ class Planner:
         """Pattern Generation + Pattern Application: produce alternative flows."""
         validate_flow(flow, raise_on_error=True)
         return self.generator.generate(flow)
+
+    def stream_alternatives(self, flow: ETLGraph) -> Iterator[AlternativeFlow]:
+        """Lazy variant of :meth:`generate_alternatives` (streaming pipeline)."""
+        validate_flow(flow, raise_on_error=True)
+        return self.generator.generate_iter(flow)
 
     def evaluate_alternatives(
         self, alternatives: Sequence[AlternativeFlow]
@@ -156,15 +195,24 @@ class Planner:
     # ------------------------------------------------------------------
 
     def plan(self, flow: ETLGraph) -> PlanningResult:
-        """Run the full pipeline on an initial flow and return the result."""
+        """Run the full pipeline on an initial flow and return the result.
+
+        Candidates stream from the lazy generator into the evaluator with
+        at most ``eval_batch_size`` submissions in flight; when
+        ``screening_beam`` is set, a static-only scoring pass screens the
+        stream first and only the beam survivors are simulated.
+        """
         config = self.configuration
         baseline_profile = self.evaluate_flow(flow)
-        alternatives = self.generate_alternatives(flow)
-        alternatives = self.evaluate_alternatives(alternatives)
+        candidates: Iterable[AlternativeFlow] = self.stream_alternatives(flow)
+        if config.screening_beam is not None:
+            candidates = self._screen(candidates)
 
         kept: list[AlternativeFlow] = []
         discarded = 0
-        for alternative in alternatives:
+        for alternative in self.evaluator.evaluate_stream(
+            candidates, batch_size=config.eval_batch_size
+        ):
             assert alternative.profile is not None
             if config.satisfies_constraints(alternative.profile):
                 kept.append(alternative)
@@ -183,3 +231,32 @@ class Planner:
             characteristics=characteristics,
             discarded_by_constraints=discarded,
         )
+
+    def _screen(self, candidates: Iterable[AlternativeFlow]) -> list[AlternativeFlow]:
+        """Two-phase beam screening: keep the statically best candidates.
+
+        Every candidate is scored with static-only estimation (no
+        simulator runs), ranked by the sum of its composite scores over
+        the skyline characteristics, and the top ``screening_beam``
+        survivors are returned *in generation order* with their profiles
+        cleared, ready for full estimation.  Ties break towards earlier
+        generation, keeping the screening deterministic.
+        """
+        beam = self.configuration.screening_beam
+        assert beam is not None
+        characteristics = tuple(self.configuration.skyline_characteristics)
+        scored: list[tuple[float, int, AlternativeFlow]] = []
+        screened_stream = self.screening_evaluator.evaluate_stream(
+            candidates, batch_size=self.configuration.eval_batch_size
+        )
+        for index, alternative in enumerate(screened_stream):
+            assert alternative.profile is not None
+            score = sum(alternative.profile.score(c) for c in characteristics)
+            scored.append((score, index, alternative))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        survivors = sorted(scored[:beam], key=lambda item: item[1])
+        kept: list[AlternativeFlow] = []
+        for _, _, alternative in survivors:
+            alternative.profile = None  # the full simulated profile replaces the screen score
+            kept.append(alternative)
+        return kept

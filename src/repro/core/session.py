@@ -8,6 +8,13 @@ patterns into the existing process flow, and a new iteration cycle
 commences until the user considers that the flow adequately satisfies the
 quality goals.  :class:`RedesignSession` drives that loop programmatically
 (the reproduction's stand-in for the interactive UI).
+
+The session reuses one planner -- and therefore one shared
+:class:`~repro.quality.estimator.ProfileCache` -- across all iterations:
+flows profiled in iteration N (including the adopted alternative, which
+becomes iteration N+1's baseline) are never re-simulated later.
+:meth:`RedesignSession.cache_stats` exposes the accumulated hit/miss
+accounting for reports and benchmarks.
 """
 
 from __future__ import annotations
@@ -75,6 +82,22 @@ class RedesignSession:
         return len(self.iterations)
 
     @property
+    def profile_cache(self):
+        """The planner's shared profile cache (``None`` when caching is off)."""
+        return self.planner.profile_cache
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss statistics accumulated across all iterations so far.
+
+        Returns an empty dict when profile caching is disabled
+        (``cache_profiles=False`` in the configuration).
+        """
+        cache = self.planner.profile_cache
+        if cache is None:
+            return {}
+        return cache.stats.as_dict()
+
+    @property
     def current_profile(self) -> QualityProfile:
         """Quality profile of the current flow."""
         return self.planner.evaluate_flow(self.current_flow)
@@ -110,13 +133,11 @@ class RedesignSession:
         if not self.iterations:
             raise ValueError("select_best() requires at least one completed iteration")
         latest = self.iterations[-1]
-        skyline = latest.result.skyline or latest.result.alternatives
-        if not skyline:
-            raise ValueError("the latest iteration produced no alternatives")
-        best = max(
-            skyline,
-            key=lambda alt: alt.profile.score(characteristic) if alt.profile else 0.0,
-        )
+        pool = latest.result.skyline or latest.result.alternatives
+        evaluated = [alt for alt in pool if alt.profile is not None]
+        if not evaluated:
+            raise ValueError("the latest iteration produced no evaluated alternatives")
+        best = max(evaluated, key=lambda alt: alt.profile.score(characteristic))
         self.select(best)
         return best
 
@@ -140,14 +161,12 @@ class RedesignSession:
             if chooser is not None:
                 choice = chooser(iteration.result)
             else:
-                skyline = iteration.result.skyline or iteration.result.alternatives
-                if not skyline:
+                pool = iteration.result.skyline or iteration.result.alternatives
+                evaluated = [alt for alt in pool if alt.profile is not None]
+                if not evaluated:
                     break
                 primary = self.planner.configuration.skyline_characteristics[0]
-                choice = max(
-                    skyline,
-                    key=lambda alt: alt.profile.score(primary) if alt.profile else 0.0,
-                )
+                choice = max(evaluated, key=lambda alt: alt.profile.score(primary))
             if choice is None:
                 break
             self.select(choice)

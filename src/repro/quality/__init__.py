@@ -18,7 +18,13 @@ from repro.quality.framework import (
     default_registry,
 )
 from repro.quality.composite import CompositeMeasure, QualityProfile
-from repro.quality.estimator import QualityEstimator
+from repro.quality.estimator import (
+    CacheStats,
+    EstimationSettings,
+    ProfileCache,
+    QualityEstimator,
+    flow_fingerprint,
+)
 
 from repro.quality import (  # noqa: F401  (re-exported measure modules)
     performance,
@@ -37,4 +43,8 @@ __all__ = [
     "CompositeMeasure",
     "QualityProfile",
     "QualityEstimator",
+    "EstimationSettings",
+    "ProfileCache",
+    "CacheStats",
+    "flow_fingerprint",
 ]

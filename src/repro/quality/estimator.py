@@ -5,10 +5,21 @@ an ETL flow and produces its quality measures.  :class:`QualityEstimator`
 implements that stage: it runs the runtime simulator when any requested
 measure needs traces, evaluates every measure in its registry, and folds
 the results into a :class:`~repro.quality.composite.QualityProfile`.
+
+Because the alternative space is factorial in the flow size (Section 2.2)
+and the iterative redesign loop revisits structurally identical flows
+across session iterations, estimation is memoizable: a
+:class:`ProfileCache` keyed by a content fingerprint of the flow (structure
+plus operation properties plus graph annotations plus the estimation
+settings) lets a planner or a whole :class:`~repro.core.session.RedesignSession`
+skip re-simulating flows it has already profiled.  The cache keeps
+hit/miss statistics so benchmarks can report the savings.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.etl.graph import ETLGraph
@@ -34,7 +45,8 @@ class EstimationSettings:
         Default execution environment for the simulations.
     use_simulation:
         When false, only static (structure-based) measures are evaluated;
-        useful for cheap screening of very large alternative spaces.
+        useful for cheap screening of very large alternative spaces (the
+        planner's ``screening_beam`` first phase).
     """
 
     simulation_runs: int = 5
@@ -42,17 +54,185 @@ class EstimationSettings:
     resources: ResourceModel | None = None
     use_simulation: bool = True
 
+    def fingerprint(self) -> tuple:
+        """A hashable identity of everything that influences the estimates."""
+        resources = self.resources
+        resource_key = (
+            None
+            if resources is None
+            else (resources.workers, resources.speed, resources.cost_per_hour, resources.memory_mb)
+        )
+        return (self.simulation_runs, self.seed, self.use_simulation, resource_key)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting of a :class:`ProfileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly snapshot (used by session histories and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
+def flow_fingerprint(flow: ETLGraph) -> tuple:
+    """A hashable content fingerprint of everything that influences measures.
+
+    Strictly finer than :meth:`ETLGraph.signature`: it also covers operation
+    properties (costs, selectivities, rates), operation configs and
+    schemas, and graph annotations, all of which feed the simulator and the
+    static estimators.  The flow *name* and pattern lineage are
+    deliberately excluded so that structurally identical flows reached
+    through different pattern combinations share one cache entry.
+    """
+    ops = []
+    for op in flow.operations():
+        props = op.properties
+        ops.append(
+            (
+                op.op_id,
+                op.kind.value,
+                op.parallelism,
+                tuple((f.name, f.dtype.value, f.nullable, f.key) for f in op.output_schema.fields),
+                tuple(sorted((str(k), repr(v)) for k, v in op.config.items())),
+                props.cost_per_tuple,
+                props.fixed_cost,
+                props.selectivity,
+                props.error_rate,
+                props.null_rate,
+                props.duplicate_rate,
+                props.failure_rate,
+                props.memory_per_tuple,
+                props.freshness_lag,
+                props.update_frequency,
+                props.monetary_cost,
+                tuple(sorted((str(k), repr(v)) for k, v in props.extra.items())),
+            )
+        )
+    ops.sort()
+    return (
+        tuple(ops),
+        tuple(sorted((e.source, e.target) for e in flow.edges())),
+        tuple(sorted((str(k), repr(v)) for k, v in flow.annotations.items())),
+    )
+
+
+class ProfileCache:
+    """A bounded, thread-safe memo of quality profiles keyed by flow fingerprint.
+
+    Shared by the full and the static (screening) estimators of a planner
+    and across the iterations of a redesign session.  Lookups are counted
+    in :attr:`stats`; entries are evicted least-recently-used when
+    ``max_entries`` is set.
+
+    The cache pickles as an *empty* cache (entries and the lock are
+    dropped): process-pool workers receive a blank memo and the parent
+    process re-inserts their results, so nothing is lost and nothing large
+    crosses the process boundary.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, QualityProfile] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> QualityProfile | None:
+        """Look up a profile, counting the hit or miss."""
+        with self._lock:
+            profile = self._entries.get(key)
+            if profile is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return profile
+
+    def put(self, key: tuple, profile: QualityProfile) -> None:
+        """Insert (or refresh) a profile; does not affect hit/miss counts."""
+        with self._lock:
+            self._entries[key] = profile
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers must not drag the memo or the lock)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"max_entries": self.max_entries}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__init__(max_entries=state.get("max_entries"))  # type: ignore[misc]
+
 
 class QualityEstimator:
-    """Evaluates the quality profile of ETL flows."""
+    """Evaluates the quality profile of ETL flows.
+
+    Parameters
+    ----------
+    registry:
+        The measures to evaluate; defaults to the Fig. 1-style registry.
+    settings:
+        Simulation budget, seed, resources and the static-only switch.
+    cache:
+        Optional shared :class:`ProfileCache`.  When set, :meth:`evaluate`
+        memoizes profiles by flow fingerprint + settings fingerprint, so
+        re-evaluating a structurally identical flow (e.g. in a later
+        session iteration) costs a dictionary lookup instead of a
+        simulation campaign.
+    """
 
     def __init__(
         self,
         registry: MeasureRegistry | None = None,
         settings: EstimationSettings | None = None,
+        cache: ProfileCache | None = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.settings = settings or EstimationSettings()
+        self.cache = cache
         self._composites = build_composites(self.registry)
 
     # ------------------------------------------------------------------
@@ -66,6 +246,62 @@ class QualityEstimator:
         )
         return ETLSimulator(flow, config).run()
 
+    # ------------------------------------------------------------------
+    # Cache plumbing (also used by ParallelEvaluator, which checks the
+    # cache in the parent process so process-pool workers stay cheap)
+    # ------------------------------------------------------------------
+
+    def cache_key(self, flow: ETLGraph) -> tuple:
+        """The memoization key of ``flow`` under the current settings.
+
+        Covers the flow content, the estimation settings, and the measure
+        registry, so estimators with different registries can safely share
+        one cache.  Recomputed on every call -- nothing is memoized per
+        graph instance, so mutating a flow in place and re-evaluating it
+        yields a fresh key (a cache miss), never a stale profile.
+        """
+        registry = tuple(
+            sorted((m.name, m.weight, m.requires_trace) for m in self.registry)
+        )
+        return (flow_fingerprint(flow), self.settings.fingerprint(), registry)
+
+    def cached_profile(
+        self, flow: ETLGraph, key: tuple | None = None
+    ) -> QualityProfile | None:
+        """A cached profile for ``flow``, re-labelled with the flow's name.
+
+        Returns ``None`` when no cache is configured or the flow has not
+        been profiled yet.  The returned profile is a shallow copy so that
+        callers mutating scores/values do not corrupt the memo.  Pass a
+        pre-computed ``key`` to avoid fingerprinting the flow twice.
+        """
+        if self.cache is None:
+            return None
+        hit = self.cache.get(key if key is not None else self.cache_key(flow))
+        if hit is None:
+            return None
+        return QualityProfile(
+            flow_name=flow.name, scores=dict(hit.scores), values=dict(hit.values)
+        )
+
+    def store_profile(
+        self, flow: ETLGraph, profile: QualityProfile, key: tuple | None = None
+    ) -> None:
+        """Memoize an evaluated profile (no-op without a cache).
+
+        A shallow snapshot is stored, so callers mutating the profile they
+        were handed cannot corrupt the memo.
+        """
+        if self.cache is not None:
+            snapshot = QualityProfile(
+                flow_name=profile.flow_name,
+                scores=dict(profile.scores),
+                values=dict(profile.values),
+            )
+            self.cache.put(key if key is not None else self.cache_key(flow), snapshot)
+
+    # ------------------------------------------------------------------
+
     def evaluate(self, flow: ETLGraph, archive: TraceArchive | None = None) -> QualityProfile:
         """Evaluate every registered measure for ``flow``.
 
@@ -76,8 +312,24 @@ class QualityEstimator:
         archive:
             Optional pre-computed trace archive; when omitted and any
             registered measure requires traces (and simulation is
-            enabled), the flow is simulated first.
+            enabled), the flow is simulated first.  Passing an explicit
+            archive bypasses the profile cache.
         """
+        key: tuple | None = None
+        if archive is None and self.cache is not None:
+            key = self.cache_key(flow)
+            cached = self.cached_profile(flow, key)
+            if cached is not None:
+                return cached
+        profile = self.evaluate_uncached(flow, archive)
+        if key is not None:
+            self.store_profile(flow, profile, key)
+        return profile
+
+    def evaluate_uncached(
+        self, flow: ETLGraph, archive: TraceArchive | None = None
+    ) -> QualityProfile:
+        """The raw Measures Estimation stage, never touching the cache."""
         needs_trace = any(m.requires_trace for m in self.registry)
         if archive is None and needs_trace and self.settings.use_simulation:
             archive = self.simulate(flow)
@@ -94,11 +346,11 @@ class QualityEstimator:
         return profile
 
     def evaluate_many(self, flows: list[ETLGraph]) -> list[QualityProfile]:
-        """Evaluate a batch of flows sequentially.
+        """Evaluate a batch of flows sequentially (cache-aware).
 
         Parallel evaluation (the paper's cloud-backed concurrent
         processing) is provided by
-        :class:`repro.core.evaluator.ParallelEvaluator`, which delegates to
-        this method per flow.
+        :class:`repro.core.evaluator.ParallelEvaluator`, which consumes
+        flows as a stream and overlaps generation with estimation.
         """
         return [self.evaluate(flow) for flow in flows]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core import Planner, ProcessingConfiguration
 from repro.etl.builder import FlowBuilder
 from repro.etl.graph import ETLGraph
 from repro.etl.schema import DataType, Field, Schema
@@ -63,6 +64,46 @@ def small_purchases() -> ETLGraph:
 def tpch_flow() -> ETLGraph:
     """A scaled-down TPC-H refresh flow (shared across tests; treat as read-only)."""
     return tpch_refresh_flow(scale=0.05)
+
+
+def fast_planner_config(**overrides) -> ProcessingConfiguration:
+    """A small, fully deterministic planner configuration for quick tests."""
+    defaults = dict(
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=200,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ProcessingConfiguration(**defaults)
+
+
+@pytest.fixture
+def make_config():
+    """Factory fixture for the shared deterministic planner configuration."""
+    return fast_planner_config
+
+
+@pytest.fixture
+def make_planner():
+    """Factory fixture for deterministic seeded planners.
+
+    Shared across test modules so that planner-level tests agree on one
+    baseline configuration; pass overrides for per-test knobs, e.g.
+    ``make_planner(screening_beam=3, parallel_workers=4)``.
+    """
+
+    def make(**overrides) -> Planner:
+        return Planner(configuration=fast_planner_config(**overrides))
+
+    return make
+
+
+@pytest.fixture
+def seeded_planner(make_planner) -> Planner:
+    """A deterministic seeded planner with the shared fast configuration."""
+    return make_planner()
 
 
 @pytest.fixture

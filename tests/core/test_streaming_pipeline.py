@@ -1,0 +1,339 @@
+"""Tests for the streaming planning pipeline.
+
+Covers the lazy alternative generator, the streaming evaluator, the
+profile cache shared across session iterations, and the two-phase beam
+screening -- including the equivalence guarantees: with all knobs at
+their defaults the streaming pipeline reproduces the eager
+generate-then-evaluate behaviour exactly.
+"""
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.evaluator import ParallelEvaluator
+from repro.core.pareto import pareto_front_profiles
+from repro.core.planner import Planner, PlanningResult
+from repro.core.session import RedesignSession
+from repro.patterns.registry import default_palette
+from repro.quality.estimator import EstimationSettings, QualityEstimator
+from repro.quality.framework import QualityCharacteristic
+
+
+def _eager_plan(planner: Planner, flow) -> PlanningResult:
+    """The seed's eager pipeline: materialize, barrier-evaluate, filter."""
+    config = planner.configuration
+    baseline = planner.evaluate_flow(flow)
+    alternatives = planner.evaluate_alternatives(planner.generate_alternatives(flow))
+    kept, discarded = [], 0
+    for alternative in alternatives:
+        if config.satisfies_constraints(alternative.profile):
+            kept.append(alternative)
+        else:
+            discarded += 1
+    characteristics = tuple(config.skyline_characteristics)
+    profiles = [alt.profile for alt in kept]
+    skyline = pareto_front_profiles(profiles, characteristics) if profiles else []
+    return PlanningResult(
+        initial_flow=flow,
+        baseline_profile=baseline,
+        alternatives=kept,
+        skyline_indices=skyline,
+        characteristics=characteristics,
+        discarded_by_constraints=discarded,
+    )
+
+
+class TestLazyGeneration:
+    def test_generate_matches_generate_iter(self, small_purchases, make_config):
+        config = make_config(pattern_budget=2)
+        eager = AlternativeGenerator(default_palette(), configuration=config)
+        lazy = AlternativeGenerator(default_palette(), configuration=config)
+        eager_alts = eager.generate(small_purchases)
+        lazy_alts = list(lazy.generate_iter(small_purchases))
+        assert [a.label for a in eager_alts] == [a.label for a in lazy_alts]
+        assert [a.pattern_names for a in eager_alts] == [a.pattern_names for a in lazy_alts]
+        assert [a.flow.signature() for a in eager_alts] == [
+            a.flow.signature() for a in lazy_alts
+        ]
+
+    def test_generate_iter_is_genuinely_lazy(self, small_purchases, make_config):
+        config = make_config(pattern_budget=2)
+        generator = AlternativeGenerator(default_palette(), configuration=config)
+        total = {"calls": 0}
+        original = generator._apply_combination
+
+        def counting(flow, combo):
+            total["calls"] += 1
+            return original(flow, combo)
+
+        generator._apply_combination = counting
+        full = list(generator.generate_iter(small_purchases))
+        full_calls = total["calls"]
+        assert len(full) > 5
+
+        total["calls"] = 0
+        stream = generator.generate_iter(small_purchases)
+        next(stream)
+        assert 0 < total["calls"] < full_calls / 2
+
+    def test_generate_iter_respects_max_alternatives(self, small_purchases, make_config):
+        config = make_config(pattern_budget=2, max_alternatives=3)
+        generator = AlternativeGenerator(default_palette(), configuration=config)
+        alternatives = list(generator.generate_iter(small_purchases))
+        assert len(alternatives) == 3
+        assert [a.label for a in alternatives] == ["ETL Flow 1", "ETL Flow 2", "ETL Flow 3"]
+
+    def test_labels_follow_enumeration_order(self, small_purchases, make_config):
+        generator = AlternativeGenerator(default_palette(), configuration=make_config())
+        for index, alternative in enumerate(generator.generate_iter(small_purchases)):
+            assert alternative.label == f"ETL Flow {index + 1}"
+
+
+class TestStreamingEvaluator:
+    def _alternatives(self, flow, count=6):
+        return [AlternativeFlow(flow=flow.copy(name=f"alt_{i}")) for i in range(count)]
+
+    def test_stream_preserves_input_order(self, linear_flow, fast_estimator):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=4)
+        alternatives = self._alternatives(linear_flow, count=10)
+        streamed = list(evaluator.evaluate_stream(iter(alternatives), batch_size=3))
+        assert streamed == alternatives
+        assert all(alt.profile is not None for alt in streamed)
+
+    def test_stream_consumes_input_lazily(self, linear_flow, fast_estimator):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=2)
+        alternatives = self._alternatives(linear_flow, count=12)
+        pulled = {"count": 0}
+
+        def producer():
+            for alternative in alternatives:
+                pulled["count"] += 1
+                yield alternative
+
+        stream = evaluator.evaluate_stream(producer(), batch_size=2)
+        first = next(stream)
+        assert first is alternatives[0]
+        assert pulled["count"] < len(alternatives)
+        rest = list(stream)
+        assert pulled["count"] == len(alternatives)
+        assert [first, *rest] == alternatives
+
+    def test_stream_matches_batch_evaluate(self, linear_flow):
+        estimator = QualityEstimator(settings=EstimationSettings(simulation_runs=1, seed=3))
+        batch = ParallelEvaluator(estimator=estimator, workers=1).evaluate(
+            self._alternatives(linear_flow)
+        )
+        streamed = list(
+            ParallelEvaluator(estimator=estimator, workers=3).evaluate_stream(
+                self._alternatives(linear_flow)
+            )
+        )
+        for expected, got in zip(batch, streamed):
+            assert expected.profile.scores == got.profile.scores
+
+    def test_stream_rejects_invalid_batch_size_eagerly(self, linear_flow, fast_estimator):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=2)
+        with pytest.raises(ValueError):
+            evaluator.evaluate_stream([], batch_size=0)  # raises at call time
+
+    def test_empty_stream_yields_nothing(self, fast_estimator):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=4)
+        assert list(evaluator.evaluate_stream(iter([]))) == []
+        assert evaluator.evaluate([]) == []
+
+    def test_batch_size_bounds_inflight_below_worker_count(
+        self, linear_flow, fast_estimator
+    ):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=8)
+        alternatives = self._alternatives(linear_flow, count=6)
+        pulled = {"count": 0}
+
+        def producer():
+            for alternative in alternatives:
+                pulled["count"] += 1
+                yield alternative
+
+        stream = evaluator.evaluate_stream(producer(), batch_size=2)
+        next(stream)
+        # the in-flight window is batch_size, not the (larger) worker count
+        assert pulled["count"] <= 3
+        assert list(stream) == alternatives[1:]
+
+    def test_workers_one_streams_sequentially(self, linear_flow, fast_estimator):
+        evaluator = ParallelEvaluator(estimator=fast_estimator, workers=1)
+        alternatives = self._alternatives(linear_flow, count=3)
+        assert list(evaluator.evaluate_stream(iter(alternatives))) == alternatives
+
+    @pytest.mark.slow
+    def test_process_backend_matches_sequential(self, linear_flow):
+        estimator = QualityEstimator(settings=EstimationSettings(simulation_runs=1, seed=3))
+        sequential = ParallelEvaluator(estimator=estimator, workers=1).evaluate(
+            self._alternatives(linear_flow, count=4)
+        )
+        procs = ParallelEvaluator(estimator=estimator, workers=2, backend="process")
+        parallel = procs.evaluate(self._alternatives(linear_flow, count=4))
+        for s, p in zip(sequential, parallel):
+            assert s.profile.scores == p.profile.scores
+
+    @pytest.mark.slow
+    def test_process_backend_stream_fills_parent_cache(self, linear_flow):
+        from repro.quality.estimator import ProfileCache
+
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        evaluator = ParallelEvaluator(estimator=estimator, workers=2, backend="process")
+        first = list(evaluator.evaluate_stream(self._alternatives(linear_flow, count=3)))
+        assert all(alt.profile is not None for alt in first)
+        assert cache.stats.misses == 3
+        # the parent process inserted the workers' results: re-streaming
+        # identical flows is served from the memo
+        second = list(evaluator.evaluate_stream(self._alternatives(linear_flow, count=3)))
+        assert cache.stats.hits == 3
+        for a, b in zip(first, second):
+            assert a.profile.scores == b.profile.scores
+
+
+class TestStreamingPlanEquivalence:
+    def test_plan_matches_eager_pipeline(self, small_purchases, make_planner):
+        eager_planner = make_planner(cache_profiles=False)
+        streaming_planner = make_planner()
+        eager = _eager_plan(eager_planner, small_purchases)
+        streaming = streaming_planner.plan(small_purchases)
+
+        assert json.dumps(streaming.summary(), sort_keys=True) == json.dumps(
+            eager.summary(), sort_keys=True
+        )
+        assert [a.label for a in streaming.alternatives] == [
+            a.label for a in eager.alternatives
+        ]
+        for s, e in zip(streaming.alternatives, eager.alternatives):
+            assert s.profile.scores == e.profile.scores
+        assert streaming.skyline_indices == eager.skyline_indices
+
+    def test_parallel_streaming_matches_sequential(self, small_purchases, make_planner):
+        sequential = make_planner().plan(small_purchases)
+        parallel = make_planner(parallel_workers=4, eval_batch_size=4).plan(small_purchases)
+        assert sequential.summary() == parallel.summary()
+        for s, p in zip(sequential.alternatives, parallel.alternatives):
+            assert s.profile.scores == p.profile.scores
+
+
+class TestBeamScreening:
+    def test_wide_beam_reproduces_unscreened_results(self, small_purchases, make_planner):
+        unscreened = make_planner().plan(small_purchases)
+        screened = make_planner(screening_beam=10_000).plan(small_purchases)
+        assert screened.summary() == unscreened.summary()
+        assert [a.label for a in screened.alternatives] == [
+            a.label for a in unscreened.alternatives
+        ]
+        for s, u in zip(screened.alternatives, unscreened.alternatives):
+            assert s.profile.scores == u.profile.scores
+
+    def test_narrow_beam_keeps_a_subset_with_full_profiles(
+        self, small_purchases, make_planner
+    ):
+        unscreened = make_planner().plan(small_purchases)
+        screened = make_planner(screening_beam=3).plan(small_purchases)
+        assert len(screened.alternatives) <= 3
+        all_labels = {a.label for a in unscreened.alternatives}
+        assert {a.label for a in screened.alternatives} <= all_labels
+        # survivors carry full (simulated) profiles, not the static screen
+        for alternative in screened.alternatives:
+            assert "process_cycle_time_ms" in alternative.profile.values
+
+    def test_beam_survivors_are_the_statically_best(self, small_purchases, make_planner):
+        planner = make_planner(screening_beam=3)
+        static = planner.screening_estimator
+        assert static.settings.use_simulation is False
+        generated = make_planner().generate_alternatives(small_purchases)
+        characteristics = tuple(planner.configuration.skyline_characteristics)
+        static_scores = {
+            alt.label: sum(
+                static.evaluate_uncached(alt.flow).score(c) for c in characteristics
+            )
+            for alt in generated
+        }
+        expected = {
+            label
+            for label, _ in sorted(static_scores.items(), key=lambda kv: -kv[1])[:3]
+        }
+        screened = planner.plan(small_purchases)
+        assert {a.label for a in screened.alternatives} == expected
+
+    def test_screening_configuration_validation(self):
+        with pytest.raises(ValueError):
+            ProcessingConfiguration(screening_beam=0)
+        with pytest.raises(ValueError):
+            ProcessingConfiguration(eval_batch_size=0)
+
+
+class TestSessionCaching:
+    def test_cache_hits_accumulate_across_iterations(self, small_purchases, make_config):
+        session = RedesignSession(
+            small_purchases, configuration=make_config(pattern_budget=2)
+        )
+        session.iterate()
+        first = session.cache_stats()
+        assert first["hits"] == 0
+        assert first["misses"] == first["lookups"] > 0
+
+        session.select_best(QualityCharacteristic.PERFORMANCE)
+        session.iterate()
+        second = session.cache_stats()
+        # iteration 2's baseline is the flow adopted in iteration 1: a hit
+        assert second["hits"] >= 1
+        assert second["misses"] + second["hits"] == second["lookups"]
+
+    def test_replanning_is_served_from_the_cache(self, small_purchases, seeded_planner):
+        first = seeded_planner.plan(small_purchases)
+        stats_after_first = dict(seeded_planner.profile_cache.stats.as_dict())
+        second = seeded_planner.plan(small_purchases)
+        stats_after_second = seeded_planner.profile_cache.stats.as_dict()
+        # the re-plan re-generates the same flows; every profile is a hit
+        assert stats_after_second["misses"] == stats_after_first["misses"]
+        assert stats_after_second["hits"] == stats_after_first["hits"] + len(
+            first.alternatives
+        ) + 1  # +1 for the baseline
+        assert second.summary() == first.summary()
+        for a, b in zip(first.alternatives, second.alternatives):
+            assert a.profile.scores == b.profile.scores
+
+    def test_cache_can_be_disabled(self, small_purchases, make_planner, make_config):
+        planner = make_planner(cache_profiles=False)
+        assert planner.profile_cache is None
+        session = RedesignSession(
+            small_purchases, configuration=make_config(cache_profiles=False)
+        )
+        assert session.cache_stats() == {}
+        result = planner.plan(small_purchases)
+        assert result.alternatives
+
+
+class TestBestFor:
+    def test_best_for_skips_unevaluated_alternatives(self, small_purchases, seeded_planner):
+        result = seeded_planner.plan(small_purchases)
+        unevaluated = AlternativeFlow(flow=small_purchases.copy(), label="unscored")
+        result.alternatives.append(unevaluated)
+        best = result.best_for(QualityCharacteristic.PERFORMANCE)
+        assert best is not unevaluated
+        assert best.profile is not None
+
+    def test_best_for_raises_when_nothing_evaluated(self, small_purchases):
+        result = PlanningResult(
+            initial_flow=small_purchases,
+            baseline_profile=None,
+            alternatives=[AlternativeFlow(flow=small_purchases.copy())],
+        )
+        with pytest.raises(ValueError):
+            result.best_for(QualityCharacteristic.PERFORMANCE)
+
+    def test_best_for_raises_without_alternatives(self, small_purchases):
+        result = PlanningResult(initial_flow=small_purchases, baseline_profile=None)
+        with pytest.raises(ValueError):
+            result.best_for(QualityCharacteristic.PERFORMANCE)

@@ -1,0 +1,48 @@
+"""Smoke-run of the streaming-pipeline benchmark on a tiny flow.
+
+Keeps ``benchmarks/bench_streaming_pipeline.py`` importable and its
+comparison harness runnable from the test suite (one run, smallest
+budgets), without asserting on wall-clock -- timing claims are only
+meaningful at benchmark scale.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_streaming_pipeline.py"
+)
+
+
+def _load_bench():
+    spec = importlib.util.spec_from_file_location("bench_streaming_pipeline", _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_smoke_tiny_flow():
+    bench = _load_bench()
+    report = bench.run_comparison(
+        scale=0.01,
+        iterations=1,
+        replans=1,
+        simulation_runs=1,
+        workers=1,
+        max_alternatives=10,
+        screening_beam=3,
+    )
+    assert set(report["arms"]) == {"eager", "streaming", "screening"}
+    for arm in report["arms"].values():
+        assert arm["seconds"] > 0
+        assert arm["evaluations"] > 0
+    assert report["equivalent_selections"]
+    # the re-plan is served from the cache in the streaming arm
+    assert report["arms"]["streaming"]["cache"]["hits"] > 0
+    assert 0.0 <= report["arms"]["streaming"]["cache"]["hit_rate"] <= 1.0
+    # the report renders without blowing up
+    assert "streaming vs eager" in bench._render_report(report)

@@ -21,6 +21,8 @@ from repro.patterns.registry import default_palette, figure6_palette
 from repro.quality.framework import QualityCharacteristic
 from repro.workloads import purchases_flow, tpch_refresh_flow
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def tpch_small():

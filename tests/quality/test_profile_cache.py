@@ -1,0 +1,185 @@
+"""Tests for the memoized estimation layer: ProfileCache and fingerprints."""
+
+import pickle
+
+import pytest
+
+from repro.quality.composite import QualityProfile
+from repro.quality.estimator import (
+    CacheStats,
+    EstimationSettings,
+    ProfileCache,
+    QualityEstimator,
+    flow_fingerprint,
+)
+
+
+class TestFlowFingerprint:
+    def test_identical_copies_share_a_fingerprint(self, linear_flow):
+        assert flow_fingerprint(linear_flow) == flow_fingerprint(linear_flow.copy())
+
+    def test_name_and_lineage_are_ignored(self, linear_flow):
+        renamed = linear_flow.copy(name="something_else")
+        renamed.record_pattern("AddCheckpoint @ der")
+        assert flow_fingerprint(renamed) == flow_fingerprint(linear_flow)
+
+    def test_annotations_change_the_fingerprint(self, linear_flow):
+        annotated = linear_flow.copy()
+        annotated.annotations["encryption"] = True
+        assert flow_fingerprint(annotated) != flow_fingerprint(linear_flow)
+
+    def test_operation_properties_change_the_fingerprint(self, linear_flow):
+        tweaked = linear_flow.copy()
+        tweaked.operation("der").properties.cost_per_tuple = 123.0
+        assert flow_fingerprint(tweaked) != flow_fingerprint(linear_flow)
+
+    def test_structure_changes_the_fingerprint(self, linear_flow, branching_flow):
+        assert flow_fingerprint(linear_flow) != flow_fingerprint(branching_flow)
+
+
+class TestProfileCache:
+    def _profile(self, name="p"):
+        return QualityProfile(flow_name=name)
+
+    def test_get_put_and_stats(self):
+        cache = ProfileCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), self._profile())
+        assert cache.get(("k",)).flow_name == "p"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == 0.5
+        assert len(cache) == 1
+        assert ("k",) in cache
+
+    def test_lru_eviction(self):
+        cache = ProfileCache(max_entries=2)
+        cache.put(("a",), self._profile("a"))
+        cache.put(("b",), self._profile("b"))
+        assert cache.get(("a",)) is not None  # refresh "a"
+        cache.put(("c",), self._profile("c"))
+        assert ("b",) not in cache
+        assert ("a",) in cache and ("c",) in cache
+        assert cache.stats.evictions == 1
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = ProfileCache()
+        cache.put(("a",), self._profile())
+        cache.get(("a",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            ProfileCache(max_entries=0)
+
+    def test_pickles_as_an_empty_cache(self):
+        cache = ProfileCache(max_entries=8)
+        cache.put(("a",), self._profile())
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone) == 0
+        assert clone.max_entries == 8
+        assert clone.stats.lookups == 0
+        # the clone is fully functional (fresh lock, fresh entries)
+        clone.put(("b",), self._profile("b"))
+        assert ("b",) in clone
+
+    def test_cache_stats_as_dict(self):
+        stats = CacheStats(hits=3, misses=1)
+        snapshot = stats.as_dict()
+        assert snapshot["hits"] == 3
+        assert snapshot["lookups"] == 4
+        assert snapshot["hit_rate"] == 0.75
+
+
+class TestCachedEstimator:
+    def test_repeat_evaluation_is_memoized(self, linear_flow):
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        first = estimator.evaluate(linear_flow)
+        second = estimator.evaluate(linear_flow.copy())
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert first.scores == second.scores
+        assert first.values == second.values
+
+    def test_cache_hit_relabels_the_profile(self, linear_flow):
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        estimator.evaluate(linear_flow)
+        renamed = linear_flow.copy(name="rebranded")
+        profile = estimator.evaluate(renamed)
+        assert profile.flow_name == "rebranded"
+
+    def test_cached_profiles_are_copies(self, linear_flow):
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        first = estimator.evaluate(linear_flow)
+        first.scores.clear()  # a caller mutating its copy...
+        second = estimator.evaluate(linear_flow.copy())
+        assert second.scores  # ...does not corrupt the memo
+
+    def test_settings_partition_the_cache(self, linear_flow):
+        cache = ProfileCache()
+        simulated = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        static = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3, use_simulation=False),
+            cache=cache,
+        )
+        full = simulated.evaluate(linear_flow)
+        screened = static.evaluate(linear_flow.copy())
+        assert cache.stats.misses == 2  # distinct entries, no cross-talk
+        assert "process_cycle_time_ms" in full.values
+        assert "process_cycle_time_ms" not in screened.values
+
+    def test_registries_partition_the_cache(self, linear_flow):
+        from repro.quality.framework import MeasureRegistry, default_registry
+
+        cache = ProfileCache()
+        settings = EstimationSettings(simulation_runs=1, seed=3)
+        full = QualityEstimator(settings=settings, cache=cache)
+        restricted_registry = MeasureRegistry(
+            m for m in default_registry() if not m.requires_trace
+        )
+        restricted = QualityEstimator(
+            registry=restricted_registry, settings=settings, cache=cache
+        )
+        full_profile = full.evaluate(linear_flow)
+        restricted_profile = restricted.evaluate(linear_flow.copy())
+        assert cache.stats.misses == 2  # distinct entries per registry
+        assert "process_cycle_time_ms" in full_profile.values
+        assert "process_cycle_time_ms" not in restricted_profile.values
+
+    def test_in_place_mutation_invalidates_the_memo(self, linear_flow):
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        before = estimator.evaluate(linear_flow)
+        linear_flow.operation("der").properties.cost_per_tuple = 50.0
+        after = estimator.evaluate(linear_flow)
+        assert cache.stats.misses == 2  # the mutation produced a fresh key
+        assert (
+            after.values["process_cycle_time_ms"].value
+            > before.values["process_cycle_time_ms"].value
+        )
+
+    def test_explicit_archive_bypasses_the_cache(self, linear_flow):
+        cache = ProfileCache()
+        estimator = QualityEstimator(
+            settings=EstimationSettings(simulation_runs=1, seed=3), cache=cache
+        )
+        archive = estimator.simulate(linear_flow)
+        estimator.evaluate(linear_flow, archive)
+        assert cache.stats.lookups == 0
+        assert len(cache) == 0
