@@ -1,0 +1,180 @@
+"""Delta-based (copy-on-write) pattern application vs. the deep-copy seed.
+
+PR 1 made estimation cheap, which left alternative *generation* -- graph
+copies and re-validation per candidate -- dominating planning wall-clock
+at ``pattern_budget >= 3``.  This benchmark measures the copy-on-write
+fast path on the TPC-H refresh workload: the same exhaustive enumeration
+runs once with ``copy_mode="deep"`` (every pattern application clones the
+whole flow and every candidate is re-validated from scratch) and once
+with ``copy_mode="cow"`` (pattern applications share operation payloads
+copy-on-write, record structured deltas, validate only the delta
+neighbourhood, and deduplicate via incrementally maintained signatures).
+
+The two arms must produce *identical* alternative sets -- same
+signatures, same order, same labels -- and the COW arm must be at least
+3x faster.  The report includes candidates/sec for both arms and the
+application/validation time split from
+:class:`~repro.core.alternatives.GenerationStats`.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_generation.py
+
+or through pytest (``pytest benchmarks/bench_generation.py -s``).  The
+test suite smoke-runs :func:`run_generation_bench` at tiny scale via
+``benchmarks/run_all.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.alternatives import AlternativeGenerator  # noqa: E402
+from repro.core.configuration import ProcessingConfiguration  # noqa: E402
+from repro.core.policies import HeuristicPolicy  # noqa: E402
+from repro.patterns.registry import default_palette  # noqa: E402
+from repro.workloads import tpch_refresh_flow  # noqa: E402
+
+
+def _run_arm(flow, mode: str, *, pattern_budget, max_points_per_pattern, max_alternatives):
+    """One generation run; returns (seconds, [(label, signature)], stats dict)."""
+    configuration = ProcessingConfiguration(
+        pattern_budget=pattern_budget,
+        max_points_per_pattern=max_points_per_pattern,
+        max_alternatives=max_alternatives,
+        copy_mode=mode,
+    )
+    generator = AlternativeGenerator(default_palette(), HeuristicPolicy(), configuration)
+    started = time.perf_counter()
+    alternatives = generator.generate(flow)
+    seconds = time.perf_counter() - started
+    outcome = [(alt.label, alt.flow.signature()) for alt in alternatives]
+    return seconds, outcome, generator.last_stats.as_dict()
+
+
+def run_generation_bench(
+    flow=None,
+    *,
+    scale: float = 0.05,
+    pattern_budget: int = 3,
+    max_points_per_pattern: int = 3,
+    max_alternatives: int = 1500,
+    repeats: int = 3,
+) -> dict:
+    """Time deep vs. COW generation and return a comparison report.
+
+    Each arm runs ``repeats`` times; the reported wall-clock is the
+    median, which keeps the speedup claim robust against scheduler noise.
+    """
+    if flow is None:
+        flow = tpch_refresh_flow(scale=scale)
+    knobs = dict(
+        pattern_budget=pattern_budget,
+        max_points_per_pattern=max_points_per_pattern,
+        max_alternatives=max_alternatives,
+    )
+
+    arms: dict[str, dict] = {}
+    outcomes: dict[str, list] = {}
+    for mode in ("deep", "cow"):
+        seconds: list[float] = []
+        stats: dict = {}
+        for _ in range(max(1, repeats)):
+            elapsed, outcome, stats = _run_arm(flow, mode, **knobs)
+            seconds.append(elapsed)
+            outcomes[mode] = outcome
+        median_seconds = statistics.median(seconds)
+        arms[mode] = {
+            "seconds": median_seconds,
+            "seconds_all": seconds,
+            "alternatives": len(outcomes[mode]),
+            "candidates_per_second": (
+                len(outcomes[mode]) / median_seconds if median_seconds > 0 else 0.0
+            ),
+            "apply_seconds": stats["apply_seconds"],
+            "validation_seconds": stats["validation_seconds"],
+            "stats": stats,
+        }
+
+    return {
+        "workload": flow.name,
+        "flow_operations": flow.node_count,
+        "flow_transitions": flow.edge_count,
+        **knobs,
+        "repeats": repeats,
+        "arms": arms,
+        "identical_alternatives": outcomes["deep"] == outcomes["cow"],
+        "speedup_cow_vs_deep": arms["deep"]["seconds"] / arms["cow"]["seconds"],
+    }
+
+
+def _render_report(report: dict) -> str:
+    lines = [
+        f"workload: {report['workload']}  ({report['flow_operations']} operations, "
+        f"budget={report['pattern_budget']}, "
+        f"max_points={report['max_points_per_pattern']})",
+        f"{'arm':<6} {'wall clock':>12} {'alternatives':>14} {'cand/sec':>10} "
+        f"{'apply':>9} {'validate':>9}",
+    ]
+    for name, arm in report["arms"].items():
+        lines.append(
+            f"{name:<6} {arm['seconds']:>10.3f} s {arm['alternatives']:>14} "
+            f"{arm['candidates_per_second']:>10.0f} "
+            f"{arm['apply_seconds']:>7.2f} s {arm['validation_seconds']:>7.2f} s"
+        )
+    lines.append(
+        f"cow vs deep: {report['speedup_cow_vs_deep']:.2f}x   "
+        f"identical alternative sets: {report['identical_alternatives']}"
+    )
+    return "\n".join(lines)
+
+
+def test_cow_generation_speedup():
+    """COW generation must match deep exactly and be >= 3x faster on TPC-H."""
+    report = run_generation_bench()
+    print()
+    print("=" * 78)
+    print("ARTIFACT: delta-based (COW) pattern application vs deep-copy seed (TPC-H)")
+    print("=" * 78)
+    print(_render_report(report))
+    assert report["identical_alternatives"], "COW changed the generated alternative set"
+    assert report["arms"]["cow"]["alternatives"] == report["arms"]["deep"]["alternatives"]
+    assert report["speedup_cow_vs_deep"] >= 3.0, (
+        f"expected >= 3x, measured {report['speedup_cow_vs_deep']:.2f}x"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--pattern-budget", type=int, default=3)
+    parser.add_argument("--max-points", type=int, default=3)
+    parser.add_argument("--max-alternatives", type=int, default=1500)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", action="store_true", help="emit the raw report as JSON")
+    args = parser.parse_args(argv)
+    report = run_generation_bench(
+        scale=args.scale,
+        pattern_budget=args.pattern_budget,
+        max_points_per_pattern=args.max_points,
+        max_alternatives=args.max_alternatives,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(_render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,134 @@
+"""Run the planning-pipeline benchmarks and persist a machine-readable record.
+
+Executes the generation benchmark (``bench_generation``: deep vs.
+copy-on-write pattern application) and the streaming-pipeline benchmark
+(``bench_streaming_pipeline``: eager vs. streaming vs. screening) and
+writes one JSON document -- ``BENCH_generation.json`` by default -- with
+candidates/sec, the measured speedups, the application/validation time
+split and the process peak RSS.  Future PRs append to the performance
+trajectory by re-running this after their changes::
+
+    PYTHONPATH=src python benchmarks/run_all.py
+    PYTHONPATH=src python benchmarks/run_all.py --tiny --output /tmp/bench.json
+
+``--tiny`` shrinks every knob for a seconds-long smoke run (used by the
+``slow``-marked test in ``tests/integration/test_bench_smoke.py``); the
+numbers it produces are *not* meaningful, only the report shape is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).resolve().parent
+_SRC = _BENCH_DIR.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+
+def _load(name: str):
+    """Import a sibling benchmark module by file path (no package needed)."""
+    spec = importlib.util.spec_from_file_location(name, _BENCH_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kilobytes."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux, bytes on macOS.
+    if sys.platform == "darwin":  # pragma: no cover - linux container
+        peak //= 1024
+    return int(peak)
+
+
+def run_all(tiny: bool = False) -> dict:
+    """Run both benchmarks and return the combined report."""
+    bench_generation = _load("bench_generation")
+    bench_streaming = _load("bench_streaming_pipeline")
+
+    if tiny:
+        generation_kwargs = dict(
+            scale=0.01, pattern_budget=2, max_points_per_pattern=2,
+            max_alternatives=40, repeats=1,
+        )
+        streaming_kwargs = dict(
+            scale=0.01, iterations=1, replans=1, simulation_runs=1,
+            workers=1, max_alternatives=10, screening_beam=3,
+        )
+    else:
+        generation_kwargs = {}
+        streaming_kwargs = {}
+
+    generation = bench_generation.run_generation_bench(**generation_kwargs)
+    streaming = bench_streaming.run_comparison(**streaming_kwargs)
+
+    return {
+        "schema_version": 1,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "tiny": tiny,
+        "generation": {
+            "workload": generation["workload"],
+            "pattern_budget": generation["pattern_budget"],
+            "max_points_per_pattern": generation["max_points_per_pattern"],
+            "alternatives": generation["arms"]["cow"]["alternatives"],
+            "candidates_per_second_deep": generation["arms"]["deep"]["candidates_per_second"],
+            "candidates_per_second_cow": generation["arms"]["cow"]["candidates_per_second"],
+            "apply_seconds_deep": generation["arms"]["deep"]["apply_seconds"],
+            "apply_seconds_cow": generation["arms"]["cow"]["apply_seconds"],
+            "validation_seconds_deep": generation["arms"]["deep"]["validation_seconds"],
+            "validation_seconds_cow": generation["arms"]["cow"]["validation_seconds"],
+            "speedup_cow_vs_deep": generation["speedup_cow_vs_deep"],
+            "identical_alternatives": generation["identical_alternatives"],
+            "raw": generation,
+        },
+        "streaming": {
+            "workload": streaming["workload"],
+            "speedup_streaming_vs_eager": streaming["speedup_streaming_vs_eager"],
+            "speedup_screening_vs_eager": streaming["speedup_screening_vs_eager"],
+            "equivalent_selections": streaming["equivalent_selections"],
+            "raw": streaming,
+        },
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=_BENCH_DIR.parent / "BENCH_generation.json",
+        help="where to write the JSON record (default: repo root)",
+    )
+    parser.add_argument("--tiny", action="store_true", help="seconds-long smoke run")
+    args = parser.parse_args(argv)
+    report = run_all(tiny=args.tiny)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    generation = report["generation"]
+    print(
+        f"generation: {generation['candidates_per_second_cow']:.0f} cand/s (cow) vs "
+        f"{generation['candidates_per_second_deep']:.0f} cand/s (deep), "
+        f"speedup {generation['speedup_cow_vs_deep']:.2f}x, "
+        f"identical={generation['identical_alternatives']}"
+    )
+    print(
+        f"streaming: {report['streaming']['speedup_streaming_vs_eager']:.2f}x vs eager, "
+        f"screening {report['streaming']['speedup_screening_vs_eager']:.2f}x"
+    )
+    print(f"peak RSS: {report['peak_rss_kb']} kB")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,18 +9,26 @@ pairs, triples, ... up to the configured pattern budget.  The complexity
 of the full space is factorial in the size of the graph (Section 2.2), so
 generation is bounded by ``max_alternatives`` and duplicate structures are
 pruned via graph signatures.
+
+Under ``ProcessingConfiguration.copy_mode == "cow"`` the per-candidate
+cost is proportional to the *delta* a pattern introduces, not to the flow:
+combinations are applied as chained copy-on-write graphs, validated with
+:func:`~repro.etl.validation.validate_delta`, and deduplicated via
+incrementally maintained signatures.  :class:`GenerationStats` reports the
+resulting application/validation time split.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.configuration import ProcessingConfiguration
 from repro.core.policies import DeploymentPolicy, HeuristicPolicy
 from repro.etl.graph import ETLGraph
-from repro.etl.validation import is_valid
+from repro.etl.validation import Severity, ValidationIssue, is_valid, validate_delta, validate_flow
 from repro.patterns.base import (
     ApplicationPoint,
     ApplicationPointType,
@@ -73,6 +81,44 @@ class _Deployment:
     point: ApplicationPoint
 
 
+@dataclass
+class GenerationStats:
+    """Cost accounting of one :meth:`AlternativeGenerator.generate_iter` run.
+
+    Filled in as the generator is consumed and exposed as
+    ``generator.last_stats``; the generation benchmark reads it to report
+    the candidates/sec rate and the application/validation time split.
+    """
+
+    copy_mode: str = "deep"
+    combinations_tried: int = 0
+    yielded: int = 0
+    duplicates_pruned: int = 0
+    invalid_discarded: int = 0
+    apply_seconds: float = 0.0
+    validation_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def candidates_per_second(self) -> float:
+        """Yielded alternatives per second of generator wall-clock."""
+        return self.yielded / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly snapshot (used by benchmarks)."""
+        return {
+            "copy_mode": self.copy_mode,
+            "combinations_tried": self.combinations_tried,
+            "yielded": self.yielded,
+            "duplicates_pruned": self.duplicates_pruned,
+            "invalid_discarded": self.invalid_discarded,
+            "apply_seconds": self.apply_seconds,
+            "validation_seconds": self.validation_seconds,
+            "wall_seconds": self.wall_seconds,
+            "candidates_per_second": self.candidates_per_second,
+        }
+
+
 class AlternativeGenerator:
     """Generates alternative flows from an initial flow and a palette."""
 
@@ -85,6 +131,12 @@ class AlternativeGenerator:
         self.palette = palette
         self.policy = policy or HeuristicPolicy()
         self.configuration = configuration or ProcessingConfiguration()
+        #: Cost accounting of the most recent ``generate_iter`` run.
+        self.last_stats = GenerationStats(copy_mode=self.configuration.copy_mode)
+        # Validation state of COW base flows, keyed per base object so
+        # that interleaved (lazy) generate_iter runs on different flows
+        # never read each other's issue list.
+        self._base_issue_memo: dict[int, tuple[ETLGraph, list[ValidationIssue]]] = {}
 
     # ------------------------------------------------------------------
     # Pattern generation (candidate deployments)
@@ -146,28 +198,52 @@ class AlternativeGenerator:
         benchmark slicing the space) never pays for candidates it does not
         consume.  Labels (``ETL Flow 1``, ``ETL Flow 2``, ...) follow the
         enumeration order and match the eager :meth:`generate` exactly.
-        """
-        deployments = self.candidate_deployments(flow)
-        config = self.configuration
-        produced = 0
-        seen_signatures = {flow.signature()}
 
-        for combo_size in range(1, config.pattern_budget + 1):
-            for combo in itertools.combinations(deployments, combo_size):
-                if produced >= config.max_alternatives:
-                    return
-                if not self._combination_is_reasonable(combo):
-                    continue
-                alternative = self._apply_combination(flow, combo)
-                if alternative is None:
-                    continue
-                signature = alternative.flow.signature()
-                if signature in seen_signatures:
-                    continue
-                seen_signatures.add(signature)
-                produced += 1
-                alternative.label = f"ETL Flow {produced}"
-                yield alternative
+        With ``configuration.copy_mode == "cow"`` every pattern in a
+        combination is applied as a chained delta: each step is a
+        copy-on-write graph recording its difference from the previous
+        one, validity is maintained incrementally with
+        :func:`~repro.etl.validation.validate_delta`, and deduplication
+        reads the incrementally maintained signatures -- the enumeration,
+        the surviving alternatives and their labels are identical to
+        ``"deep"`` mode.
+        """
+        config = self.configuration
+        cow = config.copy_mode == "cow"
+        stats = GenerationStats(copy_mode=config.copy_mode)
+        self.last_stats = stats
+        started = time.perf_counter()
+        # A private snapshot of the initial flow: the caller's graph is
+        # never payload-aliased (mutating it directly afterwards stays
+        # safe, as on the seed), while every ``flow.copy()`` inside the
+        # patterns forks copy-on-write from the snapshot.
+        base = flow.cow_base() if cow else flow
+        deployments = self.candidate_deployments(base)
+        produced = 0
+        seen_signatures = {base.signature()}
+
+        try:
+            for combo_size in range(1, config.pattern_budget + 1):
+                for combo in itertools.combinations(deployments, combo_size):
+                    if produced >= config.max_alternatives:
+                        return
+                    if not self._combination_is_reasonable(combo):
+                        continue
+                    stats.combinations_tried += 1
+                    alternative = self._apply_combination(base, combo)
+                    if alternative is None:
+                        continue
+                    signature = alternative.flow.signature()
+                    if signature in seen_signatures:
+                        stats.duplicates_pruned += 1
+                        continue
+                    seen_signatures.add(signature)
+                    produced += 1
+                    stats.yielded = produced
+                    alternative.label = f"ETL Flow {produced}"
+                    yield alternative
+        finally:
+            stats.wall_seconds = time.perf_counter() - started
 
     # ------------------------------------------------------------------
 
@@ -189,23 +265,77 @@ class AlternativeGenerator:
     def _apply_combination(
         self, flow: ETLGraph, combo: Sequence[_Deployment]
     ) -> AlternativeFlow | None:
+        stats = self.last_stats
+        base_issues = self._base_issues_for(flow)
         current = flow
+        # ``pending_delta`` accumulates the chain of pattern deltas (COW
+        # mode only): each step's recorded delta is composed onto it, and
+        # the final flow is delta-validated once against the base flow's
+        # issue list.  ``chained`` degrades to False -- and the final
+        # check falls back to the full oracle -- if any pattern returns a
+        # flow without a delta chained onto its predecessor.
+        chained = base_issues is not None
+        pending_delta = None
         applied: list[PatternApplication] = []
         for deployment in combo:
             point = self._refresh_point(current, deployment)
             if point is None:
                 continue
+            tick = time.perf_counter()
             try:
-                current = deployment.pattern.apply(current, point)
+                derived = deployment.pattern.apply(current, point)
             except (KeyError, ValueError):
                 continue
+            finally:
+                stats.apply_seconds += time.perf_counter() - tick
+            if chained:
+                if derived.delta is not None and derived.derived_from(current):
+                    pending_delta = (
+                        derived.delta
+                        if pending_delta is None
+                        else pending_delta.compose(derived.delta)
+                    )
+                else:
+                    chained = False
+            current = derived
             applied.append(PatternApplication(deployment.pattern.name, point))
         if not applied:
             return None
-        if not is_valid(current):
+        tick = time.perf_counter()
+        if chained and pending_delta is not None:
+            issues = validate_delta(current, pending_delta, base_issues)
+            valid = not any(i.severity is Severity.ERROR for i in issues)
+        else:
+            valid = is_valid(current)
+        stats.validation_seconds += time.perf_counter() - tick
+        if not valid:
+            stats.invalid_discarded += 1
             return None
         current.name = f"{flow.name}__{'+'.join(app.pattern for app in applied)}"
         return AlternativeFlow(flow=current, applications=tuple(applied))
+
+    def _base_issues_for(self, base: ETLGraph) -> list[ValidationIssue] | None:
+        """The full issue list of a COW base flow, memoized per object.
+
+        Returns ``None`` for deep-mode bases, which signals
+        :meth:`_apply_combination` to validate candidates with the full
+        oracle (the seed behaviour).  The memo is keyed by object
+        identity with the base pinned in the value, so several lazily
+        interleaved ``generate_iter`` runs keep their own state; it is
+        bounded, since a generator only ever serves a handful of live
+        runs at once.
+        """
+        if base.copy_mode != "cow":
+            return None
+        memo = self._base_issue_memo
+        entry = memo.get(id(base))
+        if entry is not None and entry[0] is base:
+            return entry[1]
+        issues = validate_flow(base)
+        if len(memo) >= 8:
+            memo.pop(next(iter(memo)))
+        memo[id(base)] = (base, issues)
+        return issues
 
     def _refresh_point(
         self, current: ETLGraph, deployment: _Deployment

@@ -5,6 +5,44 @@ configurations*: which Flow Component Patterns can be considered in the
 palette, which deployment policy to follow, the prioritisation of quality
 goals, and constraints based on estimated measures (Sections 3 and 4, demo
 part P2).  :class:`ProcessingConfiguration` bundles those choices.
+
+Performance tuning
+------------------
+
+The alternative space is factorial in the flow size, so the planner
+exposes a set of scaling knobs.  All of them default to the conservative
+seed behaviour; turning them on changes wall-clock, never results (except
+``screening_beam``, which deliberately prunes):
+
+``copy_mode``
+    ``"deep"`` (default) clones every operation on each pattern
+    application -- the reference implementation.  ``"cow"`` applies
+    patterns on copy-on-write graphs: operation payloads are shared until
+    written, every application is recorded as a structured delta,
+    validation re-checks only the delta neighbourhood, and deduplication
+    reuses incrementally maintained signatures.  The generated
+    alternative set is identical (same signatures, same order, same
+    labels); generation is several times faster and the speedup grows
+    with ``pattern_budget``.  Use ``"cow"`` whenever ``pattern_budget >=
+    3`` or the flow has tens of operations.
+``backend``
+    Evaluation worker pool flavour: ``"thread"`` (default) shares memory
+    and suits the numpy-light simulator at small scale; ``"process"``
+    sidesteps the GIL so CPU-bound generation (the COW fast path still
+    runs on the main thread) and simulation genuinely overlap.  Flows
+    cross the process boundary by pickle; copy-on-write graphs
+    materialize their shared payloads when pickled, so workers always
+    receive self-contained flows.
+``parallel_workers`` / ``eval_batch_size``
+    Size of the evaluation pool and the bounded in-flight window of the
+    streaming evaluator (PR 1): generation and estimation overlap within
+    the window, keeping memory flat while workers stay busy.
+``screening_beam``
+    Two-phase planning (PR 1): score every candidate statically, simulate
+    only the top ``screening_beam`` survivors.
+``cache_profiles``
+    Memoize quality profiles by flow fingerprint across re-plans and
+    session iterations (PR 1).
 """
 
 from __future__ import annotations
@@ -112,6 +150,17 @@ class ProcessingConfiguration:
         flow fingerprint, so structurally identical flows -- within one
         run or across the iterations of a redesign session -- are
         simulated only once.
+    copy_mode:
+        How pattern application copies flows: ``"deep"`` (default, the
+        seed behaviour) clones every operation payload per application;
+        ``"cow"`` shares payloads copy-on-write and drives delta-based
+        validation and incremental signatures -- same alternatives,
+        several times faster generation (see the module's Performance
+        tuning section).
+    backend:
+        Worker pool flavour of the parallel evaluator: ``"thread"``
+        (default) or ``"process"`` (GIL-free overlap of generation and
+        simulation; flows are pickled to the workers).
     """
 
     pattern_names: tuple[str, ...] = ()
@@ -132,8 +181,14 @@ class ProcessingConfiguration:
     screening_beam: int | None = None
     eval_batch_size: int = 16
     cache_profiles: bool = True
+    copy_mode: str = "deep"
+    backend: str = "thread"
 
     def __post_init__(self) -> None:
+        if self.copy_mode not in ("deep", "cow"):
+            raise ValueError(f"unknown copy_mode: {self.copy_mode!r} (use 'deep' or 'cow')")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend: {self.backend!r} (use 'thread' or 'process')")
         if self.pattern_budget < 1:
             raise ValueError("pattern_budget must be at least 1")
         if self.max_points_per_pattern < 1:

@@ -146,7 +146,9 @@ class Planner:
             registry=self.measures, settings=estimator_settings, cache=self.profile_cache
         )
         self.evaluator = ParallelEvaluator(
-            estimator=self.estimator, workers=self.configuration.parallel_workers
+            estimator=self.estimator,
+            workers=self.configuration.parallel_workers,
+            backend=self.configuration.backend,
         )
         # Static-only twin used by the beam-screening first phase; shares
         # the registry and the profile cache (settings fingerprints keep
@@ -160,7 +162,9 @@ class Planner:
             registry=self.measures, settings=screening_settings, cache=self.profile_cache
         )
         self.screening_evaluator = ParallelEvaluator(
-            estimator=self.screening_estimator, workers=self.configuration.parallel_workers
+            estimator=self.screening_estimator,
+            workers=self.configuration.parallel_workers,
+            backend=self.configuration.backend,
         )
         self.generator = AlternativeGenerator(
             palette=self.palette, policy=self.policy, configuration=self.configuration

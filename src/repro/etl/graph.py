@@ -7,6 +7,23 @@ one.  :class:`ETLGraph` wraps a :class:`networkx.DiGraph` and adds the
 ETL-specific structure (operations on nodes, schemas on edges, sources,
 sinks, paths, cloning and annotation bookkeeping) that the planner and the
 quality estimators rely on.
+
+Pattern application produces thousands of near-identical flows, so the
+graph supports two copying disciplines:
+
+* ``copy(mode="deep")`` (the default) clones every operation payload --
+  the seed behaviour, safe against arbitrary direct mutation;
+* ``copy(mode="cow")`` shares the operation payloads between parent and
+  child and only materializes an operation when a write touches it.  All
+  mutation must then go through the graph methods (``mutable_operation``,
+  ``set_annotation``, ``add_edge``, ...), which trigger the copy-on-write
+  fault, record a structured :class:`GraphDelta` against the parent, and
+  keep an incrementally maintained structural signature.
+
+The delta makes downstream stages O(delta) as well: validation re-checks
+only the delta neighbourhood (:func:`repro.etl.validation.validate_delta`)
+and deduplication reuses the parent signature instead of re-hashing the
+whole flow.
 """
 
 from __future__ import annotations
@@ -19,6 +36,215 @@ import networkx as nx
 
 from repro.etl.operations import Operation, OperationKind
 from repro.etl.schema import Schema
+
+_graph_uid_counter = itertools.count(1)
+
+
+def _probe_plain_dict_internals() -> bool:
+    """Whether DiGraph stores nodes/adjacency in plain dicts (CPython default)."""
+    probe = nx.DiGraph()
+    try:
+        return (
+            isinstance(probe._node, dict)
+            and isinstance(probe._succ, dict)
+            and isinstance(probe._pred, dict)
+        )
+    except AttributeError:  # pragma: no cover - exotic networkx backends only
+        return False
+
+
+#: When true (the stock networkx implementation), ETLGraph copies share the
+#: node/edge *attribute dicts* between parent and child and every write
+#: replaces the leaf dict instead of mutating it, making a structure copy a
+#: two-level dict copy.  When false, leaf dicts are copied defensively and
+#: writes mutate in place (the seed behaviour).
+_PLAIN_DICT_INTERNALS = _probe_plain_dict_internals()
+
+#: networkx >= 3.3 keeps a per-graph backend-conversion cache that direct
+#: adjacency writes must invalidate; older releases have no such cache, so
+#: the invalidation degrades to a no-op there.
+_clear_nx_cache = getattr(nx, "_clear_cache", lambda graph: None)
+
+
+def _copy_structure(graph: nx.DiGraph, into: nx.DiGraph | None = None) -> nx.DiGraph:
+    """A structure copy of a DiGraph sharing every inner dictionary.
+
+    Cheaper than ``graph.copy()``: only the three *outer* dictionaries
+    (nodes, successor and predecessor adjacency) are rebuilt -- flat
+    pointer copies -- while the per-node adjacency dicts and the leaf
+    attribute dicts (``{"operation": ...}`` / ``{"edge": ...}``) are
+    shared.  Safe because :class:`ETLGraph` treats all inner dicts as
+    copy-on-write: adjacency writes go through the ``_own_*`` faults and
+    attribute writes replace leaf dicts instead of mutating them.  This
+    runs once per pattern application, so the constant factor matters.
+    """
+    if not _PLAIN_DICT_INTERNALS:  # pragma: no cover - exotic backends only
+        return graph.copy()
+    clone = nx.DiGraph() if into is None else into
+    clone.graph.update(graph.graph)
+    clone._node.update(graph._node)
+    clone._succ.update(graph._succ)
+    clone._pred.update(graph._pred)
+    return clone
+
+
+@dataclass
+class GraphDelta:
+    """The net structural difference of a flow against its copy parent.
+
+    Recorded automatically on graphs created with ``copy(mode="cow")``:
+    every mutation performed through the :class:`ETLGraph` API updates the
+    delta so that, at any point, replaying the delta on the parent yields
+    the child.  Entries are *net* effects -- an operation added and then
+    removed again leaves no trace.
+
+    Attributes
+    ----------
+    ops_added / ops_removed:
+        Identifiers of operations added to / removed from the parent.
+    ops_modified:
+        Identifiers of parent operations whose payload was materialized
+        for writing (copy-on-write fault) or relabelled.
+    edges_added / edges_removed:
+        ``(source, target)`` pairs of transitions added / removed.
+    edges_modified:
+        Transitions whose schema was replaced in place.
+    annotations_set:
+        Graph annotations set through :meth:`ETLGraph.set_annotation`.
+    """
+
+    ops_added: set[str] = field(default_factory=set)
+    ops_removed: set[str] = field(default_factory=set)
+    ops_modified: set[str] = field(default_factory=set)
+    edges_added: set[tuple[str, str]] = field(default_factory=set)
+    edges_removed: set[tuple[str, str]] = field(default_factory=set)
+    edges_modified: set[tuple[str, str]] = field(default_factory=set)
+    annotations_set: dict[str, Any] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        """Whether the delta records no change at all."""
+        return not (
+            self.ops_added
+            or self.ops_removed
+            or self.ops_modified
+            or self.edges_added
+            or self.edges_removed
+            or self.edges_modified
+            or self.annotations_set
+        )
+
+    def touched_operations(self, flow: "ETLGraph") -> set[str]:
+        """Identifiers of present operations whose neighbourhood changed.
+
+        Covers added and materialized operations plus every endpoint of an
+        added, removed or modified transition -- exactly the set whose
+        degree, schema environment or payload may differ from the parent,
+        and therefore the only operations delta validation re-checks.
+        """
+        ids = set(self.ops_added) | set(self.ops_modified)
+        for source, target in itertools.chain(
+            self.edges_added, self.edges_removed, self.edges_modified
+        ):
+            ids.add(source)
+            ids.add(target)
+        return {op_id for op_id in ids if op_id in flow}
+
+    def summary(self) -> dict[str, int]:
+        """Compact size report (used by generation statistics)."""
+        return {
+            "ops_added": len(self.ops_added),
+            "ops_removed": len(self.ops_removed),
+            "ops_modified": len(self.ops_modified),
+            "edges_added": len(self.edges_added),
+            "edges_removed": len(self.edges_removed),
+            "edges_modified": len(self.edges_modified),
+            "annotations_set": len(self.annotations_set),
+        }
+
+    def compose(self, later: "GraphDelta") -> "GraphDelta":
+        """The net delta of applying this delta and then ``later``.
+
+        Used by the alternative generator to validate a chain of pattern
+        applications in one O(combined delta) pass against the base flow
+        instead of once per step.  Composition goes through the same
+        net-effect recording helpers, so transient changes that ``later``
+        reverts (an operation added then removed, an edge restored)
+        cancel out exactly as if the mutations had been recorded on one
+        graph.
+        """
+        merged = GraphDelta(
+            ops_added=set(self.ops_added),
+            ops_removed=set(self.ops_removed),
+            ops_modified=set(self.ops_modified),
+            edges_added=set(self.edges_added),
+            edges_removed=set(self.edges_removed),
+            edges_modified=set(self.edges_modified),
+            annotations_set=dict(self.annotations_set),
+        )
+        for op_id in later.ops_removed:
+            merged.record_op_removed(op_id)
+        for op_id in later.ops_added:
+            merged.record_op_added(op_id)
+        for op_id in later.ops_modified:
+            merged.record_op_modified(op_id)
+        for key in later.edges_removed:
+            merged.record_edge_removed(key)
+        for key in later.edges_added:
+            merged.record_edge_added(key)
+        for key in later.edges_modified:
+            merged.record_edge_modified(key)
+        merged.annotations_set.update(later.annotations_set)
+        return merged
+
+    def is_structural(self) -> bool:
+        """Whether the delta changes anything validation could observe."""
+        return bool(
+            self.ops_added
+            or self.ops_removed
+            or self.ops_modified
+            or self.edges_added
+            or self.edges_removed
+            or self.edges_modified
+        )
+
+    # -- recording helpers (net-effect bookkeeping) ---------------------
+
+    def record_op_added(self, op_id: str) -> None:
+        if op_id in self.ops_removed:
+            # Removed and re-added: the payload may differ from the parent.
+            self.ops_removed.discard(op_id)
+            self.ops_modified.add(op_id)
+        else:
+            self.ops_added.add(op_id)
+
+    def record_op_removed(self, op_id: str) -> None:
+        if op_id in self.ops_added:
+            self.ops_added.discard(op_id)
+        else:
+            self.ops_modified.discard(op_id)
+            self.ops_removed.add(op_id)
+
+    def record_op_modified(self, op_id: str) -> None:
+        if op_id not in self.ops_added:
+            self.ops_modified.add(op_id)
+
+    def record_edge_added(self, key: tuple[str, str]) -> None:
+        if key in self.edges_removed:
+            self.edges_removed.discard(key)
+            self.edges_modified.add(key)
+        else:
+            self.edges_added.add(key)
+
+    def record_edge_removed(self, key: tuple[str, str]) -> None:
+        if key in self.edges_added:
+            self.edges_added.discard(key)
+        else:
+            self.edges_modified.discard(key)
+            self.edges_removed.add(key)
+
+    def record_edge_modified(self, key: tuple[str, str]) -> None:
+        if key not in self.edges_added:
+            self.edges_modified.add(key)
 
 
 @dataclass(frozen=True)
@@ -54,10 +280,93 @@ class ETLGraph:
         self._graph: nx.DiGraph = nx.DiGraph()
         self.annotations: dict[str, Any] = {}
         self._lineage: list[str] = []
+        # Copy-on-write bookkeeping.  ``_shared_ops`` holds identifiers of
+        # operations whose payload is shared with another graph and must be
+        # materialized before any write; ``_delta`` (COW children only)
+        # records the net difference against the copy parent; ``_parent_sig``
+        # snapshots the parent's structural signature at fork time so the
+        # child's signature is computed by merging the delta instead of
+        # re-hashing the whole flow.
+        self._copy_mode: str = "deep"
+        self._shared_ops: set[str] = set()
+        # Adjacency copy-on-write: when ``_shared_adj`` is set (after a
+        # COW fork, on both sides), the per-node adjacency dicts may be
+        # shared with another graph; ``_own_succ``/``_own_pred`` name the
+        # nodes whose dicts this graph has already privatized.
+        self._shared_adj: bool = False
+        self._own_succ: set[str] | None = None
+        self._own_pred: set[str] | None = None
+        self._delta: GraphDelta | None = None
+        self._parent_uid: int | None = None
+        self._parent_sig: tuple | None = None
+        self._parent_ref: "ETLGraph | None" = None
+        self._sig_cache: tuple | None = None
+        self._uid: int = next(_graph_uid_counter)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+
+    def _dirty(self) -> None:
+        """Invalidate the cached structural signature after a mutation."""
+        self._sig_cache = None
+
+    def _succ_of(self, op_id: str) -> dict:
+        """The successor dict of ``op_id``, privatized for writing."""
+        graph = self._graph
+        if self._shared_adj and op_id not in self._own_succ:
+            graph._succ[op_id] = dict(graph._succ[op_id])
+            self._own_succ.add(op_id)
+        return graph._succ[op_id]
+
+    def _pred_of(self, op_id: str) -> dict:
+        """The predecessor dict of ``op_id``, privatized for writing."""
+        graph = self._graph
+        if self._shared_adj and op_id not in self._own_pred:
+            graph._pred[op_id] = dict(graph._pred[op_id])
+            self._own_pred.add(op_id)
+        return graph._pred[op_id]
+
+    def _materialize_adjacency(self) -> None:
+        """Privatize every adjacency dict (before bulk nx-level mutation)."""
+        if not self._shared_adj:
+            return
+        graph = self._graph
+        for op_id in graph._succ:
+            if op_id not in self._own_succ:
+                graph._succ[op_id] = dict(graph._succ[op_id])
+        for op_id in graph._pred:
+            if op_id not in self._own_pred:
+                graph._pred[op_id] = dict(graph._pred[op_id])
+        self._shared_adj = False
+        self._own_succ = None
+        self._own_pred = None
+
+    def _write_operation_payload(self, op_id: str, operation: Operation) -> None:
+        """Replace the payload of an existing node, alias-preserving.
+
+        A fresh leaf dict is installed so that graphs sharing the old leaf
+        (copy parents/children) are unaffected.
+        """
+        if _PLAIN_DICT_INTERNALS:
+            self._graph._node[op_id] = {"operation": operation}
+        else:  # pragma: no cover - exotic networkx backends only
+            self._graph.nodes[op_id]["operation"] = operation
+
+    def _write_edge_record(self, source: str, target: str, edge: Edge) -> None:
+        """Insert or replace the record of an edge, alias-preserving.
+
+        Installs a fresh leaf dict into both adjacency directions (the
+        networkx invariant: ``_succ[u][v] is _pred[v][u]``), leaving any
+        old leaf shared with copies untouched.  Both endpoints must exist.
+        """
+        if _PLAIN_DICT_INTERNALS:
+            attr = {"edge": edge}
+            self._succ_of(source)[target] = attr
+            self._pred_of(target)[source] = attr
+            _clear_nx_cache(self._graph)
+        else:  # pragma: no cover - exotic networkx backends only
+            self._graph.add_edge(source, target, edge=edge)
 
     def add_operation(self, operation: Operation) -> Operation:
         """Add an operation as a new node.
@@ -70,6 +379,13 @@ class ETLGraph:
         if operation.op_id in self._graph:
             raise ValueError(f"duplicate operation id: {operation.op_id!r}")
         self._graph.add_node(operation.op_id, operation=operation)
+        if self._shared_adj:
+            # The freshly created adjacency dicts are private already.
+            self._own_succ.add(operation.op_id)
+            self._own_pred.add(operation.op_id)
+        self._dirty()
+        if self._delta is not None:
+            self._delta.record_op_added(operation.op_id)
         return operation
 
     def add_edge(
@@ -78,11 +394,17 @@ class ETLGraph:
         target: str | Operation,
         schema: Schema | None = None,
         label: str = "",
+        *,
+        unchecked: bool = False,
     ) -> Edge:
         """Add a transition between two existing operations.
 
         When ``schema`` is omitted, the output schema of the source
         operation is used, which is the common case for linear pipelines.
+        ``unchecked=True`` skips the cycle probe; it is reserved for
+        callers that guarantee acyclicity by construction (cloning an
+        existing DAG, grafting fresh nodes), where the probe would
+        re-traverse the flow for nothing.
         """
         source_id = source.op_id if isinstance(source, Operation) else source
         target_id = target.op_id if isinstance(target, Operation) else target
@@ -92,27 +414,67 @@ class ETLGraph:
             raise KeyError(f"unknown target operation: {target_id!r}")
         if source_id == target_id:
             raise ValueError(f"self-loop on {source_id!r} is not allowed in an ETL flow")
-        effective_schema = schema if schema is not None else self.operation(source_id).output_schema
-        edge = Edge(source=source_id, target=target_id, schema=effective_schema, label=label)
-        self._graph.add_edge(source_id, target_id, edge=edge)
-        if not nx.is_directed_acyclic_graph(self._graph):
-            self._graph.remove_edge(source_id, target_id)
+        # The graph was acyclic before, so the new edge closes a cycle iff
+        # the target already reaches the source.  This early-exiting
+        # reachability probe replaces a full-graph DAG recomputation and
+        # keeps edge insertion proportional to the affected region.
+        if not unchecked and nx.has_path(self._graph, target_id, source_id):
             raise ValueError(
                 f"adding edge {source_id!r} -> {target_id!r} would create a cycle"
             )
+        effective_schema = schema if schema is not None else self.operation(source_id).output_schema
+        edge = Edge(source=source_id, target=target_id, schema=effective_schema, label=label)
+        self._write_edge_record(source_id, target_id, edge)
+        self._dirty()
+        if self._delta is not None:
+            self._delta.record_edge_added((source_id, target_id))
         return edge
 
     def remove_edge(self, source: str, target: str) -> None:
         """Remove the transition ``source -> target``."""
         if not self._graph.has_edge(source, target):
             raise KeyError(f"no edge {source!r} -> {target!r}")
-        self._graph.remove_edge(source, target)
+        if _PLAIN_DICT_INTERNALS:
+            del self._succ_of(source)[target]
+            del self._pred_of(target)[source]
+            _clear_nx_cache(self._graph)
+        else:  # pragma: no cover - exotic networkx backends only
+            self._graph.remove_edge(source, target)
+        self._dirty()
+        if self._delta is not None:
+            self._delta.record_edge_removed((source, target))
 
     def remove_operation(self, op_id: str) -> None:
         """Remove an operation and all its incident transitions."""
         if op_id not in self._graph:
             raise KeyError(f"unknown operation: {op_id!r}")
-        self._graph.remove_node(op_id)
+        incident = [
+            *((pred, op_id) for pred in self._graph.predecessors(op_id)),
+            *((op_id, succ) for succ in self._graph.successors(op_id)),
+        ]
+        if _PLAIN_DICT_INTERNALS:
+            graph = self._graph
+            for pred, _ in incident:
+                if pred != op_id:
+                    del self._succ_of(pred)[op_id]
+            for _, succ in incident:
+                if succ != op_id:
+                    del self._pred_of(succ)[op_id]
+            del graph._succ[op_id]
+            del graph._pred[op_id]
+            del graph._node[op_id]
+            if self._shared_adj:
+                self._own_succ.discard(op_id)
+                self._own_pred.discard(op_id)
+            _clear_nx_cache(graph)
+        else:  # pragma: no cover - exotic networkx backends only
+            self._graph.remove_node(op_id)
+        self._shared_ops.discard(op_id)
+        self._dirty()
+        if self._delta is not None:
+            for key in incident:
+                self._delta.record_edge_removed(key)
+            self._delta.record_op_removed(op_id)
 
     def relabel_operation(self, op_id: str, new_id: str) -> None:
         """Change the identifier of an operation (keeping all edges)."""
@@ -120,19 +482,47 @@ class ETLGraph:
             raise KeyError(f"unknown operation: {op_id!r}")
         if new_id in self._graph:
             raise ValueError(f"operation id already in use: {new_id!r}")
-        operation = self.operation(op_id)
+        # Materialize before touching ``op_id``: the payload may be shared
+        # with a copy parent/child, and ``nx.relabel_nodes(copy=False)``
+        # would otherwise rename the operation inside *both* graphs.
+        operation = self.mutable_operation(op_id)
+        incident = [
+            *((pred, op_id) for pred in self._graph.predecessors(op_id)),
+            *((op_id, succ) for succ in self._graph.successors(op_id)),
+        ]
         operation.op_id = new_id
+        # ``relabel_nodes(copy=False)`` mutates adjacency dicts at the
+        # networkx level, below the copy-on-write faults: privatize the
+        # whole adjacency first so shared state stays untouched.
+        self._materialize_adjacency()
         nx.relabel_nodes(self._graph, {op_id: new_id}, copy=False)
-        # Rebuild edge records referencing the old identifier.
+        self._dirty()
+        if self._delta is not None:
+            for key in incident:
+                self._delta.record_edge_removed(key)
+            self._delta.record_op_removed(op_id)
+            self._delta.record_op_added(new_id)
+            for source, target in incident:
+                renamed = (
+                    new_id if source == op_id else source,
+                    new_id if target == op_id else target,
+                )
+                self._delta.record_edge_added(renamed)
+        # Rebuild edge records referencing the old identifier (fresh leaf
+        # dicts, so records shared with copies stay intact).
         for pred in list(self._graph.predecessors(new_id)):
             old_edge: Edge = self._graph.edges[pred, new_id]["edge"]
-            self._graph.edges[pred, new_id]["edge"] = Edge(
-                source=pred, target=new_id, schema=old_edge.schema, label=old_edge.label
+            self._write_edge_record(
+                pred,
+                new_id,
+                Edge(source=pred, target=new_id, schema=old_edge.schema, label=old_edge.label),
             )
         for succ in list(self._graph.successors(new_id)):
             old_edge = self._graph.edges[new_id, succ]["edge"]
-            self._graph.edges[new_id, succ]["edge"] = Edge(
-                source=new_id, target=succ, schema=old_edge.schema, label=old_edge.label
+            self._write_edge_record(
+                new_id,
+                succ,
+                Edge(source=new_id, target=succ, schema=old_edge.schema, label=old_edge.label),
             )
 
     # ------------------------------------------------------------------
@@ -146,11 +536,42 @@ class ETLGraph:
         return self._graph.number_of_nodes()
 
     def operation(self, op_id: str) -> Operation:
-        """Return the operation with the given identifier."""
+        """Return the operation with the given identifier (read-only view).
+
+        On copy-on-write graphs the returned payload may be shared with
+        the copy parent; callers intending to mutate it must use
+        :meth:`mutable_operation` instead.
+        """
         try:
+            # Reach into the node dict directly: this is the hottest
+            # accessor of the whole planner (validation, estimation and
+            # pattern checks all funnel through it).
+            if _PLAIN_DICT_INTERNALS:
+                return self._graph._node[op_id]["operation"]
             return self._graph.nodes[op_id]["operation"]
         except KeyError as exc:
             raise KeyError(f"unknown operation: {op_id!r}") from exc
+
+    def mutable_operation(self, op_id: str) -> Operation:
+        """Return the operation, materializing it first if its payload is shared.
+
+        This is the copy-on-write fault: on a ``copy(mode="cow")`` graph
+        (or its parent) the operation payload is replaced by a private
+        copy before being handed out, so in-place mutation never leaks
+        across the copy boundary.  On fully owned graphs this is the same
+        as :meth:`operation`.  The operation is recorded as modified in
+        the graph delta and the cached signature is invalidated; callers
+        must finish mutating before the signature is read again.
+        """
+        operation = self.operation(op_id)
+        if op_id in self._shared_ops:
+            operation = operation.copy()
+            self._write_operation_payload(op_id, operation)
+            self._shared_ops.discard(op_id)
+        self._dirty()
+        if self._delta is not None:
+            self._delta.record_op_modified(op_id)
+        return operation
 
     def operations(self) -> list[Operation]:
         """All operations, in insertion order."""
@@ -167,6 +588,8 @@ class ETLGraph:
     def edge(self, source: str, target: str) -> Edge:
         """Return the transition ``source -> target``."""
         try:
+            if _PLAIN_DICT_INTERNALS:
+                return self._graph._succ[source][target]["edge"]
             return self._graph.edges[source, target]["edge"]
         except KeyError as exc:
             raise KeyError(f"no edge {source!r} -> {target!r}") from exc
@@ -178,9 +601,14 @@ class ETLGraph:
     def set_edge_schema(self, source: str, target: str, schema: Schema) -> None:
         """Replace the schema carried by an existing transition."""
         existing = self.edge(source, target)
-        self._graph.edges[source, target]["edge"] = Edge(
-            source=source, target=target, schema=schema, label=existing.label
+        self._write_edge_record(
+            source,
+            target,
+            Edge(source=source, target=target, schema=schema, label=existing.label),
         )
+        self._dirty()
+        if self._delta is not None:
+            self._delta.record_edge_modified((source, target))
 
     # ------------------------------------------------------------------
     # Structure queries
@@ -204,6 +632,14 @@ class ETLGraph:
         """Operations with no successors (the loading points)."""
         return [self.operation(n) for n in self._graph.nodes() if self._graph.out_degree(n) == 0]
 
+    def has_source(self) -> bool:
+        """Whether at least one operation has no predecessors (early exit)."""
+        return any(not preds for preds in self._graph.pred.values())
+
+    def has_sink(self) -> bool:
+        """Whether at least one operation has no successors (early exit)."""
+        return any(not succs for succs in self._graph.succ.values())
+
     def predecessors(self, op_id: str) -> list[Operation]:
         """Operations feeding directly into ``op_id``."""
         return [self.operation(n) for n in self._graph.predecessors(op_id)]
@@ -214,10 +650,14 @@ class ETLGraph:
 
     def in_degree(self, op_id: str) -> int:
         """Number of incoming transitions of ``op_id``."""
+        if _PLAIN_DICT_INTERNALS:
+            return len(self._graph._pred[op_id])
         return int(self._graph.in_degree(op_id))
 
     def out_degree(self, op_id: str) -> int:
         """Number of outgoing transitions of ``op_id``."""
+        if _PLAIN_DICT_INTERNALS:
+            return len(self._graph._succ[op_id])
         return int(self._graph.out_degree(op_id))
 
     def topological_order(self) -> list[Operation]:
@@ -329,23 +769,125 @@ class ETLGraph:
         """Append a pattern application record to the flow lineage."""
         self._lineage.append(description)
 
+    def set_annotation(self, key: str, value: Any) -> None:
+        """Set a graph-level annotation, recording it in the delta.
+
+        Equivalent to assigning into :attr:`annotations` directly, but
+        visible to delta-based tooling; graph-level patterns go through
+        here.  (The signature always reads the live annotation dict, so
+        direct assignment stays correct as well.)
+        """
+        self.annotations[key] = value
+        if self._delta is not None:
+            self._delta.annotations_set[key] = value
+
+    # ------------------------------------------------------------------
+    # Delta / derivation introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def copy_mode(self) -> str:
+        """The copy discipline later ``copy()`` calls default to."""
+        return self._copy_mode
+
+    @property
+    def delta(self) -> GraphDelta | None:
+        """The recorded delta against the copy parent (COW children only)."""
+        return self._delta
+
+    def derived_from(self, parent: "ETLGraph") -> bool:
+        """Whether this graph was produced by ``parent.copy(mode="cow")``.
+
+        Used by the alternative generator to decide if the recorded delta
+        can be chained onto the parent's validation state.
+        """
+        return self._parent_uid is not None and self._parent_uid == parent._uid
+
     # ------------------------------------------------------------------
     # Copying / comparison
     # ------------------------------------------------------------------
 
-    def copy(self, name: str | None = None) -> "ETLGraph":
+    def copy(self, name: str | None = None, mode: str | None = None) -> "ETLGraph":
         """Return an independent copy of the flow.
 
-        Operations are copied (so pattern application on the copy cannot
-        mutate the original), edge schemas are shared (immutable).
+        Parameters
+        ----------
+        name:
+            Optional name of the copy (defaults to this flow's name).
+        mode:
+            ``"deep"`` clones every operation payload (the seed
+            behaviour); ``"cow"`` shares the payloads copy-on-write and
+            records a :class:`GraphDelta` on the child.  ``None`` (the
+            default) inherits this graph's own copy mode, so a planning
+            run switched to COW propagates it through every pattern
+            application without the patterns knowing.
         """
+        effective = mode or self._copy_mode
+        if effective == "cow":
+            return self._cow_copy(name)
+        if effective != "deep":
+            raise ValueError(f"unknown copy mode: {effective!r}")
         clone = ETLGraph(name=name or self.name)
         for op in self.operations():
             clone.add_operation(op.copy())
         for edge in self.edges():
-            clone.add_edge(edge.source, edge.target, schema=edge.schema, label=edge.label)
+            # Cloning a DAG cannot introduce a cycle.
+            clone.add_edge(
+                edge.source, edge.target, schema=edge.schema, label=edge.label, unchecked=True
+            )
         clone.annotations = dict(self.annotations)
         clone._lineage = list(self._lineage)
+        return clone
+
+    def cow_base(self, name: str | None = None) -> "ETLGraph":
+        """A private deep snapshot whose future copies default to COW.
+
+        Used by the alternative generator: the caller's flow is
+        deep-copied exactly once -- so it never shares payloads with
+        generated candidates and the seed idiom of mutating a deep
+        flow's operations directly keeps working -- while every flow
+        derived from the snapshot forks copy-on-write.
+        """
+        base = self.copy(name=name, mode="deep")
+        base._copy_mode = "cow"
+        return base
+
+    def _cow_copy(self, name: str | None = None) -> "ETLGraph":
+        """A copy sharing operation payloads with this graph (copy-on-write).
+
+        The graph *structure* (node/edge dictionaries) is copied so the
+        two flows evolve independently, but the :class:`Operation`
+        payloads are shared and marked as such on **both** sides: whoever
+        writes first -- through :meth:`mutable_operation` -- materializes
+        a private copy, so neither graph can observe the other's
+        mutations.  The child records every subsequent mutation in its
+        delta and snapshots the parent's structural signature for
+        incremental signature maintenance.
+        """
+        clone = ETLGraph(name=name or self.name)
+        clone._graph = _copy_structure(self._graph, into=clone._graph)
+        clone.annotations = dict(self.annotations)
+        clone._lineage = list(self._lineage)
+        clone._copy_mode = "cow"
+        shared = set(self._graph.nodes)
+        clone._shared_ops = set(shared)
+        self._shared_ops |= shared
+        # After the fork every adjacency dict is shared between the two
+        # graphs, so both sides restart their copy-on-write tracking.
+        clone._shared_adj = True
+        clone._own_succ = set()
+        clone._own_pred = set()
+        self._shared_adj = True
+        self._own_succ = set()
+        self._own_pred = set()
+        clone._delta = GraphDelta()
+        clone._parent_uid = self._uid
+        # The parent's structural signature is captured lazily, on the
+        # child's first signature request: candidates discarded before
+        # deduplication never pay for it.  The reference is dropped as
+        # soon as the signature is resolved, so no parent chain is kept
+        # alive beyond that point.
+        clone._parent_ref = self
         return clone
 
     def structurally_equal(self, other: "ETLGraph") -> bool:
@@ -360,10 +902,89 @@ class ETLGraph:
         return mine == theirs
 
     def signature(self) -> tuple:
-        """A hashable structural signature used to deduplicate alternatives."""
-        nodes = tuple(sorted((op.op_id, op.kind.value, op.parallelism) for op in self.operations()))
-        edges = tuple(sorted((e.source, e.target) for e in self.edges()))
-        return (nodes, edges)
+        """A hashable signature used to deduplicate alternatives.
+
+        Covers the structure (operations with kind and parallelism, plus
+        transitions) *and* the graph annotations, so that graph-level
+        (annotation-only) patterns produce distinguishable flows instead
+        of being pruned as duplicates of their host.  The structural part
+        is cached on copy-on-write graphs and maintained incrementally
+        from the parent signature plus the recorded delta; the annotation
+        part is always read live (annotation dicts are tiny and may be
+        assigned directly).
+        """
+        nodes, edges = self._structural_signature()
+        annotations = tuple(
+            sorted((str(k), repr(v)) for k, v in self.annotations.items())
+        )
+        return (nodes, edges, annotations)
+
+    def _structural_signature(self) -> tuple:
+        """The (nodes, edges) part of the signature, cached on COW graphs."""
+        if self._sig_cache is not None:
+            return self._sig_cache
+        if self._parent_sig is None and self._parent_ref is not None:
+            self._parent_sig = self._parent_ref._structural_signature()
+            self._parent_ref = None
+        if self._parent_sig is not None and self._delta is not None:
+            signature = self._merge_parent_signature()
+        else:
+            nodes = tuple(
+                sorted((op.op_id, op.kind.value, op.parallelism) for op in self.operations())
+            )
+            edges = tuple(sorted((e.source, e.target) for e in self.edges()))
+            signature = (nodes, edges)
+        if self._copy_mode == "cow":
+            # Only COW graphs funnel every mutation through the graph API,
+            # so only they can invalidate the cache reliably; deep graphs
+            # recompute each time, exactly like the seed.
+            self._sig_cache = signature
+        return signature
+
+    def _merge_parent_signature(self) -> tuple:
+        """Parent structural signature + delta -> this graph's signature."""
+        parent_nodes, parent_edges = self._parent_sig
+        delta = self._delta
+        changed = delta.ops_added | delta.ops_modified
+        gone = delta.ops_removed | changed
+        nodes = [entry for entry in parent_nodes if entry[0] not in gone]
+        for op_id in changed:
+            if op_id in self._graph:
+                op = self._graph.nodes[op_id]["operation"]
+                nodes.append((op.op_id, op.kind.value, op.parallelism))
+        edge_gone = delta.edges_removed | delta.edges_added
+        edges = [key for key in parent_edges if key not in edge_gone]
+        edges.extend(key for key in delta.edges_added if self._graph.has_edge(*key))
+        return (tuple(sorted(nodes)), tuple(sorted(edges)))
+
+    # ------------------------------------------------------------------
+    # Pickling
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Materialize shared operation payloads before pickling.
+
+        Process-pool workers receive flows by pickle; materializing here
+        guarantees that no operation object is shared between a parent
+        and a child pickled in the same payload, so an unpickled COW
+        graph is always fully self-contained and safely mutable.
+        """
+        state = self.__dict__.copy()
+        if self._shared_ops or self._shared_adj:
+            graph = self._graph.copy()
+            for op_id in self._shared_ops:
+                graph.nodes[op_id]["operation"] = graph.nodes[op_id]["operation"].copy()
+            state["_graph"] = graph
+            state["_shared_ops"] = set()
+            state["_shared_adj"] = False
+            state["_own_succ"] = None
+            state["_own_pred"] = None
+        if self._parent_ref is not None:
+            # Never drag the copy-parent chain through pickle; the
+            # unpickled graph recomputes its signature from scratch.
+            state["_parent_ref"] = None
+            state["_parent_sig"] = None
+        return state
 
     # ------------------------------------------------------------------
     # Interop

@@ -105,6 +105,14 @@ class Field:
         return replace(self, nullable=nullable)
 
 
+#: Memo of ``Schema.is_compatible_with`` results keyed by the object-id
+#: pair; values pin the schemas so the ids cannot be recycled.  Bounded:
+#: once full it is flushed wholesale (entries are trivially recomputable),
+#: so long-lived processes churning through many workloads cannot leak.
+_COMPATIBILITY_MEMO: dict[tuple[int, int], tuple["Schema", "Schema", bool]] = {}
+_COMPATIBILITY_MEMO_LIMIT = 4096
+
+
 @dataclass(frozen=True)
 class Schema:
     """An ordered collection of uniquely named fields.
@@ -146,7 +154,16 @@ class Schema:
         return iter(self.fields)
 
     def __contains__(self, name: object) -> bool:
-        return any(f.name == name for f in self.fields)
+        return name in self._by_name()
+
+    def _by_name(self) -> dict[str, Field]:
+        """A lazily built name index (schemas are immutable, so it never stales)."""
+        try:
+            return self._name_index  # type: ignore[attr-defined]
+        except AttributeError:
+            index = {f.name: f for f in self.fields}
+            object.__setattr__(self, "_name_index", index)
+            return index
 
     @property
     def names(self) -> tuple[str, ...]:
@@ -181,17 +198,11 @@ class Schema:
         KeyError
             If no field with that name exists.
         """
-        for f in self.fields:
-            if f.name == name:
-                return f
-        raise KeyError(name)
+        return self._by_name()[name]
 
     def get(self, name: str) -> Field | None:
         """Return the field called ``name`` or ``None`` if absent."""
-        try:
-            return self.field(name)
-        except KeyError:
-            return None
+        return self._by_name().get(name)
 
     # -- derivation -----------------------------------------------------
 
@@ -252,13 +263,29 @@ class Schema:
         """Whether records of this schema can flow into a consumer expecting ``other``.
 
         Compatibility is positional-name based: every field required by
-        ``other`` must be present here with the same data type.
+        ``other`` must be present here with the same data type.  Results
+        are memoized per schema-object pair: flow validation re-checks
+        the same shared schema objects across thousands of candidate
+        flows, so the answer is almost always already known.
         """
+        key = (id(self), id(other))
+        hit = _COMPATIBILITY_MEMO.get(key)
+        if hit is not None:
+            return hit[2]
+        index = self._by_name()
+        result = True
         for required in other.fields:
-            actual = self.get(required.name)
+            actual = index.get(required.name)
             if actual is None or actual.dtype != required.dtype:
-                return False
-        return True
+                result = False
+                break
+        # The memo pins both schemas, keeping their ids stable for the
+        # lifetime of the entry; distinct schema objects number in the
+        # dozens per workload, so the memo rarely reaches its bound.
+        if len(_COMPATIBILITY_MEMO) >= _COMPATIBILITY_MEMO_LIMIT:
+            _COMPATIBILITY_MEMO.clear()
+        _COMPATIBILITY_MEMO[key] = (self, other, result)
+        return result
 
     def to_dict(self) -> list[dict[str, object]]:
         """Serialise the schema to a JSON-friendly structure."""

@@ -15,20 +15,22 @@ into another at a valid application point:
   annotations (encryption, access control, scheduling).
 
 All functions return a *new* flow; the host flow passed in is never
-mutated.
+mutated.  The new flow is produced with ``host.copy()`` and therefore
+inherits the host's copy mode: on a copy-on-write host the graft is
+recorded as a structured :class:`~repro.etl.graph.GraphDelta` (operations
+added, transitions rewired, annotations set) that downstream validation
+and deduplication exploit, and every write to a grafted or shared
+operation goes through the graph's copy-on-write fault.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.etl.graph import ETLGraph
 from repro.etl.operations import Operation
 from repro.etl.schema import Schema
-
-_graft_counter = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -55,10 +57,19 @@ class SubflowInsertion:
 
 
 def _unique_id(flow: ETLGraph, base: str) -> str:
-    """Return an operation identifier not yet used in ``flow``."""
+    """Return an operation identifier not yet used in ``flow``.
+
+    Collisions are disambiguated with a counter derived from the host
+    flow itself (not from global state), so grafting is a pure function
+    of the host and the sub-flow: repeated planning runs -- and the
+    ``copy_mode="deep"`` vs ``"cow"`` arms of the generation benchmark --
+    produce identically labelled operations.
+    """
     candidate = base
+    suffix = 2
     while candidate in flow:
-        candidate = f"{base}__g{next(_graft_counter)}"
+        candidate = f"{base}__g{suffix}"
+        suffix += 1
     return candidate
 
 
@@ -79,8 +90,13 @@ def _copy_subflow_into(
         host.add_operation(clone)
         mapping[op.op_id] = new_id
     for edge in subflow.edges():
+        # Both endpoints are freshly grafted nodes, acyclic by construction.
         host.add_edge(
-            mapping[edge.source], mapping[edge.target], schema=edge.schema, label=edge.label
+            mapping[edge.source],
+            mapping[edge.target],
+            schema=edge.schema,
+            label=edge.label,
+            unchecked=True,
         )
     return mapping
 
@@ -127,14 +143,21 @@ def insert_on_edge(
     exit_id = mapping[exits[0].op_id]
     # Propagate the transition schema into schema-less grafted operations.
     for new_id in mapping.values():
-        grafted = new_flow.operation(new_id)
+        grafted = new_flow.mutable_operation(new_id)
         if len(grafted.output_schema) == 0:
             grafted.output_schema = replaced_edge.schema
         if configure is not None:
             configure(grafted, replaced_edge.schema)
     new_flow.remove_edge(edge_source, edge_target)
-    new_flow.add_edge(edge_source, entry_id, schema=replaced_edge.schema, label=replaced_edge.label)
-    new_flow.add_edge(exit_id, edge_target, schema=new_flow.operation(exit_id).output_schema)
+    # Interposing fresh nodes on an existing transition of a DAG cannot
+    # close a cycle, so the insertion probes are skipped.
+    new_flow.add_edge(
+        edge_source, entry_id, schema=replaced_edge.schema, label=replaced_edge.label,
+        unchecked=True,
+    )
+    new_flow.add_edge(
+        exit_id, edge_target, schema=new_flow.operation(exit_id).output_schema, unchecked=True
+    )
     insertion = SubflowInsertion(
         host_name=host.name,
         description=description or f"insert {subflow.name} on edge {edge_source}->{edge_target}",
@@ -179,16 +202,22 @@ def replace_node(
     entry_id = mapping[entries[0].op_id]
     exit_id = mapping[exits[0].op_id]
     for new_id in mapping.values():
-        grafted = new_flow.operation(new_id)
+        grafted = new_flow.mutable_operation(new_id)
         if len(grafted.output_schema) == 0:
             grafted.output_schema = replaced.output_schema
         if configure is not None:
             configure(grafted, replaced)
     new_flow.remove_operation(op_id)
+    # Rewiring the replaced node's transitions onto the fresh entry/exit
+    # preserves acyclicity: any new cycle would imply a path between a
+    # successor and a predecessor of the replaced node, i.e. a cycle
+    # through it in the original DAG.
     for edge in incoming:
-        new_flow.add_edge(edge.source, entry_id, schema=edge.schema, label=edge.label)
+        new_flow.add_edge(edge.source, entry_id, schema=edge.schema, label=edge.label,
+                          unchecked=True)
     for edge in outgoing:
-        new_flow.add_edge(exit_id, edge.target, schema=edge.schema, label=edge.label)
+        new_flow.add_edge(exit_id, edge.target, schema=edge.schema, label=edge.label,
+                          unchecked=True)
     insertion = SubflowInsertion(
         host_name=host.name,
         description=description or f"replace node {op_id} by {subflow.name}",
@@ -213,7 +242,7 @@ def wrap_graph(
     annotation that the measure estimators interpret.
     """
     new_flow = host.copy()
-    new_flow.annotations[annotation_key] = annotation_value
+    new_flow.set_annotation(annotation_key, annotation_value)
     insertion = SubflowInsertion(
         host_name=host.name,
         description=description or f"graph-level configuration {annotation_key}={annotation_value!r}",

@@ -183,7 +183,14 @@ class FlowComponentPattern(abc.ABC):
         """Deploy the pattern at ``point`` and return the new flow.
 
         Implementations must not mutate ``flow``; they work on a copy (the
-        grafting helpers in :mod:`repro.etl.subflow` already do).
+        grafting helpers in :mod:`repro.etl.subflow` already do).  The
+        copy inherits the host's copy mode, so under the planner's
+        ``copy_mode="cow"`` the returned flow shares untouched operation
+        payloads with the host: any in-place write to an existing
+        operation must go through ``ETLGraph.mutable_operation`` (never
+        ``operation``), and annotations should be set via
+        ``ETLGraph.set_annotation``, so the copy-on-write fault fires and
+        the application is captured in the flow's delta.
         """
 
     def apply_checked(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
@@ -197,6 +204,35 @@ class FlowComponentPattern(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
     # ------------------------------------------------------------------
+
+    def _memoized_subflow(self, key_obj: object, builder: Callable[[], ETLGraph]) -> ETLGraph:
+        """Build a sub-flow template once per anchor object and reuse it.
+
+        Patterns instantiate their sub-flow from the application point's
+        schema (or operation); across the thousands of candidate flows of
+        one planning run those anchors are the *same objects* (flow
+        copies share schemas and, copy-on-write, operations), so the
+        template -- and every schema object inside it -- is built once.
+        Grafting copies the template's operations into the host, so the
+        cached instance is never mutated.  The memo pins the anchor,
+        keeping its id stable for the lifetime of the entry, and is
+        bounded: node-anchored patterns in deep mode see fresh anchor
+        objects on every application (no hits), so without the bound the
+        cache would grow with every candidate; once full it is flushed
+        wholesale, templates being cheap to rebuild.
+        """
+        cache: dict[int, tuple[object, ETLGraph]] = getattr(self, "_subflow_cache", None)
+        if cache is None:
+            cache = self._subflow_cache = {}
+        key = id(key_obj)
+        hit = cache.get(key)
+        if hit is not None and hit[0] is key_obj:
+            return hit[1]
+        built = builder()
+        if len(cache) >= 256:
+            cache.clear()
+        cache[key] = (key_obj, built)
+        return built
 
     def _edge_of(self, flow: ETLGraph, point: ApplicationPoint) -> Edge:
         """The host-flow edge targeted by an edge application point."""

@@ -163,7 +163,8 @@ class CustomEdgePattern(FlowComponentPattern):
 
     def apply(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
         edge = self._edge_of(flow, point)
-        subflow = self._build_subflow(edge.schema)
+        schema = edge.schema
+        subflow = self._memoized_subflow(schema, lambda: self._build_subflow(schema))
         new_flow, _ = insert_on_edge(
             flow,
             *point.edge,

@@ -105,7 +105,9 @@ class ParallelizeTask(FlowComponentPattern):
 
     def apply(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
         new_flow = flow.copy()
-        operation = new_flow.operation(point.node_id)
+        # mutable_operation triggers the copy-on-write fault: on a COW
+        # copy the payload is still shared with the host flow.
+        operation = new_flow.mutable_operation(point.node_id)
         operation.config["parallelism"] = self.degree
         operation.name = f"{operation.name} (x{self.degree} parallel)"
         new_flow.record_pattern(f"{self.name} @ {point.describe()} (degree={self.degree})")
@@ -180,7 +182,7 @@ class HorizontalPartitionTask(FlowComponentPattern):
 
     def apply(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:
         original = self._node_of(flow, point)
-        subflow = self._build_subflow(original)
+        subflow = self._memoized_subflow(original, lambda: self._build_subflow(original))
         new_flow, _ = replace_node(
             flow,
             point.node_id,

@@ -1,28 +1,33 @@
-"""Smoke-run of the streaming-pipeline benchmark on a tiny flow.
+"""Smoke-runs of the benchmark harnesses on tiny flows.
 
-Keeps ``benchmarks/bench_streaming_pipeline.py`` importable and its
-comparison harness runnable from the test suite (one run, smallest
-budgets), without asserting on wall-clock -- timing claims are only
-meaningful at benchmark scale.
+Keeps ``benchmarks/bench_streaming_pipeline.py``,
+``benchmarks/bench_generation.py`` and ``benchmarks/run_all.py``
+importable and their harnesses runnable from the test suite (one run,
+smallest budgets), without asserting on wall-clock -- timing claims are
+only meaningful at benchmark scale.
 """
 
 import importlib.util
+import json
 from pathlib import Path
 
 import pytest
 
 pytestmark = pytest.mark.slow
 
-_BENCH_PATH = (
-    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_streaming_pipeline.py"
-)
+_BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+_BENCH_PATH = _BENCH_DIR / "bench_streaming_pipeline.py"
 
 
-def _load_bench():
-    spec = importlib.util.spec_from_file_location("bench_streaming_pipeline", _BENCH_PATH)
+def _load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _load_bench():
+    return _load_module(_BENCH_PATH)
 
 
 def test_bench_smoke_tiny_flow():
@@ -46,3 +51,37 @@ def test_bench_smoke_tiny_flow():
     assert 0.0 <= report["arms"]["streaming"]["cache"]["hit_rate"] <= 1.0
     # the report renders without blowing up
     assert "streaming vs eager" in bench._render_report(report)
+
+
+def test_generation_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_generation.py")
+    report = bench.run_generation_bench(
+        scale=0.01,
+        pattern_budget=2,
+        max_points_per_pattern=2,
+        max_alternatives=30,
+        repeats=1,
+    )
+    assert set(report["arms"]) == {"deep", "cow"}
+    assert report["identical_alternatives"]
+    for arm in report["arms"].values():
+        assert arm["seconds"] > 0
+        assert arm["alternatives"] > 0
+        assert arm["candidates_per_second"] > 0
+    assert "cow vs deep" in bench._render_report(report)
+
+
+def test_run_all_smoke_writes_machine_readable_record(tmp_path):
+    run_all = _load_module(_BENCH_DIR / "run_all.py")
+    output = tmp_path / "BENCH_generation.json"
+    assert run_all.main(["--tiny", "--output", str(output)]) == 0
+    record = json.loads(output.read_text())
+    assert record["tiny"] is True
+    assert record["peak_rss_kb"] > 0
+    generation = record["generation"]
+    assert generation["identical_alternatives"]
+    assert generation["candidates_per_second_cow"] > 0
+    assert generation["speedup_cow_vs_deep"] > 0
+    streaming = record["streaming"]
+    assert streaming["equivalent_selections"]
+    assert streaming["speedup_streaming_vs_eager"] > 0
