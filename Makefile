@@ -1,0 +1,37 @@
+# Development entry points. Everything runs from the repository root
+# with src/ on the path; no installation required.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench bench-tiny docs-check examples check
+
+## tier-1 test suite (the gate every change must keep green)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## same, skipping simulation-heavy tests marked `slow`
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## regenerate BENCH_generation.json at full scale (idle machine!)
+bench:
+	$(PYTHON) benchmarks/run_all.py
+
+## seconds-long benchmark smoke run (report shape only, numbers meaningless)
+bench-tiny:
+	$(PYTHON) benchmarks/run_all.py --tiny --output /tmp/bench_tiny.json
+
+## intra-doc links + every ProcessingConfiguration knob documented
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+## run every example script end-to-end (regenerates examples/data/ first)
+examples:
+	$(PYTHON) examples/generate_data.py
+	@set -e; for f in examples/*.py; do \
+		echo "== $$f"; $(PYTHON) $$f > /dev/null; \
+	done
+
+## everything a PR must pass
+check: docs-check test

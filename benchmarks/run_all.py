@@ -89,6 +89,24 @@ def run_all(tiny: bool = False) -> dict:
             "validation_seconds_cow": generation["arms"]["cow"]["validation_seconds"],
             "speedup_cow_vs_deep": generation["speedup_cow_vs_deep"],
             "identical_alternatives": generation["identical_alternatives"],
+            "prefix_cache": {
+                "patterns_applied_deep_noprefix": generation["arms"]["deep_noprefix"][
+                    "patterns_applied"
+                ],
+                "patterns_applied_deep": generation["arms"]["deep"]["patterns_applied"],
+                "patterns_applied_cow_noprefix": generation["arms"]["cow_noprefix"][
+                    "patterns_applied"
+                ],
+                "patterns_applied_cow": generation["arms"]["cow"]["patterns_applied"],
+                "application_reduction_deep": generation["application_reduction_deep"],
+                "application_reduction_cow": generation["application_reduction_cow"],
+                "speedup_prefix_vs_noprefix_deep": generation[
+                    "speedup_prefix_vs_noprefix_deep"
+                ],
+                "speedup_prefix_vs_noprefix_cow": generation[
+                    "speedup_prefix_vs_noprefix_cow"
+                ],
+            },
             "raw": generation,
         },
         "streaming": {
@@ -120,6 +138,11 @@ def main(argv=None) -> int:
         f"{generation['candidates_per_second_deep']:.0f} cand/s (deep), "
         f"speedup {generation['speedup_cow_vs_deep']:.2f}x, "
         f"identical={generation['identical_alternatives']}"
+    )
+    prefix = generation["prefix_cache"]
+    print(
+        f"prefix cache: {prefix['application_reduction_deep']:.2f}x fewer applications "
+        f"(deep), {prefix['application_reduction_cow']:.2f}x (cow)"
     )
     print(
         f"streaming: {report['streaming']['speedup_streaming_vs_eager']:.2f}x vs eager, "

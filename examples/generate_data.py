@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Generate the bundled sample model documents under ``examples/data/``.
+
+``examples/import_models.py`` (and the ``tests/io`` sample-document
+suite) load logical ETL models in the formats the paper's demo supports:
+xLM documents, a Pentaho Data Integration (PDI) transformation and a
+JSON flow.  Those documents are derived from the built-in workloads, so
+instead of committing generated artefacts they are materialised on
+demand by this script::
+
+    python examples/generate_data.py
+
+Re-running is idempotent: the documents are deterministic exports of the
+workload factories, so the files only change when the workloads do.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.io.jsonflow import save_flow_json
+from repro.io.pdi import save_flow_pdi
+from repro.io.xlm import save_flow_xlm
+from repro.workloads import purchases_flow, tpcds_sales_flow, tpch_refresh_flow
+
+DATA_DIR = Path(__file__).resolve().parent / "data"
+
+
+def main() -> None:
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    purchases = purchases_flow(rows_per_source=10_000)
+    written = [
+        save_flow_xlm(tpch_refresh_flow(scale=0.1), DATA_DIR / "tpch_refresh.xlm"),
+        save_flow_xlm(purchases, DATA_DIR / "s_purchases.xlm"),
+        save_flow_json(purchases, DATA_DIR / "s_purchases.json"),
+        save_flow_pdi(tpcds_sales_flow(scale=0.1), DATA_DIR / "tpcds_sales.ktr"),
+    ]
+    for path in written:
+        print(f"wrote {path.relative_to(DATA_DIR.parent.parent)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,18 @@ combinations are applied as chained copy-on-write graphs, validated with
 :func:`~repro.etl.validation.validate_delta`, and deduplicated via
 incrementally maintained signatures.  :class:`GenerationStats` reports the
 resulting application/validation time split.
+
+Independently of the copy mode, ``itertools.combinations`` enumerates in
+lexicographic order, so consecutive combinations share long prefixes: at
+``pattern_budget=3`` the chain ``(a, b, c)`` differs from its predecessor
+``(a, b, c')`` only in the last deployment.  With
+``ProcessingConfiguration.prefix_cache`` on (the default) the generator
+keeps the last chain's intermediate flows -- and, in COW mode, their
+incrementally validated issue lists -- keyed by deployment prefix, and
+extends the deepest cached prefix instead of re-applying it from the base
+flow.  Reuse is reported through the ``prefix_hits`` /
+``prefix_steps_reused`` / ``patterns_applied`` counters of
+:class:`GenerationStats`.
 """
 
 from __future__ import annotations
@@ -28,7 +40,13 @@ from typing import Iterable, Iterator, Sequence
 from repro.core.configuration import ProcessingConfiguration
 from repro.core.policies import DeploymentPolicy, HeuristicPolicy
 from repro.etl.graph import ETLGraph
-from repro.etl.validation import Severity, ValidationIssue, is_valid, validate_delta, validate_flow
+from repro.etl.validation import (
+    ValidationIssue,
+    has_errors,
+    is_valid,
+    validate_delta,
+    validate_flow,
+)
 from repro.patterns.base import (
     ApplicationPoint,
     ApplicationPointType,
@@ -82,6 +100,28 @@ class _Deployment:
 
 
 @dataclass
+class _PrefixEntry:
+    """Cached state after one deployment position of the last chain.
+
+    The prefix cache is a stack aligned with the positions of the most
+    recently processed combination: entry ``i`` holds the state reached
+    after processing deployments ``combo[:i + 1]`` from the base flow.
+    ``flow`` is the resulting (unmutated) intermediate flow, ``applied``
+    the pattern applications that actually took effect (deployments whose
+    point vanished are processed but apply nothing), ``chained`` whether
+    every applied step recorded a composable delta, and ``issues`` the
+    flow's complete validated issue list (COW chained prefixes only,
+    ``None`` otherwise).
+    """
+
+    deployment: _Deployment
+    flow: ETLGraph
+    applied: tuple[PatternApplication, ...]
+    chained: bool
+    issues: list[ValidationIssue] | None
+
+
+@dataclass
 class GenerationStats:
     """Cost accounting of one :meth:`AlternativeGenerator.generate_iter` run.
 
@@ -91,10 +131,19 @@ class GenerationStats:
     """
 
     copy_mode: str = "deep"
+    prefix_cache: bool = True
     combinations_tried: int = 0
     yielded: int = 0
     duplicates_pruned: int = 0
     invalid_discarded: int = 0
+    #: Successful ``pattern.apply`` calls -- the unit of work the prefix
+    #: cache saves; compare across ``prefix_cache`` on/off runs.
+    patterns_applied: int = 0
+    #: Combinations that reused at least one cached prefix step.
+    prefix_hits: int = 0
+    #: Deployment positions served from the prefix cache instead of being
+    #: re-processed (refreshed, applied and, in COW mode, re-validated).
+    prefix_steps_reused: int = 0
     apply_seconds: float = 0.0
     validation_seconds: float = 0.0
     wall_seconds: float = 0.0
@@ -108,10 +157,14 @@ class GenerationStats:
         """JSON-friendly snapshot (used by benchmarks)."""
         return {
             "copy_mode": self.copy_mode,
+            "prefix_cache": self.prefix_cache,
             "combinations_tried": self.combinations_tried,
             "yielded": self.yielded,
             "duplicates_pruned": self.duplicates_pruned,
             "invalid_discarded": self.invalid_discarded,
+            "patterns_applied": self.patterns_applied,
+            "prefix_hits": self.prefix_hits,
+            "prefix_steps_reused": self.prefix_steps_reused,
             "apply_seconds": self.apply_seconds,
             "validation_seconds": self.validation_seconds,
             "wall_seconds": self.wall_seconds,
@@ -207,10 +260,19 @@ class AlternativeGenerator:
         reads the incrementally maintained signatures -- the enumeration,
         the surviving alternatives and their labels are identical to
         ``"deep"`` mode.
+
+        With ``configuration.prefix_cache`` on (the default) the
+        intermediate state of the last combination's chain is kept per
+        deployment prefix; because the lexicographic enumeration makes
+        shared prefixes contiguous, extending ``(a, b)`` to ``(a, b, c)``
+        reuses the cached ``(a, b)`` flow (and, in COW mode, its
+        validated issue list) instead of re-applying from the base flow.
+        This is purely a cost optimization: the alternative stream is
+        byte-identical with the cache on or off, in both copy modes.
         """
         config = self.configuration
         cow = config.copy_mode == "cow"
-        stats = GenerationStats(copy_mode=config.copy_mode)
+        stats = GenerationStats(copy_mode=config.copy_mode, prefix_cache=config.prefix_cache)
         self.last_stats = stats
         started = time.perf_counter()
         # A private snapshot of the initial flow: the caller's graph is
@@ -221,6 +283,9 @@ class AlternativeGenerator:
         deployments = self.candidate_deployments(base)
         produced = 0
         seen_signatures = {base.signature()}
+        # The prefix cache is scoped to this run: interleaved lazy runs
+        # on other flows keep their own stacks (and cached issue lists).
+        prefix_stack: list[_PrefixEntry] | None = [] if config.prefix_cache else None
 
         try:
             for combo_size in range(1, config.pattern_budget + 1):
@@ -230,7 +295,12 @@ class AlternativeGenerator:
                     if not self._combination_is_reasonable(combo):
                         continue
                     stats.combinations_tried += 1
-                    alternative = self._apply_combination(base, combo)
+                    if prefix_stack is None:
+                        alternative = self._apply_combination(base, combo)
+                    else:
+                        alternative = self._apply_combination_prefixed(
+                            base, combo, prefix_stack
+                        )
                     if alternative is None:
                         continue
                     signature = alternative.flow.signature()
@@ -265,6 +335,12 @@ class AlternativeGenerator:
     def _apply_combination(
         self, flow: ETLGraph, combo: Sequence[_Deployment]
     ) -> AlternativeFlow | None:
+        """Apply a combination from scratch (``prefix_cache=False`` path).
+
+        Every deployment is re-applied on a fresh chain starting at the
+        base flow -- the uncached cost model the ``prefix_cache`` knob's
+        off-switch preserves for baselines and benchmarks.
+        """
         stats = self.last_stats
         base_issues = self._base_issues_for(flow)
         current = flow
@@ -288,6 +364,7 @@ class AlternativeGenerator:
                 continue
             finally:
                 stats.apply_seconds += time.perf_counter() - tick
+            stats.patterns_applied += 1
             if chained:
                 if derived.delta is not None and derived.derived_from(current):
                     pending_delta = (
@@ -304,10 +381,100 @@ class AlternativeGenerator:
         tick = time.perf_counter()
         if chained and pending_delta is not None:
             issues = validate_delta(current, pending_delta, base_issues)
-            valid = not any(i.severity is Severity.ERROR for i in issues)
+            valid = not has_errors(issues)
         else:
             valid = is_valid(current)
         stats.validation_seconds += time.perf_counter() - tick
+        if not valid:
+            stats.invalid_discarded += 1
+            return None
+        current.name = f"{flow.name}__{'+'.join(app.pattern for app in applied)}"
+        return AlternativeFlow(flow=current, applications=tuple(applied))
+
+    def _apply_combination_prefixed(
+        self,
+        flow: ETLGraph,
+        combo: Sequence[_Deployment],
+        stack: list[_PrefixEntry],
+    ) -> AlternativeFlow | None:
+        """Apply a combination, resuming from the deepest cached prefix.
+
+        ``stack`` holds the intermediate states of the previously
+        processed chain, one entry per deployment position (the final
+        position is never cached: consecutive same-size combinations
+        differ in their last deployment, so a full-chain state can never
+        be a prefix of the next combination).  The longest shared prefix
+        with ``combo`` is kept, everything deeper is dropped, and only
+        the remaining positions are processed -- refreshed, applied and,
+        in COW mode, validated incrementally with their own step delta
+        against the cached prefix's issue list.
+
+        Reuse is sound because pattern application never mutates its
+        host and is deterministic in the host state (see
+        :meth:`~repro.patterns.base.FlowComponentPattern.apply`): the
+        cached state after ``(a, b)`` is byte-identical to what
+        re-processing ``(a, b)`` from the base flow would rebuild.
+        """
+        stats = self.last_stats
+        base_issues = self._base_issues_for(flow)
+        reused = 0
+        limit = min(len(stack), len(combo) - 1)
+        while reused < limit and stack[reused].deployment is combo[reused]:
+            reused += 1
+        del stack[reused:]
+        if reused:
+            entry = stack[-1]
+            current = entry.flow
+            applied = list(entry.applied)
+            chained = entry.chained
+            issues = entry.issues
+            stats.prefix_hits += 1
+            stats.prefix_steps_reused += reused
+        else:
+            current = flow
+            applied = []
+            chained = base_issues is not None
+            issues = base_issues
+
+        last = len(combo) - 1
+        for index in range(reused, len(combo)):
+            deployment = combo[index]
+            point = self._refresh_point(current, deployment)
+            if point is not None:
+                tick = time.perf_counter()
+                try:
+                    derived = deployment.pattern.apply(current, point)
+                except (KeyError, ValueError):
+                    derived = None
+                finally:
+                    stats.apply_seconds += time.perf_counter() - tick
+                if derived is not None:
+                    stats.patterns_applied += 1
+                    if chained:
+                        if derived.delta is not None and derived.derived_from(current):
+                            tick = time.perf_counter()
+                            issues = validate_delta(derived, derived.delta, issues)
+                            stats.validation_seconds += time.perf_counter() - tick
+                        else:
+                            # A step without a composable delta: from here
+                            # on (and for every deeper cached prefix) the
+                            # final check falls back to the full oracle.
+                            chained = False
+                            issues = None
+                    current = derived
+                    applied.append(PatternApplication(deployment.pattern.name, point))
+            if index < last:
+                stack.append(
+                    _PrefixEntry(deployment, current, tuple(applied), chained, issues)
+                )
+        if not applied:
+            return None
+        if chained:
+            valid = not has_errors(issues)
+        else:
+            tick = time.perf_counter()
+            valid = is_valid(current)
+            stats.validation_seconds += time.perf_counter() - tick
         if not valid:
             stats.invalid_discarded += 1
             return None

@@ -25,6 +25,18 @@ seed behaviour; turning them on changes wall-clock, never results (except
     labels); generation is several times faster and the speedup grows
     with ``pattern_budget``.  Use ``"cow"`` whenever ``pattern_budget >=
     3`` or the flow has tens of operations.
+``prefix_cache``
+    Pattern combinations are enumerated in lexicographic order, so
+    consecutive combinations share long prefixes: at ``pattern_budget=3``
+    the chain ``(a, b, c)`` shares ``(a, b)`` with its predecessor.  When
+    on (the default) the generator keeps the last chain's intermediate
+    flows -- and, under ``copy_mode="cow"``, their incrementally
+    validated issue lists -- and extends the cached prefix instead of
+    re-applying it from the base flow, cutting pattern applications per
+    run by ~2.5x at budget 3.  The enumeration order, the surviving
+    alternatives and their labels are identical with the cache on or
+    off, in both copy modes; turn it off only to reproduce the
+    uncached cost model (benchmark baselines).
 ``backend``
     Evaluation worker pool flavour: ``"thread"`` (default) shares memory
     and suits the numpy-light simulator at small scale; ``"process"``
@@ -157,6 +169,15 @@ class ProcessingConfiguration:
         validation and incremental signatures -- same alternatives,
         several times faster generation (see the module's Performance
         tuning section).
+    prefix_cache:
+        When true (the default) the alternative generator reuses the
+        shared prefix of consecutive pattern combinations (intermediate
+        flows, and under ``copy_mode="cow"`` their validated issue
+        lists) instead of re-applying it from the base flow.  Identical
+        alternative sets in both copy modes; ~2.5x fewer pattern
+        applications at ``pattern_budget=3``.  ``False`` restores the
+        uncached enumeration (every combination re-applied from
+        scratch).
     backend:
         Worker pool flavour of the parallel evaluator: ``"thread"``
         (default) or ``"process"`` (GIL-free overlap of generation and
@@ -182,6 +203,7 @@ class ProcessingConfiguration:
     eval_batch_size: int = 16
     cache_profiles: bool = True
     copy_mode: str = "deep"
+    prefix_cache: bool = True
     backend: str = "thread"
 
     def __post_init__(self) -> None:

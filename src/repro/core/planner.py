@@ -201,10 +201,28 @@ class Planner:
     def plan(self, flow: ETLGraph) -> PlanningResult:
         """Run the full pipeline on an initial flow and return the result.
 
-        Candidates stream from the lazy generator into the evaluator with
-        at most ``eval_batch_size`` submissions in flight; when
-        ``screening_beam`` is set, a static-only scoring pass screens the
-        stream first and only the beam survivors are simulated.
+        Contract
+        --------
+        * ``flow`` must pass :func:`~repro.etl.validation.validate_flow`
+          (a :class:`~repro.etl.validation.ValidationError` is raised
+          otherwise) and is **never mutated**: alternatives are built on
+          copies, and with ``copy_mode="cow"`` the generator works on a
+          private snapshot so the caller's graph is never payload-aliased.
+        * The call is eager (it returns a fully evaluated
+          :class:`PlanningResult`) but internally *streaming*: candidates
+          flow from the lazy generator into the evaluator with at most
+          ``eval_batch_size`` submissions in flight, so memory stays
+          proportional to the window, not to the alternative space.  Use
+          :meth:`stream_alternatives` for candidate-by-candidate control.
+        * Deterministic for a fixed configuration: same flow + same
+          :class:`~repro.core.configuration.ProcessingConfiguration`
+          (including ``seed``) produce the same alternatives, labels,
+          profiles and skyline, regardless of ``copy_mode``,
+          ``prefix_cache``, ``backend`` or worker count.
+        * When ``screening_beam`` is set, a static-only scoring pass
+          screens the stream first and only the beam survivors are
+          simulated -- the single knob that deliberately changes which
+          profiles get computed.
         """
         config = self.configuration
         baseline_profile = self.evaluate_flow(flow)

@@ -51,6 +51,30 @@ class SessionIteration:
 class RedesignSession:
     """Drives the iterative, incremental redesign of one ETL process.
 
+    The session is the programmatic stand-in for the paper's interactive
+    loop: :meth:`iterate` plans on the current flow, :meth:`select` (or
+    :meth:`select_best`) adopts one alternative as the new current flow,
+    and :meth:`run` repeats the cycle with a pluggable chooser.
+
+    Contract
+    --------
+    * One planner -- and therefore one shared
+      :class:`~repro.quality.estimator.ProfileCache` -- serves every
+      iteration: a flow profiled in iteration N (including the adopted
+      alternative, which becomes iteration N+1's baseline) is never
+      re-simulated.  :meth:`cache_stats` exposes the accumulated
+      accounting.
+    * ``initial_flow`` is never mutated by the session; adopting an
+      alternative rebinds :attr:`current_flow` to the alternative's flow
+      object (it is *not* copied -- callers who keep mutating selected
+      flows should copy first).
+    * :meth:`select` only accepts alternatives of the **latest**
+      iteration; earlier iterations are history, matching the paper's
+      incremental process.
+    * Sessions are deterministic under a fixed configuration: replaying
+      the same choices yields the same flows and profiles, independent
+      of ``copy_mode`` / ``prefix_cache`` / ``backend``.
+
     Parameters
     ----------
     initial_flow:

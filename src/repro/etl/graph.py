@@ -810,17 +810,32 @@ class ETLGraph:
     def copy(self, name: str | None = None, mode: str | None = None) -> "ETLGraph":
         """Return an independent copy of the flow.
 
+        Both modes yield a copy that *observably* evolves independently
+        of the original -- the difference is the write discipline required
+        to keep it that way:
+
+        * ``"deep"`` clones every operation payload up front.  The copy
+          tolerates arbitrary direct mutation, including writing through
+          ``operation(...)`` results -- the reference semantics.
+        * ``"cow"`` shares operation payloads and adjacency with this
+          graph until first write.  All mutation of the copy (and of
+          this graph, while shared) must go through the graph API --
+          :meth:`mutable_operation`, :meth:`set_annotation`,
+          :meth:`add_edge`, ... -- which materializes the touched piece,
+          records the change in the child's :class:`GraphDelta`
+          (:attr:`delta`), and maintains :meth:`signature`
+          incrementally.  Constant-time fork, O(delta) downstream
+          validation/deduplication.
+
         Parameters
         ----------
         name:
             Optional name of the copy (defaults to this flow's name).
         mode:
-            ``"deep"`` clones every operation payload (the seed
-            behaviour); ``"cow"`` shares the payloads copy-on-write and
-            records a :class:`GraphDelta` on the child.  ``None`` (the
-            default) inherits this graph's own copy mode, so a planning
-            run switched to COW propagates it through every pattern
-            application without the patterns knowing.
+            ``"deep"``, ``"cow"``, or ``None`` (the default) to inherit
+            this graph's own copy mode -- so a planning run switched to
+            COW propagates it through every pattern application without
+            the patterns knowing.
         """
         effective = mode or self._copy_mode
         if effective == "cow":
@@ -863,23 +878,36 @@ class ETLGraph:
         mutations.  The child records every subsequent mutation in its
         delta and snapshots the parent's structural signature for
         incremental signature maintenance.
+
+        Forking the *same* parent repeatedly is cheap and safe: the
+        parent is never materialized, each fork only re-marks its
+        payloads and adjacency as shared.  The alternative generator's
+        prefix cache leans on this -- one cached prefix flow is extended
+        into many sibling candidates, each a fresh fork of the same
+        unchanged parent.
         """
         clone = ETLGraph(name=name or self.name)
         clone._graph = _copy_structure(self._graph, into=clone._graph)
         clone.annotations = dict(self.annotations)
         clone._lineage = list(self._lineage)
         clone._copy_mode = "cow"
-        shared = set(self._graph.nodes)
-        clone._shared_ops = set(shared)
-        self._shared_ops |= shared
+        shared = set(self._graph._node if _PLAIN_DICT_INTERNALS else self._graph.nodes)
+        clone._shared_ops = shared
+        if len(self._shared_ops) != len(shared):
+            # ``_shared_ops`` only ever holds present operations, so equal
+            # size means equal sets: a parent forked repeatedly without
+            # intervening writes (the prefix-cache hot path) skips
+            # rebuilding its marker set on every fork.
+            self._shared_ops = set(shared)
         # After the fork every adjacency dict is shared between the two
         # graphs, so both sides restart their copy-on-write tracking.
         clone._shared_adj = True
         clone._own_succ = set()
         clone._own_pred = set()
-        self._shared_adj = True
-        self._own_succ = set()
-        self._own_pred = set()
+        if not self._shared_adj or self._own_succ or self._own_pred:
+            self._shared_adj = True
+            self._own_succ = set()
+            self._own_pred = set()
         clone._delta = GraphDelta()
         clone._parent_uid = self._uid
         # The parent's structural signature is captured lazily, on the

@@ -82,7 +82,19 @@ def validate_flow(flow: ETLGraph, raise_on_error: bool = False) -> list[Validati
 
 def is_valid(flow: ETLGraph) -> bool:
     """Whether the flow has no validation errors (warnings are tolerated)."""
-    return not any(i.severity is Severity.ERROR for i in validate_flow(flow))
+    return not has_errors(validate_flow(flow))
+
+
+def has_errors(issues: Iterable[ValidationIssue]) -> bool:
+    """Whether an issue list contains at least one ``ERROR``-severity issue.
+
+    The validity criterion shared by the whole-flow oracle and the
+    incremental paths: a flow is adoptable iff its issue list -- however
+    it was obtained (:func:`validate_flow`, one :func:`validate_delta`
+    call, or a chain of them along a prefix of pattern applications) --
+    has no errors.  Warnings never disqualify a flow.
+    """
+    return any(i.severity is Severity.ERROR for i in issues)
 
 
 def validate_delta(
@@ -100,6 +112,13 @@ def validate_delta(
     and sink existence) are recomputed.  The result contains exactly the
     same issues as ``validate_flow(flow)``, up to ordering, provided
     ``parent_issues`` is the parent's complete issue list.
+
+    Because the output is again a complete issue list, calls chain: the
+    alternative generator's prefix cache stores the issue list of each
+    intermediate flow of a pattern combination and *resumes* validation
+    from the deepest cached prefix, so extending ``(a, b)`` to
+    ``(a, b, c)`` validates only ``c``'s delta against the cached
+    ``(a, b)`` issues.
 
     Parameters
     ----------

@@ -191,6 +191,19 @@ class FlowComponentPattern(abc.ABC):
         ``operation``), and annotations should be set via
         ``ETLGraph.set_annotation``, so the copy-on-write fault fires and
         the application is captured in the flow's delta.
+
+        Two further contract points the generator's prefix cache relies
+        on:
+
+        * the same host may be passed to ``apply`` many times (a cached
+          prefix flow is extended into every sibling combination), so
+          leaving the host untouched is load-bearing, not just hygiene;
+        * given the same host state and point, ``apply`` must be
+          deterministic -- no global counters or unseeded randomness --
+          so a combination produces byte-identical flows whether its
+          prefix was replayed or served from the cache (grafted
+          operation identifiers already derive from the host alone, see
+          :func:`repro.etl.subflow._unique_id`).
         """
 
     def apply_checked(self, flow: ETLGraph, point: ApplicationPoint) -> ETLGraph:

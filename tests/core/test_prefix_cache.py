@@ -1,0 +1,264 @@
+"""Tests of prefix-cached combination enumeration.
+
+The lexicographic order of ``itertools.combinations`` makes consecutive
+combinations share prefixes; ``ProcessingConfiguration.prefix_cache``
+(default on) lets :class:`AlternativeGenerator` reuse the last chain's
+intermediate flows and issue lists instead of re-applying the shared
+prefix from the base flow.  These tests pin down
+
+* byte-identical alternative streams with the cache on and off, in both
+  copy modes (including the TPC-H acceptance run at ``pattern_budget=3``
+  with the >= 2x cut in pattern applications),
+* the exact :class:`GenerationStats` reuse accounting on a synthetic
+  palette small enough to count by hand,
+* safety: cached prefix flows never leak into or between yielded
+  alternatives, and interleaved lazy runs keep separate caches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alternatives import AlternativeGenerator
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.policies import ExhaustivePolicy, HeuristicPolicy
+from repro.etl.validation import is_valid
+from repro.patterns.base import ApplicationPointType, FlowComponentPattern
+from repro.patterns.registry import PatternRegistry, default_palette
+from repro.workloads import purchases_flow
+
+
+def _generate(flow, *, palette=None, policy=None, **overrides):
+    defaults = dict(pattern_budget=2, max_points_per_pattern=2)
+    defaults.update(overrides)
+    config = ProcessingConfiguration(**defaults)
+    generator = AlternativeGenerator(
+        palette or default_palette(), policy or HeuristicPolicy(), config
+    )
+    return generator.generate(flow), generator.last_stats
+
+
+def _outcome(alternatives):
+    """The observable identity of an alternative stream."""
+    return [(a.label, a.pattern_names, a.flow.signature()) for a in alternatives]
+
+
+class _FlagPattern(FlowComponentPattern):
+    """Synthetic graph-level pattern setting one annotation.
+
+    Every application point is the whole graph and every application is a
+    pure annotation write, so a palette of N flag patterns produces a
+    fully predictable enumeration: every combination is reasonable,
+    valid and unique, and the per-combination application counts can be
+    derived by hand.
+    """
+
+    point_type = ApplicationPointType.GRAPH
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.description = f"sets the {name!r} flag"
+
+    def apply(self, flow, point):
+        new_flow = flow.copy()
+        new_flow.set_annotation(self.name, True)
+        new_flow.record_pattern(f"{self.name} @ entire flow")
+        return new_flow
+
+
+def _flag_palette(count: int) -> PatternRegistry:
+    return PatternRegistry(_FlagPattern(f"flag_{i}") for i in range(count))
+
+
+class TestPrefixEquivalence:
+    @pytest.mark.parametrize("mode", ["deep", "cow"])
+    def test_identical_streams_budget_two(self, small_purchases, mode):
+        on, _ = _generate(small_purchases, copy_mode=mode, prefix_cache=True)
+        off, _ = _generate(small_purchases, copy_mode=mode, prefix_cache=False)
+        assert _outcome(on) == _outcome(off)
+
+    @pytest.mark.parametrize("mode", ["deep", "cow"])
+    def test_identical_streams_budget_three(self, small_purchases, mode):
+        knobs = dict(pattern_budget=3, max_points_per_pattern=3, copy_mode=mode)
+        on, _ = _generate(small_purchases, prefix_cache=True, **knobs)
+        off, _ = _generate(small_purchases, prefix_cache=False, **knobs)
+        assert _outcome(on) == _outcome(off)
+
+    def test_identical_across_all_four_arms(self, small_purchases):
+        outcomes = []
+        for mode in ("deep", "cow"):
+            for prefix_cache in (True, False):
+                alts, _ = _generate(
+                    small_purchases,
+                    pattern_budget=3,
+                    max_points_per_pattern=3,
+                    copy_mode=mode,
+                    prefix_cache=prefix_cache,
+                )
+                outcomes.append(_outcome(alts))
+        assert all(outcome == outcomes[0] for outcome in outcomes[1:])
+
+    def test_tpch_acceptance_two_x_fewer_applications(self, tpch_flow):
+        """The ISSUE acceptance bar: >= 2x fewer pattern applications at
+        budget 3 on TPC-H, byte-identical alternative sets, both modes."""
+        knobs = dict(pattern_budget=3, max_points_per_pattern=3, max_alternatives=1500)
+        reference = None
+        for mode in ("deep", "cow"):
+            on, stats_on = _generate(tpch_flow, copy_mode=mode, prefix_cache=True, **knobs)
+            off, stats_off = _generate(tpch_flow, copy_mode=mode, prefix_cache=False, **knobs)
+            assert _outcome(on) == _outcome(off)
+            if reference is None:
+                reference = _outcome(on)
+            else:
+                assert _outcome(on) == reference
+            assert stats_off.patterns_applied >= 2 * stats_on.patterns_applied, (
+                f"{mode}: {stats_off.patterns_applied} uncached vs "
+                f"{stats_on.patterns_applied} cached applications"
+            )
+            assert stats_on.prefix_steps_reused > 0
+            assert stats_off.prefix_steps_reused == 0
+
+    def test_respects_max_alternatives_and_labels(self, small_purchases):
+        alts, _ = _generate(small_purchases, max_alternatives=5, prefix_cache=True)
+        assert len(alts) == 5
+        assert [a.label for a in alts] == [f"ETL Flow {i}" for i in range(1, 6)]
+
+
+class TestPrefixExactCounts:
+    """Hand-derived accounting on a palette of four flag patterns.
+
+    Four graph-level deployments ``d0..d3`` at ``pattern_budget=3``
+    enumerate 4 + 6 + 4 = 14 combinations, all reasonable, valid and
+    unique.  Without the cache every combination replays its full chain:
+    4*1 + 6*2 + 4*3 = 28 applications.  With the cache, walking the
+    lexicographic order by hand gives 22 applications, 5 combinations
+    reusing a prefix, and 6 reused steps:
+
+    ========= ======================== ======= ======
+    combo     cached prefix reused     applies reused
+    ========= ======================== ======= ======
+    size 1    (4 combos, none cached)        4      0
+    (0,1)     --                             2      0
+    (0,2)     (0,)                           1      1
+    (0,3)     (0,)                           1      1
+    (1,2)     --                             2      0
+    (1,3)     (1,)                           1      1
+    (2,3)     --                             2      0
+    (0,1,2)   --                             3      0
+    (0,1,3)   (0, 1)                         1      2
+    (0,2,3)   (0,)                           2      1
+    (1,2,3)   --                             3      0
+    ========= ======================== ======= ======
+    """
+
+    EXPECTED_COMBOS = 14
+    EXPECTED_APPLIED_UNCACHED = 28
+    EXPECTED_APPLIED_CACHED = 22
+    EXPECTED_PREFIX_HITS = 5
+    EXPECTED_STEPS_REUSED = 6
+
+    @pytest.mark.parametrize("mode", ["deep", "cow"])
+    def test_exact_reuse_counters(self, linear_flow, mode):
+        palette = _flag_palette(4)
+        alts, stats = _generate(
+            linear_flow,
+            palette=palette,
+            policy=ExhaustivePolicy(),
+            pattern_budget=3,
+            copy_mode=mode,
+            prefix_cache=True,
+        )
+        assert len(alts) == self.EXPECTED_COMBOS
+        assert stats.combinations_tried == self.EXPECTED_COMBOS
+        assert stats.yielded == self.EXPECTED_COMBOS
+        assert stats.duplicates_pruned == 0
+        assert stats.invalid_discarded == 0
+        assert stats.patterns_applied == self.EXPECTED_APPLIED_CACHED
+        assert stats.prefix_hits == self.EXPECTED_PREFIX_HITS
+        assert stats.prefix_steps_reused == self.EXPECTED_STEPS_REUSED
+
+    @pytest.mark.parametrize("mode", ["deep", "cow"])
+    def test_exact_counts_uncached(self, linear_flow, mode):
+        palette = _flag_palette(4)
+        alts, stats = _generate(
+            linear_flow,
+            palette=palette,
+            policy=ExhaustivePolicy(),
+            pattern_budget=3,
+            copy_mode=mode,
+            prefix_cache=False,
+        )
+        assert len(alts) == self.EXPECTED_COMBOS
+        assert stats.patterns_applied == self.EXPECTED_APPLIED_UNCACHED
+        assert stats.prefix_hits == 0
+        assert stats.prefix_steps_reused == 0
+
+    def test_apply_validation_split_reported(self, small_purchases):
+        _, stats = _generate(small_purchases, copy_mode="cow", pattern_budget=2)
+        assert stats.apply_seconds > 0
+        assert stats.validation_seconds > 0
+        assert stats.wall_seconds > 0
+        payload = stats.as_dict()
+        for key in (
+            "prefix_cache",
+            "patterns_applied",
+            "prefix_hits",
+            "prefix_steps_reused",
+            "apply_seconds",
+            "validation_seconds",
+        ):
+            assert key in payload
+        assert payload["prefix_cache"] is True
+        assert payload["patterns_applied"] == stats.patterns_applied
+
+
+class TestPrefixSafety:
+    def test_alternatives_stay_self_contained(self, small_purchases):
+        """Mutating one yielded alternative must not bleed into any other
+        (cached prefix flows are shared internally but never yielded)."""
+        alts, _ = _generate(
+            small_purchases, copy_mode="cow", pattern_budget=3, max_points_per_pattern=3
+        )
+        assert all(is_valid(a.flow) for a in alts)
+        first = alts[0].flow
+        target = first.operation_ids()[0]
+        first.mutable_operation(target).config["marker"] = True
+        assert "marker" not in small_purchases.operation(target).config
+        for other in alts[1:]:
+            if target in other.flow:
+                assert "marker" not in other.flow.operation(target).config
+
+    def test_base_flow_untouched(self, small_purchases):
+        before = small_purchases.signature()
+        for mode in ("deep", "cow"):
+            _generate(small_purchases, copy_mode=mode, pattern_budget=3)
+            assert small_purchases.signature() == before
+
+    def test_interleaved_lazy_runs_have_separate_caches(self, small_purchases, tpch_flow):
+        config = ProcessingConfiguration(
+            pattern_budget=2, max_points_per_pattern=2, copy_mode="cow", prefix_cache=True
+        )
+        generator = AlternativeGenerator(default_palette(), HeuristicPolicy(), config)
+        first = generator.generate_iter(small_purchases)
+        second = generator.generate_iter(tpch_flow)
+        interleaved = []
+        for _ in range(5):
+            interleaved.append(next(first))
+            interleaved.append(next(second))
+        interleaved.extend(first)
+        interleaved.extend(second)
+        assert all(is_valid(a.flow) for a in interleaved)
+        solo = _outcome(
+            _generate(small_purchases, copy_mode="cow", prefix_cache=True)[0]
+        )
+        purchases_part = [
+            (a.label, a.pattern_names, a.flow.signature())
+            for a in interleaved
+            if a.flow.name.startswith(small_purchases.name)
+        ]
+        assert purchases_part == solo
+
+    def test_prefix_cache_defaults_on(self):
+        assert ProcessingConfiguration().prefix_cache is True
+        stats_payload = ProcessingConfiguration(prefix_cache=False)
+        assert stats_payload.prefix_cache is False

@@ -1,0 +1,78 @@
+"""Smoke-runs of every script under ``examples/``.
+
+The README and docs/ point users at these scripts as the quickstart
+surface, so each one must keep running exactly as documented::
+
+    python examples/<name>.py
+
+Each script is executed in a subprocess with the repository's ``src`` on
+``PYTHONPATH``; all of them are built on tiny workloads (a few thousand
+rows, one or two simulation runs), so the whole sweep costs seconds.
+``generate_data.py`` runs first because ``import_models.py`` loads the
+sample documents it materialises.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+#: Scripts with an execution-order dependency, run first in this order.
+_PRIORITY = ("generate_data.py",)
+
+
+def _example_scripts() -> list[str]:
+    names = sorted(
+        path.name
+        for path in EXAMPLES_DIR.glob("*.py")
+        if not path.name.startswith("_")
+    )
+    ordered = [name for name in _PRIORITY if name in names]
+    ordered.extend(name for name in names if name not in _PRIORITY)
+    return ordered
+
+
+def _run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sample_documents():
+    """Materialise ``examples/data/`` before any script that loads it."""
+    result = _run_example("generate_data.py")
+    assert result.returncode == 0, result.stderr
+
+
+@pytest.mark.parametrize("name", _example_scripts())
+def test_example_runs_clean(name):
+    result = _run_example(name)
+    assert result.returncode == 0, (
+        f"{name} exited with {result.returncode}:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{name} produced no output"
+
+
+def test_every_example_is_covered():
+    """The parametrisation tracks the directory: adding an example without
+    it being picked up here is impossible, removing one retires its case."""
+    assert set(_example_scripts()) == {
+        path.name for path in EXAMPLES_DIR.glob("*.py")
+    }

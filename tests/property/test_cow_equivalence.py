@@ -13,6 +13,9 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.core.alternatives import AlternativeGenerator
+from repro.core.configuration import ProcessingConfiguration
+from repro.core.policies import HeuristicPolicy
 from repro.etl.validation import validate_delta, validate_flow
 from repro.patterns.registry import default_palette
 from repro.quality.estimator import EstimationSettings, QualityEstimator
@@ -106,6 +109,45 @@ class TestCowEquivalence:
         before = flow.signature()
         _apply_sequence(flow, picks, "cow")
         assert flow.signature() == before
+
+
+class TestPrefixCacheEquivalence:
+    """The prefix cache must never change the generated alternative space.
+
+    For random flows, every (copy_mode, prefix_cache) arm of the
+    generator must produce the same alternative stream: same labels, same
+    pattern applications, same signatures.  This is the property behind
+    the ``prefix_cache`` default being safe to leave on.
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2_000),
+        operations=st.integers(min_value=8, max_value=14),
+        budget=st.integers(min_value=1, max_value=3),
+    )
+    def test_all_arms_agree(self, seed, operations, budget):
+        flow = random_flow(RandomFlowConfig(operations=operations, sources=2, seed=seed))
+        outcomes = []
+        for mode in ("deep", "cow"):
+            for prefix_cache in (True, False):
+                config = ProcessingConfiguration(
+                    pattern_budget=budget,
+                    max_points_per_pattern=2,
+                    max_alternatives=150,
+                    copy_mode=mode,
+                    prefix_cache=prefix_cache,
+                )
+                generator = AlternativeGenerator(
+                    default_palette(), HeuristicPolicy(), config
+                )
+                outcomes.append(
+                    [
+                        (a.label, a.pattern_names, a.flow.signature())
+                        for a in generator.generate(flow)
+                    ]
+                )
+        assert all(outcome == outcomes[0] for outcome in outcomes[1:])
 
 
 class TestValidateDeltaOracle:

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (the ``make docs-check`` target).
+
+Two failure modes the docs surface must never regress into:
+
+1. **Broken intra-repository links.** Every relative link target in
+   ``README.md`` and ``docs/*.md`` must exist on disk (external
+   ``http(s)://`` links and pure ``#anchor`` fragments are out of
+   scope).
+2. **Undocumented planner knobs.** Every field of
+   :class:`repro.core.configuration.ProcessingConfiguration` must be
+   mentioned in ``docs/performance-tuning.md`` — adding a knob without
+   writing down when to use it fails the build.
+
+Exit status is the number of problems found (0 = clean), so the script
+doubles as a pre-commit hook.  Run directly::
+
+    PYTHONPATH=src python tools/docs_check.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+TUNING_DOC = REPO_ROOT / "docs" / "performance-tuning.md"
+
+#: Markdown inline links: ``[text](target)``, ignoring images.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _rel(path: Path) -> str:
+    """Repo-relative display form (plain string for out-of-repo paths)."""
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def broken_links(doc_files: list[Path] | None = None) -> list[str]:
+    """Relative link targets that do not exist on disk."""
+    problems: list[str] = []
+    for doc in DOC_FILES if doc_files is None else doc_files:
+        if not doc.exists():
+            problems.append(f"{_rel(doc)}: file missing")
+            continue
+        for target in _LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{_rel(doc)}: broken link -> {target}")
+    return problems
+
+
+def _configuration_fields() -> list[str]:
+    """Field names of ``ProcessingConfiguration`` (the knob surface)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.configuration import ProcessingConfiguration
+
+    return [field.name for field in dataclasses.fields(ProcessingConfiguration)]
+
+
+def undocumented_knobs(tuning_doc: Path | None = None) -> list[str]:
+    """``ProcessingConfiguration`` fields absent from the tuning guide."""
+    doc = TUNING_DOC if tuning_doc is None else tuning_doc
+    if not doc.exists():
+        return [f"{_rel(doc)}: file missing"]
+    text = doc.read_text()
+    problems = []
+    for name in _configuration_fields():
+        if not re.search(rf"`{re.escape(name)}`", text):
+            problems.append(
+                f"{_rel(doc)}: ProcessingConfiguration."
+                f"{name} is not documented (add a `{name}` entry)"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = broken_links() + undocumented_knobs()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if not problems:
+        print(
+            f"docs-check: OK ({len(DOC_FILES)} documents, "
+            f"{len(_configuration_fields())} knobs documented)"
+        )
+    return len(problems)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
