@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-tiny docs-check examples check
+.PHONY: test test-fast bench bench-tiny bench-cache docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -21,6 +21,10 @@ bench:
 ## seconds-long benchmark smoke run (report shape only, numbers meaningless)
 bench-tiny:
 	$(PYTHON) benchmarks/run_all.py --tiny --output /tmp/bench_tiny.json
+
+## profile-cache benchmark only: cold vs warm-disk vs in-memory on TPC-H
+bench-cache:
+	$(PYTHON) benchmarks/bench_profile_cache.py
 
 ## intra-doc links + every ProcessingConfiguration knob documented
 docs-check:

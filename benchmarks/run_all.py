@@ -1,11 +1,13 @@
 """Run the planning-pipeline benchmarks and persist a machine-readable record.
 
 Executes the generation benchmark (``bench_generation``: deep vs.
-copy-on-write pattern application) and the streaming-pipeline benchmark
+copy-on-write pattern application), the streaming-pipeline benchmark
 (``bench_streaming_pipeline``: eager vs. streaming vs. screening) and
-writes one JSON document -- ``BENCH_generation.json`` by default -- with
-candidates/sec, the measured speedups, the application/validation time
-split and the process peak RSS.  Future PRs append to the performance
+the profile-cache benchmark (``bench_profile_cache``: cold vs.
+warm-disk vs. in-memory planning) and writes one JSON document --
+``BENCH_generation.json`` by default -- with candidates/sec, the
+measured speedups, the application/validation time split and the
+process peak RSS.  Future PRs append to the performance
 trajectory by re-running this after their changes::
 
     PYTHONPATH=src python benchmarks/run_all.py
@@ -54,6 +56,7 @@ def run_all(tiny: bool = False) -> dict:
     """Run both benchmarks and return the combined report."""
     bench_generation = _load("bench_generation")
     bench_streaming = _load("bench_streaming_pipeline")
+    bench_cache = _load("bench_profile_cache")
 
     if tiny:
         generation_kwargs = dict(
@@ -64,12 +67,18 @@ def run_all(tiny: bool = False) -> dict:
             scale=0.01, iterations=1, replans=1, simulation_runs=1,
             workers=1, max_alternatives=10, screening_beam=3,
         )
+        cache_kwargs = dict(
+            scale=0.01, pattern_budget=1, max_points_per_pattern=2,
+            simulation_runs=1, max_alternatives=15,
+        )
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
+        cache_kwargs = {}
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
+    profile_cache = bench_cache.run_cache_bench(**cache_kwargs)
 
     return {
         "schema_version": 1,
@@ -116,6 +125,15 @@ def run_all(tiny: bool = False) -> dict:
             "equivalent_selections": streaming["equivalent_selections"],
             "raw": streaming,
         },
+        "profile_cache": {
+            "workload": profile_cache["workload"],
+            "speedup_warm_disk_vs_cold": profile_cache["speedup_warm_disk_vs_cold"],
+            "speedup_warm_memory_vs_cold": profile_cache["speedup_warm_memory_vs_cold"],
+            "identical_results": profile_cache["identical_results"],
+            "disk_entries": profile_cache["disk_entries"],
+            "disk_bytes": profile_cache["disk_bytes"],
+            "raw": profile_cache,
+        },
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -147,6 +165,12 @@ def main(argv=None) -> int:
     print(
         f"streaming: {report['streaming']['speedup_streaming_vs_eager']:.2f}x vs eager, "
         f"screening {report['streaming']['speedup_screening_vs_eager']:.2f}x"
+    )
+    cache = report["profile_cache"]
+    print(
+        f"profile cache: warm disk {cache['speedup_warm_disk_vs_cold']:.2f}x vs cold, "
+        f"warm memory {cache['speedup_warm_memory_vs_cold']:.2f}x, "
+        f"identical={cache['identical_results']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

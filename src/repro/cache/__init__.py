@@ -1,0 +1,72 @@
+"""Tiered quality-profile caching.
+
+The planning loop re-estimates quality profiles for every candidate
+flow; profiles are pure functions of (flow fingerprint, estimation
+settings, measure registry), which makes them ideal cache currency.
+This package provides the cache tiers behind
+``ProcessingConfiguration.cache_tier``:
+
+``"memory"``
+    :class:`ProfileCache` -- the in-process LRU (the default; the seed
+    behaviour).
+``"disk"``
+    :class:`DiskProfileCache` -- a persistent, process-shared store
+    under ``cache_dir`` (atomic writes, versioned self-verifying
+    entries, corruption-tolerant reads, size-capped LRU eviction).
+``"tiered"``
+    :class:`TieredProfileCache` -- memory over disk with promotion on
+    disk hits; the right choice for repeated/parallel runs.
+
+All tiers implement the :class:`CacheBackend` protocol.  See
+``docs/caching.md`` for the selection guide, the key/versioning scheme
+and the invalidation rules.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache.backend import CacheBackend, CacheStats
+from repro.cache.disk import CACHE_SCHEMA_VERSION, DiskProfileCache
+from repro.cache.memory import ProfileCache
+from repro.cache.tiered import TieredProfileCache
+
+#: The valid values of ``ProcessingConfiguration.cache_tier``.
+CACHE_TIERS = ("memory", "disk", "tiered")
+
+
+def build_profile_cache(
+    tier: str = "memory",
+    cache_dir: str | os.PathLike | None = None,
+    max_bytes: int | None = None,
+) -> CacheBackend:
+    """Build the cache backend selected by the configuration knobs.
+
+    Mirrors the ``cache_tier`` / ``cache_dir`` / ``cache_max_bytes``
+    fields of :class:`~repro.core.configuration.ProcessingConfiguration`
+    (which validates the combination up front); the planner calls this
+    when ``cache_profiles`` is enabled.  ``tier="memory"`` ignores the
+    other arguments and reproduces the original in-process behaviour.
+    """
+    if tier == "memory":
+        return ProfileCache()
+    if tier not in CACHE_TIERS:
+        raise ValueError(f"unknown cache tier: {tier!r} (use one of {CACHE_TIERS})")
+    if cache_dir is None:
+        raise ValueError(f"cache_tier={tier!r} requires a cache_dir")
+    disk = DiskProfileCache(cache_dir, max_bytes=max_bytes)
+    if tier == "disk":
+        return disk
+    return TieredProfileCache(ProfileCache(), disk)
+
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CACHE_TIERS",
+    "CacheBackend",
+    "CacheStats",
+    "DiskProfileCache",
+    "ProfileCache",
+    "TieredProfileCache",
+    "build_profile_cache",
+]

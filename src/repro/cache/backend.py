@@ -1,0 +1,118 @@
+"""The cache backend contract shared by every profile-cache tier.
+
+:class:`CacheBackend` is the protocol extracted from the original
+in-memory ``ProfileCache`` (PR 1) so that the planner, the estimator and
+the parallel evaluator can be handed *any* cache tier -- in-memory LRU
+(:class:`~repro.cache.memory.ProfileCache`), disk-backed
+(:class:`~repro.cache.disk.DiskProfileCache`) or the memory-over-disk
+composite (:class:`~repro.cache.tiered.TieredProfileCache`) -- without
+knowing which one they got.
+
+Keys are opaque hashable tuples produced by
+:meth:`repro.quality.estimator.QualityEstimator.cache_key`; they already
+fold in the flow content fingerprint, the estimation settings and the
+measure registry, so two estimators with different settings can safely
+share one backend.  Values are
+:class:`~repro.quality.composite.QualityProfile` instances; backends
+must treat them as immutable snapshots (callers already store copies).
+
+See ``docs/caching.md`` for the tier-selection guide and the
+key/versioning scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quality.composite import QualityProfile
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/evict accounting of one cache tier.
+
+    Every backend owns one instance; the tiered composite additionally
+    keeps a *logical* aggregate (one hit or miss per lookup, whichever
+    tier served it).  ``invalid`` counts disk entries that were dropped
+    on read because they were corrupted, truncated, or written by an
+    incompatible cache schema version -- they are also counted as
+    misses, so ``lookups`` stays the true lookup count.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalid: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-friendly snapshot (used by session histories and benchmarks)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalid": self.invalid,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the estimator/evaluator/planner require of a profile cache.
+
+    The contract, beyond the method signatures:
+
+    * ``get``/``put`` must be safe to call concurrently from multiple
+      threads of one process (the streaming evaluator does), and a
+      shared *disk* backend must additionally tolerate concurrent
+      writers from other processes (two planners pointed at one
+      ``cache_dir``) -- last-writer-wins per entry, readers never see a
+      torn entry.
+    * ``get`` counts exactly one hit or one miss in :attr:`stats` per
+      call; ``put`` never touches hit/miss counts.
+    * ``put`` may buffer (see ``flush``); a buffered entry must still be
+      visible to ``get``/``__contains__`` of the same backend instance.
+    * ``flush`` persists any buffered writes; it is a no-op for fully
+      synchronous backends.  Callers that batch work (the parallel
+      evaluator's process pool) call it once on teardown.
+    * ``clear`` drops every entry *and* resets the statistics.
+    """
+
+    stats: CacheStats
+
+    def get(self, key: tuple) -> "QualityProfile | None":
+        """Look up a profile, counting the hit or miss."""
+        ...
+
+    def put(self, key: tuple, profile: "QualityProfile") -> None:
+        """Insert (or refresh) a profile; does not affect hit/miss counts."""
+        ...
+
+    def flush(self) -> None:
+        """Persist buffered writes (no-op for synchronous backends)."""
+        ...
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        ...
+
+    def tier_stats(self) -> dict[str, dict[str, float]]:
+        """Per-tier statistics snapshots, keyed by tier name."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, key: tuple) -> bool: ...

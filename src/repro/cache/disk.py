@@ -1,0 +1,279 @@
+"""The disk-backed profile-cache tier.
+
+Persists fingerprint-keyed quality profiles under a directory so that
+*separate runs* amortize estimation work: repeated benchmark invocations,
+re-plans in new processes, and parallel sessions pointed at one
+``cache_dir`` all share profiles.  Design points:
+
+* **One file per entry.**  The file name is the SHA-256 of the versioned
+  key, so lookups are a single ``stat``/read and concurrent writers
+  never contend on a shared index.
+* **Atomic writes.**  Entries are written to a unique temporary file in
+  the same directory and published with :func:`os.replace`, so readers
+  (including readers in other processes) see either the old entry or the
+  new one, never a torn write.
+* **Versioned, self-verifying payloads.**  Each payload records the
+  cache schema version and the full key it was stored under; reads
+  verify both, so entries written by an incompatible schema (or the
+  astronomically unlikely hash collision) are treated as misses and
+  deleted instead of served stale.  The *key* already folds in the
+  estimator settings and measure-registry fingerprints (see
+  ``QualityEstimator.cache_key``), so changing simulation settings can
+  never hit an entry computed under different ones.
+* **Corruption tolerance.**  A truncated, garbled or unreadable entry is
+  counted in ``stats.invalid``, removed best-effort, and reported as a
+  miss -- a damaged cache directory degrades to a cold cache, it never
+  raises into a planning run.
+* **Size-capped LRU eviction.**  With ``max_bytes`` set, every publish
+  sweeps the directory and deletes least-recently-*used* entries (hits
+  refresh the file mtime) until the total size fits.
+* **Optional write batching.**  With :attr:`batch_writes` enabled, puts
+  accumulate in memory and :meth:`flush` publishes them in one pass with
+  a single eviction sweep -- the parallel evaluator turns this on for
+  the duration of a process-pool stream and flushes on pool teardown.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.cache.backend import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quality.composite import QualityProfile
+
+#: Version of the on-disk entry layout.  Folded into the hashed file name
+#: *and* recorded inside every payload: bumping it makes every existing
+#: entry invisible (new hashes) and unreadable-as-stale (version check),
+#: so schema changes can never serve stale profiles.
+CACHE_SCHEMA_VERSION = 1
+
+_ENTRY_SUFFIX = ".profile.pkl"
+
+
+class DiskProfileCache:
+    """A persistent, process-shared profile cache rooted at a directory.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the entries; created (with parents) on first
+        use.  Point several planners/processes at the same directory to
+        share profiles between them.
+    max_bytes:
+        Optional cap on the total size of the entry files; exceeding it
+        evicts least-recently-used entries.  ``None`` means unbounded.
+    batch_writes:
+        When true, :meth:`put` buffers entries in memory and only
+        :meth:`flush` publishes them to disk.  Buffered entries are
+        still served by :meth:`get` / ``in`` of this instance.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike,
+        max_bytes: int | None = None,
+        batch_writes: bool = False,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1 (or None for unbounded)")
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.batch_writes = batch_writes
+        self.stats = CacheStats()
+        self._pending: dict[tuple, QualityProfile] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Key -> file mapping
+    # ------------------------------------------------------------------
+
+    def _path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(
+            repr((CACHE_SCHEMA_VERSION, key)).encode("utf-8")
+        ).hexdigest()
+        return self.cache_dir / f"{digest}{_ENTRY_SUFFIX}"
+
+    def _entry_files(self) -> list[Path]:
+        try:
+            return [p for p in self.cache_dir.iterdir() if p.name.endswith(_ENTRY_SUFFIX)]
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> QualityProfile | None:
+        """Look up a profile, counting the hit or miss.
+
+        A hit refreshes the entry's mtime so size-capped eviction is
+        least-recently-*used*, not least-recently-written.
+        """
+        with self._lock:
+            pending = self._pending.get(key)
+            if pending is not None:
+                self.stats.hits += 1
+                return pending
+            profile = self._read(key)
+            if profile is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return profile
+
+    def _read(self, key: tuple) -> QualityProfile | None:
+        """Read and verify one entry; invalid entries are dropped, not raised."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None  # absent (or unreadable, which amounts to the same)
+        try:
+            payload = pickle.loads(raw)
+            version = payload["version"]
+            stored_key = payload["key"]
+            profile = payload["profile"]
+        except Exception:
+            # Truncated write, garbage bytes, unpicklable class, wrong
+            # payload shape: degrade to a miss and drop the entry.
+            self.stats.invalid += 1
+            self._discard(path)
+            return None
+        if version != CACHE_SCHEMA_VERSION or stored_key != key:
+            self.stats.invalid += 1
+            self._discard(path)
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # a concurrent eviction won the race; the hit still counts
+        return profile
+
+    def put(self, key: tuple, profile: QualityProfile) -> None:
+        """Insert (or refresh) a profile; does not affect hit/miss counts."""
+        with self._lock:
+            if self.batch_writes:
+                self._pending[key] = profile
+                return
+            self._write(key, profile)
+            self._evict_to_cap()
+
+    def flush(self) -> None:
+        """Publish buffered entries in one pass (single eviction sweep)."""
+        with self._lock:
+            if not self._pending:
+                return
+            for key, profile in self._pending.items():
+                self._write(key, profile)
+            self._pending.clear()
+            self._evict_to_cap()
+
+    def _write(self, key: tuple, profile: QualityProfile) -> None:
+        payload = {"version": CACHE_SCHEMA_VERSION, "key": key, "profile": profile}
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            tmp.write_bytes(pickle.dumps(payload))
+            os.replace(tmp, path)
+        except OSError:
+            # A full/read-only disk degrades the cache to write-through
+            # failure, never a planning failure.
+            self._discard(tmp)
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Size-capped eviction
+    # ------------------------------------------------------------------
+
+    def _evict_to_cap(self) -> None:
+        if self.max_bytes is None:
+            return
+        entries: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self._entry_files():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently evicted by another process
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort()  # oldest mtime first == least recently used
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            self._discard(path)
+            self.stats.evictions += 1
+            total -= size
+
+    # ------------------------------------------------------------------
+    # Maintenance / introspection
+    # ------------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every entry (pending and on disk) and reset the statistics."""
+        with self._lock:
+            self._pending.clear()
+            for path in self._entry_files():
+                self._discard(path)
+            self.stats = CacheStats()
+
+    def size_bytes(self) -> int:
+        """Total size of the on-disk entries (excludes the pending buffer)."""
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
+    def tier_stats(self) -> dict[str, dict[str, float]]:
+        """Per-tier statistics (a single ``"disk"`` tier)."""
+        return {"disk": self.stats.as_dict()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            on_disk = self._entry_files()
+            extra = sum(1 for key in self._pending if not self._path(key).exists())
+            return len(on_disk) + extra
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._pending or self._path(key).exists()
+
+    # ------------------------------------------------------------------
+    # Pickling: a disk cache is a *handle*; the clone re-opens the same
+    # directory with a fresh lock and an empty write buffer.  Stats
+    # round-trip (consistent with the in-memory tier).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "cache_dir": str(self.cache_dir),
+            "max_bytes": self.max_bytes,
+            "batch_writes": self.batch_writes,
+            "stats": self.stats,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["cache_dir"],
+            max_bytes=state.get("max_bytes"),
+            batch_writes=bool(state.get("batch_writes", False)),
+        )
+        stats = state.get("stats")
+        if stats is not None:
+            self.stats = stats  # type: ignore[assignment]

@@ -1,0 +1,105 @@
+"""The in-memory LRU profile-cache tier.
+
+This is the original ``ProfileCache`` of the streaming pipeline (PR 1),
+relocated from :mod:`repro.quality.estimator` when the
+:class:`~repro.cache.backend.CacheBackend` protocol was extracted; the
+old import path still works (the estimator module re-exports it).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.cache.backend import CacheStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quality.composite import QualityProfile
+
+
+class ProfileCache:
+    """A bounded, thread-safe memo of quality profiles keyed by flow fingerprint.
+
+    The default (and fastest) cache tier: entries live in this process
+    only and die with it.  Shared by the full and the static (screening)
+    estimators of a planner and across the iterations of a redesign
+    session.  Lookups are counted in :attr:`stats`; entries are evicted
+    least-recently-used when ``max_entries`` is set.
+
+    Pickling contract
+    -----------------
+    The cache pickles as an *entry-less* cache: the memo and the lock
+    are dropped, but ``max_entries`` and the accumulated :attr:`stats`
+    survive the round-trip.  Process-pool workers therefore receive a
+    blank but fully functional memo (the parent re-inserts their
+    results, so no entry is lost and nothing large crosses the process
+    boundary), while hit/miss accounting is never silently zeroed by a
+    transfer.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, QualityProfile] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> QualityProfile | None:
+        """Look up a profile, counting the hit or miss."""
+        with self._lock:
+            profile = self._entries.get(key)
+            if profile is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return profile
+
+    def put(self, key: tuple, profile: QualityProfile) -> None:
+        """Insert (or refresh) a profile; does not affect hit/miss counts."""
+        with self._lock:
+            self._entries[key] = profile
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+
+    def flush(self) -> None:
+        """No-op: in-memory writes are always synchronous."""
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def tier_stats(self) -> dict[str, dict[str, float]]:
+        """Per-tier statistics (a single ``"memory"`` tier)."""
+        return {"memory": self.stats.as_dict()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    # Pickling (process-pool workers must not drag the memo or the lock;
+    # the stats DO round-trip -- see the class docstring)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"max_entries": self.max_entries, "stats": self.stats}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__init__(max_entries=state.get("max_entries"))  # type: ignore[misc]
+        stats = state.get("stats")
+        if stats is not None:
+            self.stats = stats  # type: ignore[assignment]

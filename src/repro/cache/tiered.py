@@ -1,0 +1,98 @@
+"""The memory-over-disk composite profile-cache tier.
+
+Combines the speed of the in-process LRU with the persistence of the
+disk store: lookups hit memory first, fall back to disk, and *promote*
+disk hits into the memory tier so a profile is deserialized at most once
+per process.  Writes go through to both tiers (the disk write may be
+buffered -- see :attr:`DiskProfileCache.batch_writes`).
+
+The composite keeps its own *logical* :class:`CacheStats` -- exactly one
+hit or miss per :meth:`get`, whichever tier served it -- so existing
+consumers of ``cache.stats`` (benchmarks, session histories) read the
+same numbers regardless of tier; :meth:`tier_stats` exposes the
+per-tier breakdown, including promotions counted as memory puts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.cache.backend import CacheStats
+from repro.cache.disk import DiskProfileCache
+from repro.cache.memory import ProfileCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quality.composite import QualityProfile
+
+
+class TieredProfileCache:
+    """Two-level profile cache: an in-memory LRU in front of a disk store."""
+
+    def __init__(self, memory: ProfileCache, disk: DiskProfileCache) -> None:
+        self.memory = memory
+        self.disk = disk
+        self.stats = CacheStats()
+        self._stats_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> QualityProfile | None:
+        """Memory first, then disk (promoting the hit); one logical count."""
+        profile = self.memory.get(key)
+        if profile is None:
+            profile = self.disk.get(key)
+            if profile is not None:
+                self.memory.put(key, profile)
+        with self._stats_lock:
+            if profile is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return profile
+
+    def put(self, key: tuple, profile: QualityProfile) -> None:
+        """Write through to both tiers (the disk write may be buffered)."""
+        self.memory.put(key, profile)
+        self.disk.put(key, profile)
+
+    def flush(self) -> None:
+        """Publish the disk tier's buffered writes."""
+        self.disk.flush()
+
+    def clear(self) -> None:
+        """Drop both tiers and reset every statistic (logical and per-tier)."""
+        self.memory.clear()
+        self.disk.clear()
+        with self._stats_lock:
+            self.stats = CacheStats()
+
+    def tier_stats(self) -> dict[str, dict[str, float]]:
+        """Logical plus per-tier breakdown (``overall`` / ``memory`` / ``disk``)."""
+        return {
+            "overall": self.stats.as_dict(),
+            "memory": self.memory.stats.as_dict(),
+            "disk": self.disk.stats.as_dict(),
+        }
+
+    def __len__(self) -> int:
+        # The disk tier is a superset of the memory tier (every put goes
+        # through to it), so its entry count is the cache's entry count.
+        return len(self.disk)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self.memory or key in self.disk
+
+    # ------------------------------------------------------------------
+    # Pickling: delegate to the tiers (entry-less memory, disk handle),
+    # round-tripping the logical stats; the lock is rebuilt fresh.
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"memory": self.memory, "disk": self.disk, "stats": self.stats}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.memory = state["memory"]  # type: ignore[assignment]
+        self.disk = state["disk"]  # type: ignore[assignment]
+        self.stats = state["stats"]  # type: ignore[assignment]
+        self._stats_lock = threading.Lock()

@@ -55,6 +55,13 @@ seed behaviour; turning them on changes wall-clock, never results (except
 ``cache_profiles``
     Memoize quality profiles by flow fingerprint across re-plans and
     session iterations (PR 1).
+``cache_tier`` / ``cache_dir`` / ``cache_max_bytes``
+    Which cache backend holds those memoized profiles: the in-process
+    LRU (``"memory"``, the default), a persistent directory shared
+    across runs and parallel sessions (``"disk"``), or memory over disk
+    with promotion (``"tiered"``).  Disk-backed tiers amortize
+    simulation work across *processes*: a warm ``cache_dir`` makes a
+    re-run mostly I/O-bound.  See ``docs/caching.md``.
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.cache import CACHE_TIERS
 from repro.quality.composite import QualityProfile
 from repro.quality.framework import QualityCharacteristic
 
@@ -162,6 +170,23 @@ class ProcessingConfiguration:
         flow fingerprint, so structurally identical flows -- within one
         run or across the iterations of a redesign session -- are
         simulated only once.
+    cache_tier:
+        Which cache backend holds the memoized profiles (requires
+        ``cache_profiles=True`` to matter): ``"memory"`` (default, the
+        in-process LRU -- dies with the process), ``"disk"`` (a
+        persistent store under ``cache_dir``, shared across runs and
+        concurrent sessions) or ``"tiered"`` (memory in front of disk,
+        promoting disk hits -- the best of both for repeated runs).
+    cache_dir:
+        Directory of the persistent profile store; required by (and only
+        meaningful for) the ``"disk"`` and ``"tiered"`` cache tiers.
+        Point several planners at one directory to share profiles
+        between them; entries are self-verifying, so a stale or damaged
+        directory degrades to a cold cache, never to wrong results.
+    cache_max_bytes:
+        Optional size cap on the on-disk profile store;
+        least-recently-used entries are evicted once the total entry
+        size exceeds it.  ``None`` (the default) means unbounded.
     copy_mode:
         How pattern application copies flows: ``"deep"`` (default, the
         seed behaviour) clones every operation payload per application;
@@ -202,6 +227,9 @@ class ProcessingConfiguration:
     screening_beam: int | None = None
     eval_batch_size: int = 16
     cache_profiles: bool = True
+    cache_tier: str = "memory"
+    cache_dir: str | None = None
+    cache_max_bytes: int | None = None
     copy_mode: str = "deep"
     prefix_cache: bool = True
     backend: str = "thread"
@@ -225,6 +253,20 @@ class ProcessingConfiguration:
             raise ValueError("screening_beam must be at least 1 (or None to disable)")
         if self.eval_batch_size < 1:
             raise ValueError("eval_batch_size must be at least 1")
+        if self.cache_tier not in CACHE_TIERS:
+            raise ValueError(
+                f"unknown cache_tier: {self.cache_tier!r} (use one of {CACHE_TIERS})"
+            )
+        if self.cache_tier != "memory" and self.cache_dir is None:
+            raise ValueError(f"cache_tier={self.cache_tier!r} requires a cache_dir")
+        if self.cache_max_bytes is not None:
+            if self.cache_max_bytes < 1:
+                raise ValueError("cache_max_bytes must be at least 1 (or None for unbounded)")
+            if self.cache_tier == "memory":
+                raise ValueError(
+                    "cache_max_bytes only applies to the disk-backed cache tiers "
+                    "('disk' or 'tiered')"
+                )
 
     def prioritized_characteristics(self) -> list[QualityCharacteristic]:
         """Characteristics ordered by decreasing user priority."""

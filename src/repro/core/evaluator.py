@@ -5,20 +5,26 @@ process-intensive task, mainly due to the large number of alternative
 flows that have to be concurrently evaluated; the paper offloads it to
 Amazon EC2 elastic infrastructures running in the background.  This
 reproduction substitutes a local worker pool (threads or processes from
-:mod:`concurrent.futures`) and adds two scaling levers on top:
+:mod:`concurrent.futures`) and adds three scaling levers on top:
 
 * **Streaming** -- :meth:`ParallelEvaluator.evaluate_stream` consumes a
   *generator* of alternatives with a bounded number of in-flight
   submissions, so Pattern Application (generation) and Measures
   Estimation overlap instead of running as two sequential barriers.
   Results are yielded in input order as soon as their turn completes.
-* **Memoization** -- when the estimator carries a
-  :class:`~repro.quality.estimator.ProfileCache`, the evaluator performs
-  the cache lookups in the *parent* process before submitting work, and
-  inserts freshly computed profiles back afterwards.  This keeps the
-  cache effective even with the process backend (workers are handed an
-  empty memo by design) and counts every alternative exactly once in the
-  hit/miss statistics.
+* **Memoization** -- when the estimator carries a cache backend (any
+  :mod:`repro.cache` tier), the evaluator performs the cache lookups in
+  the *parent* process before submitting work, and inserts freshly
+  computed profiles back afterwards.  This keeps the cache effective
+  even with the process backend and counts every alternative exactly
+  once in the hit/miss statistics.
+* **Per-worker estimators (process backend)** -- instead of pickling the
+  estimator into every task, the process pool ships it *once per worker*
+  through the executor's ``initializer`` hook; tasks then carry only the
+  alternative being evaluated.  See :func:`_init_worker` for the
+  worker-side cache handling, and the module docstring of
+  :mod:`repro.cache.disk` for the batched write-back the parent applies
+  on pool teardown.
 """
 
 from __future__ import annotations
@@ -27,17 +33,73 @@ from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Iterator, Literal, Sequence
 
+from repro.cache import CacheBackend, DiskProfileCache, TieredProfileCache
 from repro.core.alternatives import AlternativeFlow
 from repro.quality.composite import QualityProfile
 from repro.quality.estimator import QualityEstimator
 
 
+def _disk_component(cache: CacheBackend | None) -> DiskProfileCache | None:
+    """The persistent tier inside ``cache``, if it has one."""
+    if isinstance(cache, DiskProfileCache):
+        return cache
+    if isinstance(cache, TieredProfileCache):
+        return cache.disk
+    return None
+
+
 def _evaluate_one(estimator: QualityEstimator, alternative: AlternativeFlow) -> QualityProfile:
-    """Evaluate a single alternative (module-level so process pools can pickle it).
+    """Evaluate a single alternative (thread backend / legacy process path).
 
     Cache handling happens in the parent process (see the module
     docstring), so workers always run the raw estimation.
     """
+    return estimator.evaluate_uncached(alternative.flow)
+
+
+#: Estimator of the current process-pool worker, installed once per
+#: worker process by :func:`_init_worker`.
+_WORKER_ESTIMATOR: QualityEstimator | None = None
+
+
+def _init_worker(estimator: QualityEstimator) -> None:
+    """Process-pool initializer: receive the estimator once per worker.
+
+    Amortizes estimator pickling (registry, settings, resource model)
+    over the whole campaign instead of paying it per task.  The
+    worker-side cache is reduced to the *persistent* component of the
+    parent's cache, if any:
+
+    * a disk-backed tier unpickles as a fresh handle onto the same
+      ``cache_dir``, giving every worker **read-through** to profiles
+      persisted by earlier runs or by concurrent sessions sharing the
+      directory;
+    * a memory-only cache is dropped (it unpickles entry-less, so each
+      lookup would be a guaranteed miss) -- parent-side lookups already
+      cover the in-process memoization.
+
+    Workers never *write* to the shared cache: the parent inserts every
+    freshly computed profile exactly once (batched, flushed on pool
+    teardown), which keeps the statistics single-counted and avoids N
+    processes racing to publish the same entries.
+    """
+    global _WORKER_ESTIMATOR
+    estimator.cache = _disk_component(estimator.cache)
+    _WORKER_ESTIMATOR = estimator
+
+
+def _evaluate_one_pooled(alternative: AlternativeFlow) -> QualityProfile:
+    """Task body of the initializer-based process pool.
+
+    Reads through the worker's persistent cache (see
+    :func:`_init_worker`) before falling back to raw estimation; never
+    writes back -- the parent owns cache insertion.
+    """
+    estimator = _WORKER_ESTIMATOR
+    assert estimator is not None, "worker initializer did not run"
+    cached = estimator.cached_profile(alternative.flow)
+    if cached is not None:
+        return cached
     return estimator.evaluate_uncached(alternative.flow)
 
 
@@ -54,6 +116,8 @@ class ParallelEvaluator:
         ``"thread"`` (default) or ``"process"``.  Threads are sufficient
         here because the simulation is numpy/pure-Python dominated and the
         batches are small; processes avoid the GIL for large campaigns.
+        The process pool ships the estimator once per worker via its
+        initializer and batches disk-cache write-back until teardown.
     """
 
     def __init__(
@@ -95,6 +159,10 @@ class ParallelEvaluator:
 
         Cache lookups and insertions happen here, in the caller's process;
         cached alternatives are yielded without ever reaching the pool.
+        With a disk-backed cache, insertions are buffered and published
+        to disk in one batch at the end of the stream (pool teardown),
+        so a long campaign does one eviction sweep instead of thousands
+        of tiny ones.
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be at least 1")
@@ -105,47 +173,85 @@ class ParallelEvaluator:
     ) -> Iterator[AlternativeFlow]:
         estimator = self.estimator
 
-        if self.workers == 1:
-            for alternative in iterator:
-                alternative.profile = estimator.evaluate(alternative.flow)
-                yield alternative
-            return
+        # Batched write-back: this stream is the sole cache writer, so
+        # buffer disk insertions for its duration and flush them once on
+        # teardown (the finally clauses below) -- one eviction sweep per
+        # campaign instead of one directory scan per stored profile.
+        disk = _disk_component(estimator.cache)
+        batching = disk is not None and not disk.batch_writes
+        if batching:
+            disk.batch_writes = True
 
-        # Peek before spinning up a pool: an empty stream must stay free.
-        try:
-            first = next(iterator)
-        except StopIteration:
+        if self.workers == 1:
+            try:
+                for alternative in iterator:
+                    alternative.profile = estimator.evaluate(alternative.flow)
+                    yield alternative
+            finally:
+                if batching:
+                    disk.batch_writes = False
+                if estimator.cache is not None:
+                    estimator.cache.flush()
             return
 
         pending: deque[tuple[AlternativeFlow, tuple | None, Future | None]] = deque()
-        executor_cls = ThreadPoolExecutor if self.backend == "thread" else ProcessPoolExecutor
+        pooled = self.backend == "process"
 
-        with executor_cls(max_workers=self.workers) as executor:
+        try:
+            # Peek before spinning up a pool: an empty stream must stay free.
+            try:
+                first = next(iterator)
+            except StopIteration:
+                return
+            if pooled:
+                executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(estimator,),
+                )
+            else:
+                executor = ThreadPoolExecutor(max_workers=self.workers)
 
-            def submit(alternative: AlternativeFlow) -> None:
-                key = estimator.cache_key(alternative.flow) if estimator.cache else None
-                cached = estimator.cached_profile(alternative.flow, key)
-                if cached is not None:
-                    alternative.profile = cached
-                    pending.append((alternative, None, None))
-                else:
-                    future = executor.submit(_evaluate_one, estimator, alternative)
-                    pending.append((alternative, key, future))
+            with executor:
 
-            def refill() -> None:
-                while len(pending) < max_inflight:
-                    try:
-                        submit(next(iterator))
-                    except StopIteration:
-                        return
+                def submit(alternative: AlternativeFlow) -> None:
+                    # `is not None`, not truthiness: bool(cache) would call
+                    # __len__, which scans the directory on disk tiers.
+                    key = (
+                        estimator.cache_key(alternative.flow)
+                        if estimator.cache is not None
+                        else None
+                    )
+                    cached = estimator.cached_profile(alternative.flow, key)
+                    if cached is not None:
+                        alternative.profile = cached
+                        pending.append((alternative, None, None))
+                    elif pooled:
+                        future = executor.submit(_evaluate_one_pooled, alternative)
+                        pending.append((alternative, key, future))
+                    else:
+                        future = executor.submit(_evaluate_one, estimator, alternative)
+                        pending.append((alternative, key, future))
 
-            submit(first)
-            refill()
-            while pending:
-                alternative, key, future = pending.popleft()
-                if future is not None:
-                    profile = future.result()
-                    estimator.store_profile(alternative.flow, profile, key)
-                    alternative.profile = profile
+                def refill() -> None:
+                    while len(pending) < max_inflight:
+                        try:
+                            submit(next(iterator))
+                        except StopIteration:
+                            return
+
+                submit(first)
                 refill()
-                yield alternative
+                while pending:
+                    alternative, key, future = pending.popleft()
+                    if future is not None:
+                        profile = future.result()
+                        estimator.store_profile(alternative.flow, profile, key)
+                        alternative.profile = profile
+                    refill()
+                    yield alternative
+        finally:
+            if batching:
+                disk.batch_writes = False
+            if estimator.cache is not None:
+                estimator.cache.flush()

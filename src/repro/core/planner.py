@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+from repro.cache import CacheBackend, build_profile_cache
 from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
 from repro.core.comparison import FlowComparison, compare_profiles
 from repro.core.configuration import ProcessingConfiguration
@@ -33,7 +34,7 @@ from repro.etl.graph import ETLGraph
 from repro.etl.validation import validate_flow
 from repro.patterns.registry import PatternRegistry, default_palette
 from repro.quality.composite import QualityProfile
-from repro.quality.estimator import EstimationSettings, ProfileCache, QualityEstimator
+from repro.quality.estimator import EstimationSettings, QualityEstimator
 from repro.quality.framework import MeasureRegistry, QualityCharacteristic, default_registry
 
 
@@ -135,8 +136,18 @@ class Planner:
             seed=self.configuration.seed,
         )
         self.measures = measures or default_registry()
-        self.profile_cache: ProfileCache | None = (
-            ProfileCache() if self.configuration.cache_profiles else None
+        # The cache tier is selected by the configuration: the default
+        # in-process LRU, a persistent disk store, or memory-over-disk
+        # (shared across every estimator of this planner, every re-plan,
+        # and -- through RedesignSession -- every iteration).
+        self.profile_cache: CacheBackend | None = (
+            build_profile_cache(
+                tier=self.configuration.cache_tier,
+                cache_dir=self.configuration.cache_dir,
+                max_bytes=self.configuration.cache_max_bytes,
+            )
+            if self.configuration.cache_profiles
+            else None
         )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,

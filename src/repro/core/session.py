@@ -9,12 +9,16 @@ commences until the user considers that the flow adequately satisfies the
 quality goals.  :class:`RedesignSession` drives that loop programmatically
 (the reproduction's stand-in for the interactive UI).
 
-The session reuses one planner -- and therefore one shared
-:class:`~repro.quality.estimator.ProfileCache` -- across all iterations:
-flows profiled in iteration N (including the adopted alternative, which
-becomes iteration N+1's baseline) are never re-simulated later.
+The session reuses one planner -- and therefore one shared profile
+cache (any :mod:`repro.cache` tier) -- across all iterations and
+re-plans: flows profiled in iteration N (including the adopted
+alternative, which becomes iteration N+1's baseline) are never
+re-simulated later.  With a disk-backed tier
+(``cache_tier="disk"``/``"tiered"``) that sharing extends across
+*sessions and processes*: parallel sessions pointed at one ``cache_dir``
+serve each other's profiles, and a new run starts warm.
 :meth:`RedesignSession.cache_stats` exposes the accumulated hit/miss
-accounting for reports and benchmarks.
+accounting (with a per-tier breakdown) for reports and benchmarks.
 """
 
 from __future__ import annotations
@@ -110,16 +114,22 @@ class RedesignSession:
         """The planner's shared profile cache (``None`` when caching is off)."""
         return self.planner.profile_cache
 
-    def cache_stats(self) -> dict[str, float]:
+    def cache_stats(self) -> dict[str, object]:
         """Hit/miss statistics accumulated across all iterations so far.
 
+        The top-level keys are the logical counters (one hit or miss per
+        lookup regardless of tier); the ``"tiers"`` key breaks them down
+        per cache tier (a single ``"memory"`` or ``"disk"`` entry, or
+        ``overall``/``memory``/``disk`` for the tiered backend).
         Returns an empty dict when profile caching is disabled
         (``cache_profiles=False`` in the configuration).
         """
         cache = self.planner.profile_cache
         if cache is None:
             return {}
-        return cache.stats.as_dict()
+        stats: dict[str, object] = dict(cache.stats.as_dict())
+        stats["tiers"] = cache.tier_stats()
+        return stats
 
     @property
     def current_profile(self) -> QualityProfile:

@@ -8,20 +8,28 @@ the results into a :class:`~repro.quality.composite.QualityProfile`.
 
 Because the alternative space is factorial in the flow size (Section 2.2)
 and the iterative redesign loop revisits structurally identical flows
-across session iterations, estimation is memoizable: a
-:class:`ProfileCache` keyed by a content fingerprint of the flow (structure
-plus operation properties plus graph annotations plus the estimation
-settings) lets a planner or a whole :class:`~repro.core.session.RedesignSession`
-skip re-simulating flows it has already profiled.  The cache keeps
-hit/miss statistics so benchmarks can report the savings.
+across session iterations, estimation is memoizable: a cache backend
+(see :mod:`repro.cache`) keyed by a content fingerprint of the flow
+(structure plus operation properties plus graph annotations plus the
+estimation settings) lets a planner or a whole
+:class:`~repro.core.session.RedesignSession` skip re-simulating flows it
+has already profiled -- and, with a disk-backed tier, lets *separate
+runs and parallel sessions* share profiles.  Every tier keeps hit/miss
+statistics so benchmarks can report the savings.
+
+:class:`ProfileCache` and :class:`~repro.cache.CacheStats` originally
+lived here and are re-exported for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 
+# Re-exported for backwards compatibility: ProfileCache and CacheStats
+# lived in this module until the CacheBackend protocol was extracted
+# into the repro.cache package (which also provides the disk-backed and
+# tiered implementations).
+from repro.cache import CacheBackend, CacheStats, ProfileCache  # noqa: F401
 from repro.etl.graph import ETLGraph
 from repro.quality.composite import QualityProfile, build_composites
 from repro.quality.framework import MeasureRegistry, MeasureValue, default_registry
@@ -63,36 +71,6 @@ class EstimationSettings:
             else (resources.workers, resources.speed, resources.cost_per_hour, resources.memory_mb)
         )
         return (self.simulation_runs, self.seed, self.use_simulation, resource_key)
-
-
-@dataclass
-class CacheStats:
-    """Hit/miss accounting of a :class:`ProfileCache`."""
-
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-
-    @property
-    def lookups(self) -> int:
-        """Total number of cache lookups."""
-        return self.hits + self.misses
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of lookups served from the cache (0.0 when never used)."""
-        lookups = self.lookups
-        return self.hits / lookups if lookups else 0.0
-
-    def as_dict(self) -> dict[str, float]:
-        """JSON-friendly snapshot (used by session histories and benchmarks)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "lookups": self.lookups,
-            "hit_rate": self.hit_rate,
-        }
 
 
 def flow_fingerprint(flow: ETLGraph) -> tuple:
@@ -137,76 +115,6 @@ def flow_fingerprint(flow: ETLGraph) -> tuple:
     )
 
 
-class ProfileCache:
-    """A bounded, thread-safe memo of quality profiles keyed by flow fingerprint.
-
-    Shared by the full and the static (screening) estimators of a planner
-    and across the iterations of a redesign session.  Lookups are counted
-    in :attr:`stats`; entries are evicted least-recently-used when
-    ``max_entries`` is set.
-
-    The cache pickles as an *empty* cache (entries and the lock are
-    dropped): process-pool workers receive a blank memo and the parent
-    process re-inserts their results, so nothing is lost and nothing large
-    crosses the process boundary.
-    """
-
-    def __init__(self, max_entries: int | None = None) -> None:
-        if max_entries is not None and max_entries < 1:
-            raise ValueError("max_entries must be at least 1 (or None for unbounded)")
-        self.max_entries = max_entries
-        self.stats = CacheStats()
-        self._entries: OrderedDict[tuple, QualityProfile] = OrderedDict()
-        self._lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-
-    def get(self, key: tuple) -> QualityProfile | None:
-        """Look up a profile, counting the hit or miss."""
-        with self._lock:
-            profile = self._entries.get(key)
-            if profile is None:
-                self.stats.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return profile
-
-    def put(self, key: tuple, profile: QualityProfile) -> None:
-        """Insert (or refresh) a profile; does not affect hit/miss counts."""
-        with self._lock:
-            self._entries[key] = profile
-            self._entries.move_to_end(key)
-            if self.max_entries is not None:
-                while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
-                    self.stats.evictions += 1
-
-    def clear(self) -> None:
-        """Drop every entry and reset the statistics."""
-        with self._lock:
-            self._entries.clear()
-            self.stats = CacheStats()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def __contains__(self, key: tuple) -> bool:
-        with self._lock:
-            return key in self._entries
-
-    # ------------------------------------------------------------------
-    # Pickling (process-pool workers must not drag the memo or the lock)
-    # ------------------------------------------------------------------
-
-    def __getstate__(self) -> dict[str, object]:
-        return {"max_entries": self.max_entries}
-
-    def __setstate__(self, state: dict[str, object]) -> None:
-        self.__init__(max_entries=state.get("max_entries"))  # type: ignore[misc]
-
-
 class QualityEstimator:
     """Evaluates the quality profile of ETL flows.
 
@@ -217,18 +125,23 @@ class QualityEstimator:
     settings:
         Simulation budget, seed, resources and the static-only switch.
     cache:
-        Optional shared :class:`ProfileCache`.  When set, :meth:`evaluate`
-        memoizes profiles by flow fingerprint + settings fingerprint, so
-        re-evaluating a structurally identical flow (e.g. in a later
-        session iteration) costs a dictionary lookup instead of a
-        simulation campaign.
+        Optional shared cache backend (any
+        :class:`~repro.cache.CacheBackend` tier: the in-memory
+        :class:`ProfileCache`, a persistent
+        :class:`~repro.cache.DiskProfileCache`, or the
+        :class:`~repro.cache.TieredProfileCache` composite).  When set,
+        :meth:`evaluate` memoizes profiles by flow fingerprint +
+        settings fingerprint, so re-evaluating a structurally identical
+        flow (e.g. in a later session iteration, a re-plan, or -- with a
+        disk-backed tier -- a whole separate run) costs a lookup instead
+        of a simulation campaign.
     """
 
     def __init__(
         self,
         registry: MeasureRegistry | None = None,
         settings: EstimationSettings | None = None,
-        cache: ProfileCache | None = None,
+        cache: CacheBackend | None = None,
     ) -> None:
         self.registry = registry or default_registry()
         self.settings = settings or EstimationSettings()

@@ -1,0 +1,229 @@
+"""Cache tiers wired through the planner, session and evaluator pool.
+
+The acceptance bar of the subsystem: every cache tier produces
+byte-identical planning results (property-tested over seeded random
+flows), defaults reproduce the memory-only behaviour, two planners can
+share one ``cache_dir``, and the process backend's per-worker estimator
+path agrees with sequential evaluation while still writing profiles
+back to disk on pool teardown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import DiskProfileCache, ProfileCache, TieredProfileCache
+from repro.core import Planner, ProcessingConfiguration, RedesignSession
+from repro.workloads import random_flow
+from repro.workloads.generator import RandomFlowConfig
+
+
+def _result_fingerprint(result) -> tuple:
+    return (
+        tuple(sorted((k, v.value) for k, v in result.baseline_profile.values.items())),
+        tuple(
+            (
+                alt.flow.signature(),
+                tuple(sorted((k, v.value) for k, v in alt.profile.values.items())),
+            )
+            for alt in result.alternatives
+        ),
+        tuple(result.skyline_indices),
+    )
+
+
+class TestConfigurationValidation:
+    def test_defaults_select_the_memory_tier(self, make_config):
+        planner = Planner(configuration=make_config())
+        assert isinstance(planner.profile_cache, ProfileCache)
+
+    def test_disk_and_tiered_require_cache_dir(self):
+        with pytest.raises(ValueError, match="requires a cache_dir"):
+            ProcessingConfiguration(cache_tier="disk")
+        with pytest.raises(ValueError, match="requires a cache_dir"):
+            ProcessingConfiguration(cache_tier="tiered")
+
+    def test_unknown_tier_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown cache_tier"):
+            ProcessingConfiguration(cache_tier="redis", cache_dir=str(tmp_path))
+
+    def test_cache_max_bytes_needs_a_disk_tier(self, tmp_path):
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            ProcessingConfiguration(cache_max_bytes=1 << 20)
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            ProcessingConfiguration(
+                cache_tier="disk", cache_dir=str(tmp_path), cache_max_bytes=0
+            )
+        # valid combination passes
+        config = ProcessingConfiguration(
+            cache_tier="tiered", cache_dir=str(tmp_path), cache_max_bytes=1 << 20
+        )
+        assert config.cache_max_bytes == 1 << 20
+
+    def test_planner_builds_the_configured_tier(self, make_config, tmp_path):
+        disk = Planner(
+            configuration=make_config(cache_tier="disk", cache_dir=str(tmp_path / "d"))
+        )
+        assert isinstance(disk.profile_cache, DiskProfileCache)
+        tiered = Planner(
+            configuration=make_config(cache_tier="tiered", cache_dir=str(tmp_path / "t"))
+        )
+        assert isinstance(tiered.profile_cache, TieredProfileCache)
+        # both estimators (full + screening) share the one backend
+        assert tiered.estimator.cache is tiered.profile_cache
+        assert tiered.screening_estimator.cache is tiered.profile_cache
+
+
+class TestTierEquivalence:
+    @pytest.mark.parametrize("flow_seed", [11, 29, 53])
+    def test_all_tiers_plan_byte_identically(self, make_config, tmp_path, flow_seed):
+        """Property: cache tiers trade wall-clock, never results."""
+        flow = random_flow(RandomFlowConfig(operations=6, rows_per_source=500, seed=flow_seed))
+        fingerprints = set()
+        for name, extra in {
+            "memory": {},
+            "disk": dict(cache_tier="disk", cache_dir=str(tmp_path / f"d{flow_seed}")),
+            "tiered": dict(cache_tier="tiered", cache_dir=str(tmp_path / f"t{flow_seed}")),
+            "uncached": dict(cache_profiles=False),
+        }.items():
+            result = Planner(configuration=make_config(**extra)).plan(flow)
+            fingerprints.add(_result_fingerprint(result))
+        assert len(fingerprints) == 1
+
+    def test_warm_disk_rerun_is_identical_and_all_hits(self, make_config, tmp_path, linear_flow):
+        config = make_config(cache_tier="tiered", cache_dir=str(tmp_path))
+        cold = Planner(configuration=config)
+        cold_result = cold.plan(linear_flow)
+        warm = Planner(configuration=config)  # fresh process stand-in: empty memory tier
+        warm_result = warm.plan(linear_flow)
+        assert _result_fingerprint(warm_result) == _result_fingerprint(cold_result)
+        tiers = warm.profile_cache.tier_stats()
+        assert tiers["overall"]["misses"] == 0
+        assert tiers["disk"]["hits"] == tiers["overall"]["hits"]
+
+
+class TestSharedCacheDir:
+    def test_two_planners_share_one_cache_dir(self, make_config, tmp_path, linear_flow):
+        """The 'parallel sessions' scenario: planner B reuses A's profiles."""
+        config = make_config(cache_tier="disk", cache_dir=str(tmp_path))
+        a = Planner(configuration=config)
+        b = Planner(configuration=config)
+        result_a = a.plan(linear_flow)
+        result_b = b.plan(linear_flow)
+        assert _result_fingerprint(result_a) == _result_fingerprint(result_b)
+        assert b.profile_cache.stats.misses == 0
+        assert b.profile_cache.stats.hits == b.profile_cache.stats.lookups
+
+    def test_eviction_under_cache_max_bytes_during_planning(
+        self, make_config, tmp_path, linear_flow
+    ):
+        probe = Planner(
+            configuration=make_config(cache_tier="disk", cache_dir=str(tmp_path / "probe"))
+        )
+        reference = probe.plan(linear_flow)
+        entry_bytes = probe.profile_cache.size_bytes() // max(len(probe.profile_cache), 1)
+        capped_config = make_config(
+            cache_tier="disk",
+            cache_dir=str(tmp_path / "capped"),
+            cache_max_bytes=entry_bytes * 2,
+        )
+        capped = Planner(configuration=capped_config)
+        capped_result = capped.plan(linear_flow)
+        # the cap squeezed the store without changing any result
+        assert _result_fingerprint(capped_result) == _result_fingerprint(reference)
+        assert capped.profile_cache.stats.evictions > 0
+        assert capped.profile_cache.size_bytes() <= capped_config.cache_max_bytes
+
+
+class TestSessionCacheStats:
+    def test_session_stats_include_the_tier_breakdown(self, make_config, tmp_path, linear_flow):
+        session = RedesignSession(
+            linear_flow,
+            configuration=make_config(cache_tier="tiered", cache_dir=str(tmp_path)),
+        )
+        session.iterate()
+        stats = session.cache_stats()
+        assert stats["lookups"] > 0
+        assert set(stats["tiers"]) == {"overall", "memory", "disk"}
+        assert stats["tiers"]["overall"]["lookups"] == stats["lookups"]
+
+    def test_memory_session_stats_keep_the_flat_shape(self, make_config, linear_flow):
+        session = RedesignSession(linear_flow, configuration=make_config())
+        session.iterate()
+        stats = session.cache_stats()
+        assert stats["lookups"] > 0
+        assert set(stats["tiers"]) == {"memory"}
+
+    def test_disabled_cache_yields_empty_stats(self, make_config, linear_flow):
+        session = RedesignSession(
+            linear_flow, configuration=make_config(cache_profiles=False)
+        )
+        session.iterate()
+        assert session.cache_stats() == {}
+
+
+class TestProcessBackendPool:
+    def test_process_pool_matches_sequential_and_writes_back(
+        self, make_config, tmp_path, linear_flow
+    ):
+        """Per-worker estimator pool: same results, disk populated on teardown."""
+        sequential = Planner(configuration=make_config()).plan(linear_flow)
+        pooled_config = make_config(
+            cache_tier="tiered",
+            cache_dir=str(tmp_path),
+            parallel_workers=2,
+            backend="process",
+        )
+        pooled_planner = Planner(configuration=pooled_config)
+        pooled = pooled_planner.plan(linear_flow)
+        assert _result_fingerprint(pooled) == _result_fingerprint(sequential)
+        # the parent's batched write-back published every profile on teardown
+        disk = pooled_planner.profile_cache.disk
+        assert not disk.batch_writes, "batching must be restored after the stream"
+        assert len(disk) == pooled_planner.profile_cache.stats.misses
+        # a fresh planner is served entirely from the warm directory
+        warm = Planner(configuration=pooled_config)
+        warm_result = warm.plan(linear_flow)
+        assert _result_fingerprint(warm_result) == _result_fingerprint(sequential)
+        assert warm.profile_cache.stats.misses == 0
+
+    def test_worker_reads_through_a_prewarmed_directory(
+        self, make_config, tmp_path, linear_flow
+    ):
+        """Workers open their own handle onto cache_dir (read-through path)."""
+        from repro.core.evaluator import _init_worker, _evaluate_one_pooled
+        import repro.core.evaluator as evaluator_module
+
+        config = make_config(cache_tier="tiered", cache_dir=str(tmp_path))
+        seeder = Planner(configuration=config)
+        seeder.plan(linear_flow)  # populates the directory
+
+        fresh = Planner(configuration=config)
+        alternatives = fresh.generate_alternatives(linear_flow)
+        # simulate the worker side in-process: initializer + pooled task
+        import pickle
+
+        worker_estimator = pickle.loads(pickle.dumps(fresh.estimator))
+        original = evaluator_module._WORKER_ESTIMATOR
+        try:
+            _init_worker(worker_estimator)
+            assert isinstance(worker_estimator.cache, DiskProfileCache)
+            profile = _evaluate_one_pooled(alternatives[0])
+            assert worker_estimator.cache.stats.hits == 1, "served from the warm dir"
+            assert profile.values  # a real, fully populated profile
+        finally:
+            evaluator_module._WORKER_ESTIMATOR = original
+
+    def test_memory_only_worker_drops_the_entry_less_cache(self, make_config, linear_flow):
+        from repro.core.evaluator import _init_worker
+        import repro.core.evaluator as evaluator_module
+        import pickle
+
+        planner = Planner(configuration=make_config())  # memory tier
+        worker_estimator = pickle.loads(pickle.dumps(planner.estimator))
+        original = evaluator_module._WORKER_ESTIMATOR
+        try:
+            _init_worker(worker_estimator)
+            assert worker_estimator.cache is None
+        finally:
+            evaluator_module._WORKER_ESTIMATOR = original

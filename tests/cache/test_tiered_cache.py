@@ -1,0 +1,128 @@
+"""Unit tests of the memory-over-disk composite cache tier."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.cache import (
+    DiskProfileCache,
+    ProfileCache,
+    TieredProfileCache,
+    build_profile_cache,
+)
+from repro.quality.composite import QualityProfile
+
+
+def _profile(name: str = "p") -> QualityProfile:
+    return QualityProfile(flow_name=name)
+
+
+def _tiered(tmp_path, **disk_kwargs) -> TieredProfileCache:
+    return TieredProfileCache(ProfileCache(), DiskProfileCache(tmp_path, **disk_kwargs))
+
+
+class TestTieredLookup:
+    def test_write_through_and_memory_hit(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("k",), _profile())
+        assert cache.get(("k",)) is not None
+        # the memory tier answered; disk was never consulted for the get
+        assert cache.memory.stats.hits == 1
+        assert cache.disk.stats.lookups == 0
+        # but the entry was written through to disk
+        assert ("k",) in cache.disk
+
+    def test_disk_hit_is_promoted_to_memory(self, tmp_path):
+        DiskProfileCache(tmp_path).put(("k",), _profile("warm"))
+        cache = _tiered(tmp_path)  # fresh memory tier, warm disk
+        first = cache.get(("k",))
+        assert first is not None and first.flow_name == "warm"
+        assert cache.memory.stats.misses == 1
+        assert cache.disk.stats.hits == 1
+        # the promotion makes the second lookup a pure memory hit
+        assert cache.get(("k",)) is not None
+        assert cache.memory.stats.hits == 1
+        assert cache.disk.stats.lookups == 1
+
+    def test_logical_stats_count_once_per_lookup(self, tmp_path):
+        DiskProfileCache(tmp_path).put(("warm",), _profile())
+        cache = _tiered(tmp_path)
+        cache.get(("warm",))  # disk hit
+        cache.put(("new",), _profile())
+        cache.get(("new",))  # memory hit
+        cache.get(("absent",))  # miss everywhere
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+        assert cache.stats.lookups == 3
+
+    def test_contains_and_len(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("k",), _profile())
+        assert ("k",) in cache
+        assert ("absent",) not in cache
+        assert len(cache) == 1
+
+
+class TestTieredMaintenance:
+    def test_flush_publishes_the_disk_buffer(self, tmp_path):
+        cache = _tiered(tmp_path, batch_writes=True)
+        cache.put(("k",), _profile("buffered"))
+        assert DiskProfileCache(tmp_path).get(("k",)) is None  # not published yet
+        cache.flush()
+        assert DiskProfileCache(tmp_path).get(("k",)).flow_name == "buffered"
+
+    def test_clear_resets_both_tiers_and_all_stats(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("k",), _profile())
+        cache.get(("k",))
+        cache.get(("absent",))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+        assert cache.memory.stats.lookups == 0
+        assert cache.disk.stats.lookups == 0
+
+    def test_tier_stats_shape(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("k",), _profile())
+        cache.get(("k",))
+        tiers = cache.tier_stats()
+        assert set(tiers) == {"overall", "memory", "disk"}
+        assert tiers["overall"]["hits"] == 1
+        for snapshot in tiers.values():
+            assert {"hits", "misses", "evictions", "invalid", "lookups", "hit_rate"} <= set(
+                snapshot
+            )
+
+    def test_single_tier_stats_shapes(self, tmp_path):
+        assert set(ProfileCache().tier_stats()) == {"memory"}
+        assert set(DiskProfileCache(tmp_path).tier_stats()) == {"disk"}
+
+    def test_pickles_to_an_entry_less_memory_tier_and_a_disk_handle(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("k",), _profile("shared"))
+        clone = pickle.loads(pickle.dumps(cache))
+        assert len(clone.memory) == 0  # memory entries never cross the boundary
+        hit = clone.get(("k",))  # ...but the disk handle still reads them
+        assert hit is not None and hit.flow_name == "shared"
+
+
+class TestBuildProfileCache:
+    def test_memory_tier_ignores_other_knobs(self):
+        cache = build_profile_cache("memory")
+        assert isinstance(cache, ProfileCache)
+
+    def test_disk_and_tiered_tiers(self, tmp_path):
+        disk = build_profile_cache("disk", cache_dir=tmp_path / "d", max_bytes=1 << 20)
+        assert isinstance(disk, DiskProfileCache)
+        assert disk.max_bytes == 1 << 20
+        tiered = build_profile_cache("tiered", cache_dir=tmp_path / "t")
+        assert isinstance(tiered, TieredProfileCache)
+
+    def test_rejects_bad_combinations(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError):
+            build_profile_cache("disk")  # no cache_dir
+        with pytest.raises(ValueError):
+            build_profile_cache("redis", cache_dir=tmp_path)

@@ -79,6 +79,29 @@ def test_generation_bench_smoke_tiny_flow():
     assert "prefix cache" in rendered
 
 
+def test_profile_cache_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_profile_cache.py")
+    report = bench.run_cache_bench(
+        scale=0.01,
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=15,
+    )
+    assert set(report["arms"]) == {"cold", "warm_memory", "warm_disk"}
+    assert report["identical_results"]
+    for arm in report["arms"].values():
+        assert arm["seconds"] > 0
+    assert report["disk_entries"] > 0
+    assert report["disk_bytes"] > 0
+    # the warm-disk arm is served entirely from the persistent store
+    warm_disk = report["arms"]["warm_disk"]["cache"]
+    assert warm_disk["disk"]["hit_rate"] == 1.0
+    assert warm_disk["overall"]["misses"] == 0
+    rendered = bench._render_report(report)
+    assert "warm disk vs cold" in rendered
+
+
 def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     run_all = _load_module(_BENCH_DIR / "run_all.py")
     output = tmp_path / "BENCH_generation.json"
@@ -97,3 +120,7 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     streaming = record["streaming"]
     assert streaming["equivalent_selections"]
     assert streaming["speedup_streaming_vs_eager"] > 0
+    profile_cache = record["profile_cache"]
+    assert profile_cache["identical_results"]
+    assert profile_cache["speedup_warm_disk_vs_cold"] > 0
+    assert profile_cache["disk_entries"] > 0

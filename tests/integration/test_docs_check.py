@@ -1,9 +1,10 @@
 """Tests of the ``make docs-check`` tooling (``tools/docs_check.py``).
 
-The checker gates two docs invariants: no broken intra-repository links
-in README/docs, and every ``ProcessingConfiguration`` field documented
-in the tuning guide.  These tests assert the current tree is clean and
-that the checker actually catches both failure modes.
+The checker gates three docs invariants: no broken intra-repository
+links in README/docs, every ``ProcessingConfiguration`` field documented
+in the tuning guide, and -- inversely -- no tuning-guide knob entry for
+a field that no longer exists.  These tests assert the current tree is
+clean and that the checker actually catches all failure modes.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ def test_repository_docs_are_clean():
     checker = _load_checker()
     assert checker.broken_links() == []
     assert checker.undocumented_knobs() == []
+    assert checker.phantom_knobs() == []
     assert checker.main() == 0
 
 
@@ -55,6 +57,30 @@ def test_undocumented_knob_detected(tmp_path):
     assert problems, "an incomplete tuning guide must be flagged"
     assert any("prefix_cache" in p for p in problems)
     assert not any("pattern_budget`" in p for p in problems)
+
+
+def test_phantom_knob_detected(tmp_path):
+    """The inverse check: a documented-but-nonexistent field must fail."""
+    checker = _load_checker()
+    stale = tmp_path / "tuning.md"
+    stale.write_text(
+        "### `pattern_budget` — default `2`\nreal knob\n\n"
+        "### `turbo_mode` — default `False`\nremoved three PRs ago\n"
+    )
+    problems = checker.phantom_knobs(stale)
+    assert len(problems) == 1
+    assert "turbo_mode" in problems[0]
+
+
+def test_phantom_knob_ignores_non_heading_mentions(tmp_path):
+    """Prose mentions of arbitrary backticked names are not knob entries."""
+    checker = _load_checker()
+    doc = tmp_path / "tuning.md"
+    doc.write_text(
+        "### `copy_mode` — default `\"deep\"`\nmentions `GraphDelta` and "
+        "`validate_delta` in prose, which are not knobs\n"
+    )
+    assert checker.phantom_knobs(doc) == []
 
 
 def test_every_knob_has_a_tuning_entry():

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checks (the ``make docs-check`` target).
 
-Two failure modes the docs surface must never regress into:
+Three failure modes the docs surface must never regress into:
 
 1. **Broken intra-repository links.** Every relative link target in
    ``README.md`` and ``docs/*.md`` must exist on disk (external
@@ -11,6 +11,11 @@ Two failure modes the docs surface must never regress into:
    :class:`repro.core.configuration.ProcessingConfiguration` must be
    mentioned in ``docs/performance-tuning.md`` — adding a knob without
    writing down when to use it fails the build.
+3. **Phantom knobs** (the inverse). Every ``### `name` …`` knob entry
+   in the tuning guide must still be a ``ProcessingConfiguration``
+   field — renaming or deleting a knob without updating its docs fails
+   the build, so the guide can never describe configuration that no
+   longer exists.
 
 Exit status is the number of problems found (0 = clean), so the script
 doubles as a pre-commit hook.  Run directly::
@@ -31,6 +36,9 @@ TUNING_DOC = REPO_ROOT / "docs" / "performance-tuning.md"
 
 #: Markdown inline links: ``[text](target)``, ignoring images.
 _LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: Knob entries in the tuning guide: ``### `knob_name` — default …``.
+_KNOB_HEADING_RE = re.compile(r"^###\s+`([A-Za-z_][A-Za-z0-9_]*)`", re.MULTILINE)
 
 
 def _rel(path: Path) -> str:
@@ -84,8 +92,30 @@ def undocumented_knobs(tuning_doc: Path | None = None) -> list[str]:
     return problems
 
 
+def phantom_knobs(tuning_doc: Path | None = None) -> list[str]:
+    """Knob headings in the tuning guide that are not configuration fields.
+
+    The inverse of :func:`undocumented_knobs`: scans the ``### `name```
+    entry headings and reports any that no longer exist on
+    ``ProcessingConfiguration`` (renamed or removed knobs whose
+    documentation was left behind).
+    """
+    doc = TUNING_DOC if tuning_doc is None else tuning_doc
+    if not doc.exists():
+        return [f"{_rel(doc)}: file missing"]
+    fields = set(_configuration_fields())
+    problems = []
+    for name in _KNOB_HEADING_RE.findall(doc.read_text()):
+        if name not in fields:
+            problems.append(
+                f"{_rel(doc)}: documented knob `{name}` is not a "
+                f"ProcessingConfiguration field (remove or rename the entry)"
+            )
+    return problems
+
+
 def main() -> int:
-    problems = broken_links() + undocumented_knobs()
+    problems = broken_links() + undocumented_knobs() + phantom_knobs()
     for problem in problems:
         print(f"docs-check: {problem}", file=sys.stderr)
     if not problems:
