@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-tiny bench-cache docs-check examples check
+.PHONY: test test-fast bench bench-tiny bench-cache bench-service serve docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -25,6 +25,14 @@ bench-tiny:
 ## profile-cache benchmark only: cold vs warm-disk vs in-memory on TPC-H
 bench-cache:
 	$(PYTHON) benchmarks/bench_profile_cache.py
+
+## service benchmark only: N clients sharing a cache server vs N cold solo runs
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
+
+## run the redesign service (persistent shared cache under .cache/profiles)
+serve:
+	$(PYTHON) tools/serve.py redesign --cache-dir .cache/profiles
 
 ## intra-doc links + every ProcessingConfiguration knob documented
 docs-check:

@@ -69,22 +69,6 @@ def _stats_delta(before: dict, after: dict) -> dict:
     return delta
 
 
-def _result_fingerprint(result) -> tuple:
-    """Everything observable about a planning result, hashable for equality."""
-    return (
-        tuple(sorted((k, v.value) for k, v in result.baseline_profile.values.items())),
-        tuple(
-            (
-                alt.flow.signature(),
-                tuple(sorted((k, v.value) for k, v in alt.profile.values.items())),
-                tuple(sorted((c.value, s) for c, s in alt.profile.scores.items())),
-            )
-            for alt in result.alternatives
-        ),
-        tuple(result.skyline_indices),
-    )
-
-
 def run_cache_bench(
     flow=None,
     *,
@@ -147,7 +131,7 @@ def run_cache_bench(
         }
 
         fingerprints = {
-            name: _result_fingerprint(result)
+            name: result.fingerprint()
             for name, result in {
                 "memory_reference": reference,
                 "cold": cold_result,

@@ -2,9 +2,11 @@
 
 Executes the generation benchmark (``bench_generation``: deep vs.
 copy-on-write pattern application), the streaming-pipeline benchmark
-(``bench_streaming_pipeline``: eager vs. streaming vs. screening) and
-the profile-cache benchmark (``bench_profile_cache``: cold vs.
-warm-disk vs. in-memory planning) and writes one JSON document --
+(``bench_streaming_pipeline``: eager vs. streaming vs. screening), the
+profile-cache benchmark (``bench_profile_cache``: cold vs. warm-disk
+vs. in-memory planning) and the service benchmark (``bench_service``:
+concurrent clients sharing one cache server vs. cold solo runs) and
+writes one JSON document --
 ``BENCH_generation.json`` by default -- with candidates/sec, the
 measured speedups, the application/validation time split and the
 process peak RSS.  Future PRs append to the performance
@@ -25,6 +27,7 @@ import importlib.util
 import json
 import platform
 import resource
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -41,6 +44,23 @@ def _load(name: str):
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
     return module
+
+
+def _run_service_bench_isolated(arguments: list[str]) -> dict:
+    """Run ``bench_service.py --json`` in a fresh interpreter.
+
+    The service benchmark times forked client fleets, so it must not
+    inherit this process's warmed module-level memos and fat heap --
+    running it in-process measurably skews *both* arms.  A subprocess
+    reproduces exactly what the standalone invocation measures.
+    """
+    completed = subprocess.run(
+        [sys.executable, str(_BENCH_DIR / "bench_service.py"), "--json", *arguments],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout)
 
 
 def _peak_rss_kb() -> int:
@@ -71,14 +91,21 @@ def run_all(tiny: bool = False) -> dict:
             scale=0.01, pattern_budget=1, max_points_per_pattern=2,
             simulation_runs=1, max_alternatives=15,
         )
+        service_arguments = [
+            "--scale", "0.01", "--pattern-budget", "1",
+            "--max-points-per-pattern", "2", "--simulation-runs", "1",
+            "--max-alternatives", "15", "--clients", "2",
+        ]
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
         cache_kwargs = {}
+        service_arguments = []
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
     profile_cache = bench_cache.run_cache_bench(**cache_kwargs)
+    service = _run_service_bench_isolated(service_arguments)
 
     return {
         "schema_version": 1,
@@ -134,6 +161,15 @@ def run_all(tiny: bool = False) -> dict:
             "disk_bytes": profile_cache["disk_bytes"],
             "raw": profile_cache,
         },
+        "service": {
+            "workload": service["workload"],
+            "clients": service["clients"],
+            "speedup_service_vs_solo": service["speedup_service_vs_solo"],
+            "identical_results": service["identical_results"],
+            "server_entries": service["server_entries"],
+            "client_hit_rates": service["client_hit_rates"],
+            "raw": service,
+        },
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -171,6 +207,12 @@ def main(argv=None) -> int:
         f"profile cache: warm disk {cache['speedup_warm_disk_vs_cold']:.2f}x vs cold, "
         f"warm memory {cache['speedup_warm_memory_vs_cold']:.2f}x, "
         f"identical={cache['identical_results']}"
+    )
+    service = report["service"]
+    print(
+        f"service: {service['clients']} shared-cache clients "
+        f"{service['speedup_service_vs_solo']:.2f}x vs cold solo runs, "
+        f"identical={service['identical_results']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

@@ -16,10 +16,16 @@ This package provides the cache tiers behind
 ``"tiered"``
     :class:`TieredProfileCache` -- memory over disk with promotion on
     disk hits; the right choice for repeated/parallel runs.
+``"http"``
+    :class:`HTTPProfileCache` -- a client onto a shared network cache
+    service (:class:`repro.service.CacheServer`), so a fleet of machines
+    shares one store; degrades gracefully to a local memory tier when
+    the server is unreachable.
 
 All tiers implement the :class:`CacheBackend` protocol.  See
 ``docs/caching.md`` for the selection guide, the key/versioning scheme
-and the invalidation rules.
+and the invalidation rules, and ``docs/service.md`` for the network
+tier's wire protocol.
 """
 
 from __future__ import annotations
@@ -27,23 +33,33 @@ from __future__ import annotations
 import os
 
 from repro.cache.backend import CacheBackend, CacheStats
-from repro.cache.disk import CACHE_SCHEMA_VERSION, DiskProfileCache
+from repro.cache.disk import CACHE_SCHEMA_VERSION, DiskProfileCache, key_digest
 from repro.cache.memory import ProfileCache
 from repro.cache.tiered import TieredProfileCache
 
+# Safe to import eagerly: repro.cache.http defers its JSON-codec imports
+# (repro.io -> repro.quality -> repro.cache) to call time, so no cycle.
+from repro.cache.http import HTTPProfileCache  # noqa: E402  (after siblings)
+
 #: The valid values of ``ProcessingConfiguration.cache_tier``.
-CACHE_TIERS = ("memory", "disk", "tiered")
+CACHE_TIERS = ("memory", "disk", "tiered", "http")
+
+#: Default ``ProcessingConfiguration.cache_timeout`` (seconds per request).
+DEFAULT_CACHE_TIMEOUT = 5.0
 
 
 def build_profile_cache(
     tier: str = "memory",
     cache_dir: str | os.PathLike | None = None,
     max_bytes: int | None = None,
+    url: str | None = None,
+    timeout: float = DEFAULT_CACHE_TIMEOUT,
 ) -> CacheBackend:
     """Build the cache backend selected by the configuration knobs.
 
-    Mirrors the ``cache_tier`` / ``cache_dir`` / ``cache_max_bytes``
-    fields of :class:`~repro.core.configuration.ProcessingConfiguration`
+    Mirrors the ``cache_tier`` / ``cache_dir`` / ``cache_max_bytes`` /
+    ``cache_url`` / ``cache_timeout`` fields of
+    :class:`~repro.core.configuration.ProcessingConfiguration`
     (which validates the combination up front); the planner calls this
     when ``cache_profiles`` is enabled.  ``tier="memory"`` ignores the
     other arguments and reproduces the original in-process behaviour.
@@ -52,6 +68,10 @@ def build_profile_cache(
         return ProfileCache()
     if tier not in CACHE_TIERS:
         raise ValueError(f"unknown cache tier: {tier!r} (use one of {CACHE_TIERS})")
+    if tier == "http":
+        if url is None:
+            raise ValueError('cache_tier="http" requires a cache_url')
+        return HTTPProfileCache(url, timeout=timeout)
     if cache_dir is None:
         raise ValueError(f"cache_tier={tier!r} requires a cache_dir")
     disk = DiskProfileCache(cache_dir, max_bytes=max_bytes)
@@ -63,10 +83,13 @@ def build_profile_cache(
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CACHE_TIERS",
+    "DEFAULT_CACHE_TIMEOUT",
     "CacheBackend",
     "CacheStats",
     "DiskProfileCache",
+    "HTTPProfileCache",
     "ProfileCache",
     "TieredProfileCache",
     "build_profile_cache",
+    "key_digest",
 ]

@@ -23,7 +23,7 @@ key/versioning scheme.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.quality.composite import QualityProfile
@@ -95,6 +95,17 @@ class CacheBackend(Protocol):
 
     def get(self, key: tuple) -> "QualityProfile | None":
         """Look up a profile, counting the hit or miss."""
+        ...
+
+    def get_many(self, keys: "Sequence[tuple]") -> "list[QualityProfile | None]":
+        """Batched lookup: one result (and one hit/miss count) per key.
+
+        Semantically equivalent to ``[self.get(k) for k in keys]`` but
+        backends amortize the per-lookup overhead -- one lock acquisition
+        for the in-memory tier, one locked pass over the entry files for
+        the disk tier, one network round-trip for the HTTP tier.  The
+        parallel evaluator resolves whole evaluation chunks this way.
+        """
         ...
 
     def put(self, key: tuple, profile: "QualityProfile") -> None:

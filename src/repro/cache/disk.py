@@ -26,7 +26,11 @@ re-plans in new processes, and parallel sessions pointed at one
   raises into a planning run.
 * **Size-capped LRU eviction.**  With ``max_bytes`` set, every publish
   sweeps the directory and deletes least-recently-*used* entries (hits
-  refresh the file mtime) until the total size fits.
+  refresh the file mtime) until the total size fits.  Long-running
+  *servers* can move that sweep off the write path entirely:
+  :meth:`start_background_eviction` runs it on an opt-in daemon thread
+  at a fixed interval instead (the in-line sweep stays the default for
+  library use, where the process may exit at any time).
 * **Optional write batching.**  With :attr:`batch_writes` enabled, puts
   accumulate in memory and :meth:`flush` publishes them in one pass with
   a single eviction sweep -- the parallel evaluator turns this on for
@@ -40,7 +44,7 @@ import os
 import pickle
 import threading
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.backend import CacheStats
 
@@ -54,6 +58,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CACHE_SCHEMA_VERSION = 1
 
 _ENTRY_SUFFIX = ".profile.pkl"
+
+
+def key_digest(key: tuple) -> str:
+    """The hashed identity of a versioned cache key (hex SHA-256).
+
+    This is the disk tier's file-name digest, exported because it is
+    also the *wire identity* of an entry in the cache service protocol:
+    HTTP clients hash their keys locally and send only the digest, so
+    the multi-kilobyte flow fingerprints never cross the network on the
+    lookup path, and a cache server fronting a ``cache_dir`` addresses
+    exactly the same files a local planner would.
+    """
+    return hashlib.sha256(repr((CACHE_SCHEMA_VERSION, key)).encode("utf-8")).hexdigest()
 
 
 class DiskProfileCache:
@@ -89,16 +106,22 @@ class DiskProfileCache:
         self.stats = CacheStats()
         self._pending: dict[tuple, QualityProfile] = {}
         self._lock = threading.Lock()
+        # Write-batch refcount (begin/end_write_batch): how many streams
+        # currently own a batching scope, and what to restore at zero.
+        self._batch_depth = 0
+        self._configured_batch_writes = batch_writes
+        # In-line eviction is the default; start_background_eviction()
+        # hands the sweep to a daemon thread instead (server mode).
+        self._sweep_inline = True
+        self._sweeper: threading.Thread | None = None
+        self._sweeper_stop: threading.Event | None = None
 
     # ------------------------------------------------------------------
     # Key -> file mapping
     # ------------------------------------------------------------------
 
     def _path(self, key: tuple) -> Path:
-        digest = hashlib.sha256(
-            repr((CACHE_SCHEMA_VERSION, key)).encode("utf-8")
-        ).hexdigest()
-        return self.cache_dir / f"{digest}{_ENTRY_SUFFIX}"
+        return self.cache_dir / f"{key_digest(key)}{_ENTRY_SUFFIX}"
 
     def _entry_files(self) -> list[Path]:
         try:
@@ -156,6 +179,70 @@ class DiskProfileCache:
             pass  # a concurrent eviction won the race; the hit still counts
         return profile
 
+    def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
+        """Batched lookup: one locked pass over pending buffer and files."""
+        with self._lock:
+            results: list[QualityProfile | None] = []
+            for key in keys:
+                pending = self._pending.get(key)
+                if pending is not None:
+                    self.stats.hits += 1
+                    results.append(pending)
+                    continue
+                profile = self._read(key)
+                if profile is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+                results.append(profile)
+            return results
+
+    def get_by_digest(self, digest: str) -> "tuple[tuple, QualityProfile] | None":
+        """Look up one entry by its :func:`key_digest` (the service fast path).
+
+        Returns ``(stored_key, profile)`` so callers holding only the
+        digest (a cache server) can promote or re-index the entry.
+        Counts one hit or miss.  Trust model: :meth:`_write` derives the
+        file name from the key inside the payload, so an intact,
+        version-matching entry at ``<digest>.profile.pkl`` is the entry
+        for that digest by construction -- the full stored-key
+        comparison of the keyed path is replaced by the write invariant
+        plus the unpickle/version integrity checks.
+        """
+        with self._lock:
+            if self._pending:
+                for key, profile in self._pending.items():
+                    if key_digest(key) == digest:
+                        self.stats.hits += 1
+                        return key, profile
+            path = self.cache_dir / f"{digest}{_ENTRY_SUFFIX}"
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                self.stats.misses += 1
+                return None
+            try:
+                payload = pickle.loads(raw)
+                version = payload["version"]
+                stored_key = payload["key"]
+                profile = payload["profile"]
+            except Exception:
+                self.stats.invalid += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            if version != CACHE_SCHEMA_VERSION:
+                self.stats.invalid += 1
+                self.stats.misses += 1
+                self._discard(path)
+                return None
+            try:
+                os.utime(path)
+            except OSError:
+                pass  # a concurrent eviction won the race; the hit still counts
+            self.stats.hits += 1
+            return stored_key, profile
+
     def put(self, key: tuple, profile: QualityProfile) -> None:
         """Insert (or refresh) a profile; does not affect hit/miss counts."""
         with self._lock:
@@ -163,7 +250,8 @@ class DiskProfileCache:
                 self._pending[key] = profile
                 return
             self._write(key, profile)
-            self._evict_to_cap()
+            if self._sweep_inline:
+                self._evict_to_cap()
 
     def flush(self) -> None:
         """Publish buffered entries in one pass (single eviction sweep)."""
@@ -173,7 +261,30 @@ class DiskProfileCache:
             for key, profile in self._pending.items():
                 self._write(key, profile)
             self._pending.clear()
-            self._evict_to_cap()
+            if self._sweep_inline:
+                self._evict_to_cap()
+
+    def begin_write_batch(self) -> None:
+        """Enter a batching scope (refcounted; see :meth:`end_write_batch`).
+
+        The parallel evaluator brackets each evaluation stream with
+        begin/end instead of toggling :attr:`batch_writes` directly, so
+        *concurrent* streams over one shared cache (the redesign
+        service's worker pool) compose: writes stay buffered until the
+        last stream ends its scope, rather than whichever stream
+        finishes first silently switching everyone back to inline
+        publishing.
+        """
+        with self._lock:
+            self._batch_depth += 1
+            self.batch_writes = True
+
+    def end_write_batch(self) -> None:
+        """Leave a batching scope, restoring the configured mode at zero."""
+        with self._lock:
+            self._batch_depth = max(0, self._batch_depth - 1)
+            if self._batch_depth == 0:
+                self.batch_writes = self._configured_batch_writes
 
     def _write(self, key: tuple, profile: QualityProfile) -> None:
         payload = {"version": CACHE_SCHEMA_VERSION, "key": key, "profile": profile}
@@ -217,6 +328,60 @@ class DiskProfileCache:
             self._discard(path)
             self.stats.evictions += 1
             total -= size
+
+    # ------------------------------------------------------------------
+    # Background eviction (server mode)
+    # ------------------------------------------------------------------
+
+    def start_background_eviction(self, interval: float = 30.0) -> None:
+        """Move the size-cap sweep off the write path onto a daemon thread.
+
+        Opt-in, meant for long-running cache *servers* fronting a large
+        store: with the sweeper running, ``put``/``flush`` publish
+        without scanning the directory, and the sweep runs every
+        ``interval`` seconds instead.  The store may transiently exceed
+        ``max_bytes`` between sweeps -- that is the trade.  In-line
+        eviction (the default) is restored by
+        :meth:`stop_background_eviction`.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive (seconds)")
+        with self._lock:
+            if self._sweeper is not None:
+                raise RuntimeError("background eviction is already running")
+            self._sweep_inline = False
+            self._sweeper_stop = threading.Event()
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop,
+                args=(interval, self._sweeper_stop),
+                name="repro-cache-sweeper",
+                daemon=True,
+            )
+            self._sweeper.start()
+
+    def stop_background_eviction(self, final_sweep: bool = True) -> None:
+        """Stop the sweeper thread and restore in-line eviction.
+
+        ``final_sweep`` (the default) runs one last sweep so the store
+        is back under ``max_bytes`` when the method returns.  A no-op if
+        the sweeper is not running.
+        """
+        with self._lock:
+            thread, stop = self._sweeper, self._sweeper_stop
+            self._sweeper = None
+            self._sweeper_stop = None
+            self._sweep_inline = True
+        if thread is not None and stop is not None:
+            stop.set()
+            thread.join(timeout=5.0)
+        if final_sweep:
+            with self._lock:
+                self._evict_to_cap()
+
+    def _sweep_loop(self, interval: float, stop: threading.Event) -> None:
+        while not stop.wait(interval):
+            with self._lock:
+                self._evict_to_cap()
 
     # ------------------------------------------------------------------
     # Maintenance / introspection

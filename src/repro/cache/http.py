@@ -1,0 +1,307 @@
+"""The network (HTTP) profile-cache tier.
+
+:class:`HTTPProfileCache` implements the :class:`~repro.cache.backend.CacheBackend`
+protocol on top of a remote cache service (:class:`repro.service.CacheServer`)
+so that a *fleet* of planners -- separate processes, separate machines --
+can share one profile store without mounting a common ``cache_dir``.
+Selected by ``ProcessingConfiguration.cache_tier="http"`` with the server
+address in ``cache_url`` and the per-request budget in ``cache_timeout``.
+
+Design points, mirroring the disk tier where the analogy holds:
+
+* **JSON wire format, digests on the hot path.**  Lookups send only the
+  :func:`~repro.cache.key_digest` of each key (the disk tier's file-name
+  hash, computed client-side), because the keys themselves are
+  multi-kilobyte flow fingerprints; writes carry the full keys (restored
+  server-side by :func:`repro.io.jsonflow.cache_key_from_jsonable`) so
+  on-disk entries stay self-verifying.  Profiles travel as
+  :func:`repro.io.jsonflow.profile_to_dict` documents; the round-trip is
+  exact, so the tier-equivalence property (identical planning results
+  across tiers) holds over the network too.
+* **Client-side write batching.**  ``put`` always buffers; ``flush``
+  publishes the buffer in a single ``POST /put`` -- the same discipline
+  the parallel evaluator already applies to the disk tier, so a planning
+  stream costs one round-trip per campaign, not one per stored profile.
+  Buffered entries are served by ``get``/``in`` of this instance.
+* **Batched lookups.**  :meth:`get_many` resolves a whole evaluation
+  chunk in one ``POST /get_many`` round-trip (the per-task read-through
+  of process-pool workers uses this).
+* **Graceful degradation.**  A server that is unreachable, times out or
+  misbehaves *never* fails a plan: the first failure is logged once
+  (``repro.cache.http`` logger), pending writes move into a local
+  in-memory fallback tier, and every later operation is served locally.
+  The plan completes with identical results -- cache tiers trade
+  wall-clock, never correctness.
+* **Pickling.**  Like the disk tier, the client is a *handle*: a clone
+  re-opens the same URL with a fresh buffer and a fresh (non-degraded)
+  connection state, while the accumulated hit/miss statistics survive
+  the round-trip.  Process-pool workers therefore get read-through to
+  the shared server.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import urllib.error
+import urllib.request
+from typing import TYPE_CHECKING, Sequence
+
+from repro.cache.backend import CacheStats
+from repro.cache.disk import key_digest
+from repro.cache.memory import ProfileCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.quality.composite import QualityProfile
+
+logger = logging.getLogger("repro.cache.http")
+
+#: Default per-request budget, in seconds (``ProcessingConfiguration.cache_timeout``).
+DEFAULT_TIMEOUT = 5.0
+
+
+class HTTPProfileCache:
+    """A profile-cache tier served by a remote :class:`~repro.service.CacheServer`.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the cache service, e.g. ``"http://127.0.0.1:8731"``.
+    timeout:
+        Per-request timeout in seconds; a request exceeding it degrades
+        the client to its local fallback tier (it never raises).
+    fallback_max_entries:
+        Optional LRU bound on the local in-memory tier used after
+        degradation (``None`` = unbounded, matching the default
+        ``ProfileCache``).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        fallback_max_entries: int | None = None,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive (seconds)")
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.stats = CacheStats()
+        self.fallback = ProfileCache(max_entries=fallback_max_entries)
+        self._fallback_max_entries = fallback_max_entries
+        self._pending: dict[tuple, QualityProfile] = {}
+        self._degraded = False
+        self._lock = threading.Lock()
+
+    #: Puts always buffer until :meth:`flush` -- advertised so the
+    #: parallel evaluator does not layer its own batching on top (the
+    #: same attribute the disk tier exposes).
+    batch_writes = True
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+
+    def _request(self, path: str, payload: dict | None = None) -> dict | None:
+        """One JSON round-trip; ``None`` (after degrading) on any failure."""
+        if self._degraded:
+            return None
+        if payload is None:
+            request = urllib.request.Request(self.url + path, method="GET")
+        else:
+            request = urllib.request.Request(
+                self.url + path,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            self._degrade(exc)
+            return None
+
+    def _degrade(self, exc: Exception) -> None:
+        """Switch permanently to the local fallback tier, logging once."""
+        with self._lock:
+            if self._degraded:
+                return
+            self._degraded = True
+            pending = dict(self._pending)
+            self._pending.clear()
+        # Outside the lock: ProfileCache.put takes its own lock.
+        for key, profile in pending.items():
+            self.fallback.put(key, profile)
+        logger.warning(
+            "profile cache server %s unreachable (%s); falling back to a local "
+            "in-memory tier for the rest of this process",
+            self.url,
+            exc,
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the client has fallen back to its local memory tier."""
+        return self._degraded
+
+    # ------------------------------------------------------------------
+    # CacheBackend protocol
+    # ------------------------------------------------------------------
+
+    def get(self, key: tuple) -> QualityProfile | None:
+        """Look up a profile (pending buffer, then server, then fallback)."""
+        return self.get_many([key])[0]
+
+    def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
+        """Batched lookup: one round-trip for every key not buffered locally.
+
+        Keys are hashed locally (:func:`repro.cache.key_digest`) and
+        only the digests travel, so looking up a whole evaluation window
+        moves a few bytes per profile.  Counts exactly one hit or miss
+        per key, whichever side served it.
+        """
+        from repro.io.jsonflow import profile_from_dict
+
+        results: list[QualityProfile | None] = [None] * len(keys)
+        remote: list[int] = []
+        with self._lock:
+            for index, key in enumerate(keys):
+                pending = self._pending.get(key)
+                if pending is not None:
+                    results[index] = pending
+                else:
+                    remote.append(index)
+        if remote:
+            response = self._request(
+                "/get_many",
+                {"digests": [key_digest(keys[index]) for index in remote]},
+            )
+            if response is not None:
+                for index, entry in zip(remote, response.get("profiles", [])):
+                    results[index] = profile_from_dict(entry) if entry else None
+            else:
+                # Degraded (now or earlier): the local tier answers, and
+                # its own stats record the fallback traffic.
+                for index in remote:
+                    results[index] = self.fallback.get(keys[index])
+        with self._lock:
+            for profile in results:
+                if profile is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+        return results
+
+    def put(self, key: tuple, profile: QualityProfile) -> None:
+        """Buffer an insert; :meth:`flush` publishes the buffer in one batch.
+
+        The degraded check happens under the same lock :meth:`_degrade`
+        drains the buffer with, so a put racing with the degradation can
+        never strand an entry in a buffer nothing will ever flush.
+        """
+        with self._lock:
+            if not self._degraded:
+                self._pending[key] = profile
+                return
+        self.fallback.put(key, profile)
+
+    def flush(self) -> None:
+        """Publish every buffered entry to the server in a single request."""
+        from repro.io.jsonflow import profile_to_dict
+
+        with self._lock:
+            if not self._pending:
+                return
+            batch = dict(self._pending)
+            if self._degraded:  # pragma: no cover - put/degrade race window
+                self._pending.clear()
+        if self._degraded:
+            for key, profile in batch.items():
+                self.fallback.put(key, profile)
+            return
+        response = self._request(
+            "/put",
+            {
+                "entries": [
+                    {"key": key, "profile": profile_to_dict(profile)}
+                    for key, profile in batch.items()
+                ]
+            },
+        )
+        if response is not None:
+            with self._lock:
+                # Only drop what was sent; puts racing with the request stay.
+                for key in batch:
+                    self._pending.pop(key, None)
+        # On failure _degrade already moved the buffer into the fallback.
+
+    def clear(self) -> None:
+        """Drop the buffer, the fallback and (best-effort) the server store."""
+        with self._lock:
+            self._pending.clear()
+            self.stats = CacheStats()
+        self.fallback.clear()
+        self._request("/clear", {})
+
+    def tier_stats(self) -> dict[str, dict[str, float]]:
+        """Client, server and fallback breakdowns.
+
+        ``"http"`` is this client's logical accounting (one hit or miss
+        per lookup, whichever side served it), ``"server"`` the remote
+        backend's own counters (fetched best-effort; omitted when the
+        server is unreachable), and ``"fallback"`` the local tier that
+        serves after degradation.
+        """
+        tiers: dict[str, dict[str, float]] = {}
+        with self._lock:
+            tiers["http"] = self.stats.as_dict()
+        response = self._request("/stats")
+        if response is not None and "stats" in response:
+            tiers["server"] = response["stats"]
+        tiers["fallback"] = self.fallback.stats.as_dict()
+        return tiers
+
+    def __len__(self) -> int:
+        """Entry count: server entries plus unflushed buffer (approximate
+        across the flush boundary), or the fallback after degradation."""
+        response = self._request("/stats")
+        with self._lock:
+            pending = len(self._pending)
+        if response is None:
+            return len(self.fallback) + pending
+        return int(response.get("entries", 0)) + pending
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            if key in self._pending:
+                return True
+        response = self._request("/contains", {"digest": key_digest(key)})
+        if response is None:
+            return key in self.fallback
+        return bool(response.get("contains", False))
+
+    # ------------------------------------------------------------------
+    # Pickling: a handle onto the same server -- fresh buffer, fresh
+    # connection state (a degraded parent does not doom its clones), the
+    # statistics round-trip (consistent with the other tiers).
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        return {
+            "url": self.url,
+            "timeout": self.timeout,
+            "fallback_max_entries": self._fallback_max_entries,
+            "stats": self.stats,
+        }
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__init__(  # type: ignore[misc]
+            state["url"],
+            timeout=state.get("timeout", DEFAULT_TIMEOUT),
+            fallback_max_entries=state.get("fallback_max_entries"),
+        )
+        stats = state.get("stats")
+        if stats is not None:
+            self.stats = stats  # type: ignore[assignment]

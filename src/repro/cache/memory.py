@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.backend import CacheStats
 
@@ -58,6 +58,20 @@ class ProfileCache:
             self._entries.move_to_end(key)
             self.stats.hits += 1
             return profile
+
+    def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
+        """Batched lookup under a single lock acquisition."""
+        with self._lock:
+            results: list[QualityProfile | None] = []
+            for key in keys:
+                profile = self._entries.get(key)
+                if profile is None:
+                    self.stats.misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                results.append(profile)
+            return results
 
     def put(self, key: tuple, profile: QualityProfile) -> None:
         """Insert (or refresh) a profile; does not affect hit/miss counts."""

@@ -16,7 +16,7 @@ per-tier breakdown, including promotions counted as memory puts.
 from __future__ import annotations
 
 import threading
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.backend import CacheStats
 from repro.cache.disk import DiskProfileCache
@@ -50,6 +50,24 @@ class TieredProfileCache:
             else:
                 self.stats.hits += 1
         return profile
+
+    def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
+        """Batched lookup: memory first, then one disk pass for the misses."""
+        results: list[QualityProfile | None] = self.memory.get_many(keys)
+        missing = [index for index, profile in enumerate(results) if profile is None]
+        if missing:
+            from_disk = self.disk.get_many([keys[index] for index in missing])
+            for index, profile in zip(missing, from_disk):
+                if profile is not None:
+                    self.memory.put(keys[index], profile)
+                    results[index] = profile
+        with self._stats_lock:
+            for profile in results:
+                if profile is None:
+                    self.stats.misses += 1
+                else:
+                    self.stats.hits += 1
+        return results
 
     def put(self, key: tuple, profile: QualityProfile) -> None:
         """Write through to both tiers (the disk write may be buffered)."""

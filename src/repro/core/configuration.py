@@ -58,10 +58,18 @@ seed behaviour; turning them on changes wall-clock, never results (except
 ``cache_tier`` / ``cache_dir`` / ``cache_max_bytes``
     Which cache backend holds those memoized profiles: the in-process
     LRU (``"memory"``, the default), a persistent directory shared
-    across runs and parallel sessions (``"disk"``), or memory over disk
-    with promotion (``"tiered"``).  Disk-backed tiers amortize
-    simulation work across *processes*: a warm ``cache_dir`` makes a
-    re-run mostly I/O-bound.  See ``docs/caching.md``.
+    across runs and parallel sessions (``"disk"``), memory over disk
+    with promotion (``"tiered"``), or a shared network cache service
+    (``"http"``).  Disk-backed tiers amortize simulation work across
+    *processes*: a warm ``cache_dir`` makes a re-run mostly I/O-bound.
+    See ``docs/caching.md``.
+``cache_url`` / ``cache_timeout``
+    Address and per-request budget of the network tier
+    (``cache_tier="http"``): a :class:`repro.service.CacheServer` lets a
+    fleet of machines share one profile store without a common
+    filesystem.  The client degrades gracefully -- an unreachable
+    server is logged once and the plan falls back to a local in-memory
+    tier, never failing.  See ``docs/service.md``.
 """
 
 from __future__ import annotations
@@ -175,8 +183,11 @@ class ProcessingConfiguration:
         ``cache_profiles=True`` to matter): ``"memory"`` (default, the
         in-process LRU -- dies with the process), ``"disk"`` (a
         persistent store under ``cache_dir``, shared across runs and
-        concurrent sessions) or ``"tiered"`` (memory in front of disk,
-        promoting disk hits -- the best of both for repeated runs).
+        concurrent sessions), ``"tiered"`` (memory in front of disk,
+        promoting disk hits -- the best of both for repeated runs) or
+        ``"http"`` (a client onto a shared
+        :class:`repro.service.CacheServer` at ``cache_url`` -- profiles
+        shared across *machines*, no common filesystem needed).
     cache_dir:
         Directory of the persistent profile store; required by (and only
         meaningful for) the ``"disk"`` and ``"tiered"`` cache tiers.
@@ -187,6 +198,19 @@ class ProcessingConfiguration:
         Optional size cap on the on-disk profile store;
         least-recently-used entries are evicted once the total entry
         size exceeds it.  ``None`` (the default) means unbounded.
+        Meaningless for the ``"http"`` tier, whose *server* owns
+        eviction.
+    cache_url:
+        Base URL of the shared cache service, required by (and only
+        valid for) ``cache_tier="http"`` -- e.g.
+        ``"http://cache-host:8731"``, typically a
+        ``tools/serve.py cache`` process fronting one ``cache_dir`` for
+        a whole fleet.  An unreachable server degrades the tier to
+        local memory (logged once); it never fails a plan.
+    cache_timeout:
+        Per-request budget of the ``"http"`` cache client, in seconds.
+        A request exceeding it counts as a server failure and triggers
+        the local fallback.
     copy_mode:
         How pattern application copies flows: ``"deep"`` (default, the
         seed behaviour) clones every operation payload per application;
@@ -230,6 +254,8 @@ class ProcessingConfiguration:
     cache_tier: str = "memory"
     cache_dir: str | None = None
     cache_max_bytes: int | None = None
+    cache_url: str | None = None
+    cache_timeout: float = 5.0
     copy_mode: str = "deep"
     prefix_cache: bool = True
     backend: str = "thread"
@@ -257,15 +283,29 @@ class ProcessingConfiguration:
             raise ValueError(
                 f"unknown cache_tier: {self.cache_tier!r} (use one of {CACHE_TIERS})"
             )
-        if self.cache_tier != "memory" and self.cache_dir is None:
+        if self.cache_tier in ("disk", "tiered") and self.cache_dir is None:
             raise ValueError(f"cache_tier={self.cache_tier!r} requires a cache_dir")
+        if self.cache_tier == "http" and self.cache_url is None:
+            raise ValueError('cache_tier="http" requires a cache_url')
+        if self.cache_tier == "http" and self.cache_dir is not None:
+            raise ValueError(
+                'cache_dir does not apply to cache_tier="http" -- the cache '
+                "server owns the store; point the server at the directory instead"
+            )
+        if self.cache_url is not None and self.cache_tier != "http":
+            raise ValueError(
+                'cache_url only applies to cache_tier="http" '
+                f"(got cache_tier={self.cache_tier!r})"
+            )
+        if self.cache_timeout <= 0:
+            raise ValueError("cache_timeout must be positive (seconds)")
         if self.cache_max_bytes is not None:
             if self.cache_max_bytes < 1:
                 raise ValueError("cache_max_bytes must be at least 1 (or None for unbounded)")
-            if self.cache_tier == "memory":
+            if self.cache_tier not in ("disk", "tiered"):
                 raise ValueError(
                     "cache_max_bytes only applies to the disk-backed cache tiers "
-                    "('disk' or 'tiered')"
+                    "('disk' or 'tiered'); the 'http' tier's server owns eviction"
                 )
 
     def prioritized_characteristics(self) -> list[QualityCharacteristic]:

@@ -21,7 +21,11 @@ reproduction substitutes a local worker pool (threads or processes from
 * **Per-worker estimators (process backend)** -- instead of pickling the
   estimator into every task, the process pool ships it *once per worker*
   through the executor's ``initializer`` hook; tasks then carry only the
-  alternative being evaluated.  See :func:`_init_worker` for the
+  alternatives being evaluated, grouped into small contiguous *chunks*
+  so each worker resolves its read-through cache lookups in a single
+  :meth:`~repro.cache.CacheBackend.get_many` pass (one locked directory
+  pass for a disk tier, one round-trip for the network tier) instead of
+  one open/``stat`` per profile.  See :func:`_init_worker` for the
   worker-side cache handling, and the module docstring of
   :mod:`repro.cache.disk` for the batched write-back the parent applies
   on pool teardown.
@@ -29,23 +33,38 @@ reproduction substitutes a local worker pool (threads or processes from
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Iterator, Literal, Sequence
 
 from repro.cache import CacheBackend, DiskProfileCache, TieredProfileCache
+from repro.cache.http import HTTPProfileCache
 from repro.core.alternatives import AlternativeFlow
 from repro.quality.composite import QualityProfile
 from repro.quality.estimator import QualityEstimator
 
 
-def _disk_component(cache: CacheBackend | None) -> DiskProfileCache | None:
-    """The persistent tier inside ``cache``, if it has one."""
-    if isinstance(cache, DiskProfileCache):
+def _persistent_component(cache: CacheBackend | None):
+    """The shared *persistent* tier inside ``cache``, if it has one.
+
+    A disk store (optionally inside the tiered composite) or the network
+    cache client -- the tiers whose entries outlive this process, and
+    therefore the only tiers worth shipping to pool workers or batching
+    writes for.  ``None`` for memory-only caches.
+    """
+    if isinstance(cache, (DiskProfileCache, HTTPProfileCache)):
         return cache
     if isinstance(cache, TieredProfileCache):
         return cache.disk
     return None
+
+
+def _relabel(profile: QualityProfile, flow_name: str) -> QualityProfile:
+    """A shallow copy re-labelled for one flow (as ``cached_profile`` does)."""
+    return QualityProfile(
+        flow_name=flow_name, scores=dict(profile.scores), values=dict(profile.values)
+    )
 
 
 def _evaluate_one(estimator: QualityEstimator, alternative: AlternativeFlow) -> QualityProfile:
@@ -55,6 +74,13 @@ def _evaluate_one(estimator: QualityEstimator, alternative: AlternativeFlow) -> 
     docstring), so workers always run the raw estimation.
     """
     return estimator.evaluate_uncached(alternative.flow)
+
+
+def _evaluate_chunk(
+    estimator: QualityEstimator, alternatives: Sequence[AlternativeFlow]
+) -> list[QualityProfile]:
+    """Evaluate a chunk of alternatives in one task (thread backend)."""
+    return [estimator.evaluate_uncached(alternative.flow) for alternative in alternatives]
 
 
 #: Estimator of the current process-pool worker, installed once per
@@ -84,23 +110,46 @@ def _init_worker(estimator: QualityEstimator) -> None:
     processes racing to publish the same entries.
     """
     global _WORKER_ESTIMATOR
-    estimator.cache = _disk_component(estimator.cache)
+    estimator.cache = _persistent_component(estimator.cache)
     _WORKER_ESTIMATOR = estimator
 
 
-def _evaluate_one_pooled(alternative: AlternativeFlow) -> QualityProfile:
+def _evaluate_chunk_pooled(alternatives: Sequence[AlternativeFlow]) -> list[QualityProfile]:
     """Task body of the initializer-based process pool.
 
-    Reads through the worker's persistent cache (see
-    :func:`_init_worker`) before falling back to raw estimation; never
-    writes back -- the parent owns cache insertion.
+    Resolves the whole chunk against the worker's persistent cache in
+    **one** :meth:`~repro.cache.CacheBackend.get_many` pass (one locked
+    directory pass for a disk tier, one round-trip for the network
+    tier) instead of one open/``stat`` per profile, then estimates the
+    misses.  Never writes back -- the parent owns cache insertion.
     """
     estimator = _WORKER_ESTIMATOR
     assert estimator is not None, "worker initializer did not run"
-    cached = estimator.cached_profile(alternative.flow)
-    if cached is not None:
-        return cached
-    return estimator.evaluate_uncached(alternative.flow)
+    cache = estimator.cache
+    if cache is not None:
+        keys = [estimator.cache_key(alternative.flow) for alternative in alternatives]
+        hits = cache.get_many(keys)
+    else:
+        keys = [None] * len(alternatives)
+        hits = [None] * len(alternatives)
+    profiles: list[QualityProfile] = []
+    fresh: dict[tuple, QualityProfile] = {}  # chunk-local duplicate memo
+    for alternative, key, hit in zip(alternatives, keys, hits):
+        if hit is None and key is not None:
+            hit = fresh.get(key)
+        if hit is not None:
+            profiles.append(_relabel(hit, alternative.flow.name))
+        else:
+            profile = estimator.evaluate_uncached(alternative.flow)
+            if key is not None:
+                fresh[key] = profile
+            profiles.append(profile)
+    return profiles
+
+
+def _evaluate_one_pooled(alternative: AlternativeFlow) -> QualityProfile:
+    """Single-alternative variant of :func:`_evaluate_chunk_pooled`."""
+    return _evaluate_chunk_pooled([alternative])[0]
 
 
 class ParallelEvaluator:
@@ -173,29 +222,84 @@ class ParallelEvaluator:
     ) -> Iterator[AlternativeFlow]:
         estimator = self.estimator
 
-        # Batched write-back: this stream is the sole cache writer, so
-        # buffer disk insertions for its duration and flush them once on
-        # teardown (the finally clauses below) -- one eviction sweep per
-        # campaign instead of one directory scan per stored profile.
-        disk = _disk_component(estimator.cache)
-        batching = disk is not None and not disk.batch_writes
+        # Batched write-back: buffer persistent-tier insertions for the
+        # stream's duration and flush them once on teardown (the finally
+        # clauses below) -- one eviction sweep / network round-trip per
+        # campaign instead of one per stored profile.  The scope is
+        # refcounted on the cache (begin/end_write_batch) so concurrent
+        # streams sharing one backend -- the redesign service's worker
+        # pool -- compose instead of racing on a boolean.  (The HTTP
+        # tier always batches and has no scopes.)
+        persistent = _persistent_component(estimator.cache)
+        batching = persistent is not None and hasattr(persistent, "begin_write_batch")
         if batching:
-            disk.batch_writes = True
+            persistent.begin_write_batch()
+
+        def lookup_window(
+            window: Sequence[AlternativeFlow],
+        ) -> tuple[list[tuple | None], list[QualityProfile | None]]:
+            """One batched cache pass for a window of candidates.
+
+            `is not None`, not truthiness: bool(cache) would call
+            __len__, which scans the directory (or asks the server) on
+            persistent tiers.
+            """
+            if estimator.cache is None:
+                return [None] * len(window), [None] * len(window)
+            keys = [estimator.cache_key(alternative.flow) for alternative in window]
+            return keys, estimator.cache.get_many(keys)
 
         if self.workers == 1:
             try:
-                for alternative in iterator:
-                    alternative.profile = estimator.evaluate(alternative.flow)
-                    yield alternative
+                # Windows of max_inflight keep the sequential path's
+                # cache traffic batched too (one get_many per window --
+                # a single round-trip on the network tier) while staying
+                # within the documented in-flight bound.
+                while True:
+                    window = list(itertools.islice(iterator, max_inflight))
+                    if not window:
+                        break
+                    keys, hits = lookup_window(window)
+                    # Window-local memo: candidates sharing a fingerprint
+                    # within one window (both looked up before either was
+                    # computed) are still simulated only once.
+                    fresh: dict[tuple, QualityProfile] = {}
+                    for alternative, key, hit in zip(window, keys, hits):
+                        if hit is None and key is not None:
+                            hit = fresh.get(key)
+                        if hit is not None:
+                            alternative.profile = _relabel(hit, alternative.flow.name)
+                        else:
+                            profile = estimator.evaluate_uncached(alternative.flow)
+                            estimator.store_profile(alternative.flow, profile, key)
+                            if key is not None:
+                                fresh[key] = profile
+                            alternative.profile = profile
+                        yield alternative
             finally:
                 if batching:
-                    disk.batch_writes = False
+                    persistent.end_write_batch()
                 if estimator.cache is not None:
                     estimator.cache.flush()
             return
 
-        pending: deque[tuple[AlternativeFlow, tuple | None, Future | None]] = deque()
+        # Groups preserve input order: each pending entry is a contiguous
+        # run of alternatives sharing one future (or a single parent-side
+        # cache hit with no future).  The process backend groups several
+        # misses per task so each worker resolves its read-through cache
+        # lookups in one get_many pass; with the default window
+        # (2 * workers) the chunk size is 1, i.e. the classic
+        # one-task-per-alternative behaviour.
+        pending: deque[
+            tuple[list[AlternativeFlow], list[tuple | None], Future | None]
+        ] = deque()
         pooled = self.backend == "process"
+        chunk_size = max(1, max_inflight // (2 * self.workers)) if pooled else 1
+        chunk: list[AlternativeFlow] = []
+        chunk_keys: list[tuple | None] = []
+
+        def inflight() -> int:
+            return sum(len(group) for group, _, _ in pending) + len(chunk)
 
         try:
             # Peek before spinning up a pool: an empty stream must stay free.
@@ -203,6 +307,7 @@ class ParallelEvaluator:
                 first = next(iterator)
             except StopIteration:
                 return
+            iterator = itertools.chain([first], iterator)
             if pooled:
                 executor = ProcessPoolExecutor(
                     max_workers=self.workers,
@@ -214,44 +319,59 @@ class ParallelEvaluator:
 
             with executor:
 
-                def submit(alternative: AlternativeFlow) -> None:
-                    # `is not None`, not truthiness: bool(cache) would call
-                    # __len__, which scans the directory on disk tiers.
-                    key = (
-                        estimator.cache_key(alternative.flow)
-                        if estimator.cache is not None
-                        else None
-                    )
-                    cached = estimator.cached_profile(alternative.flow, key)
-                    if cached is not None:
-                        alternative.profile = cached
-                        pending.append((alternative, None, None))
-                    elif pooled:
-                        future = executor.submit(_evaluate_one_pooled, alternative)
-                        pending.append((alternative, key, future))
+                def flush_chunk() -> None:
+                    if not chunk:
+                        return
+                    group, keys = list(chunk), list(chunk_keys)
+                    chunk.clear()
+                    chunk_keys.clear()
+                    if pooled:
+                        future = executor.submit(_evaluate_chunk_pooled, group)
                     else:
-                        future = executor.submit(_evaluate_one, estimator, alternative)
-                        pending.append((alternative, key, future))
+                        future = executor.submit(_evaluate_chunk, estimator, group)
+                    pending.append((group, keys, future))
 
                 def refill() -> None:
-                    while len(pending) < max_inflight:
-                        try:
-                            submit(next(iterator))
-                        except StopIteration:
-                            return
+                    # Top the window up in batches so the parent-side
+                    # cache pass is one get_many per refill, not one
+                    # lookup per candidate.
+                    while True:
+                        want = max_inflight - inflight()
+                        if want <= 0:
+                            break
+                        window = list(itertools.islice(iterator, want))
+                        if not window:
+                            break
+                        keys, hits = lookup_window(window)
+                        for alternative, key, hit in zip(window, keys, hits):
+                            if hit is not None:
+                                # A hit breaks the contiguous run of
+                                # misses; flush so yielding stays in
+                                # input order.
+                                flush_chunk()
+                                alternative.profile = _relabel(hit, alternative.flow.name)
+                                pending.append(([alternative], [None], None))
+                            else:
+                                chunk.append(alternative)
+                                chunk_keys.append(key)
+                                if len(chunk) >= chunk_size:
+                                    flush_chunk()
+                    # Whatever is buffered must make progress now; the
+                    # steady-state refill is one whole chunk anyway.
+                    flush_chunk()
 
-                submit(first)
                 refill()
                 while pending:
-                    alternative, key, future = pending.popleft()
+                    group, keys, future = pending.popleft()
                     if future is not None:
-                        profile = future.result()
-                        estimator.store_profile(alternative.flow, profile, key)
-                        alternative.profile = profile
+                        profiles = future.result()
+                        for alternative, key, profile in zip(group, keys, profiles):
+                            estimator.store_profile(alternative.flow, profile, key)
+                            alternative.profile = profile
                     refill()
-                    yield alternative
+                    yield from group
         finally:
             if batching:
-                disk.batch_writes = False
+                persistent.end_write_batch()
             if estimator.cache is not None:
                 estimator.cache.flush()

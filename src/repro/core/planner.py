@@ -21,7 +21,7 @@ identical to the original eager generate-then-evaluate pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cache import CacheBackend, build_profile_cache
 from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
@@ -92,6 +92,34 @@ class PlanningResult:
             raise ValueError("none of the alternatives has been evaluated yet")
         return max(evaluated, key=lambda alt: alt.profile.score(characteristic))
 
+    def fingerprint(self) -> tuple:
+        """A hashable digest of everything observable about this result.
+
+        Baseline measure values, per-alternative flow signatures with
+        their full profiles (values and composite scores), and the
+        skyline -- two results compare equal iff a user could not tell
+        them apart.  This is the equality the tier-equivalence and
+        service-equivalence suites (and the benchmarks' ``identical``
+        columns) assert on; keep it exhaustive, never approximate.
+        """
+
+        def profile_fingerprint(profile: QualityProfile | None) -> tuple | None:
+            if profile is None:
+                return None
+            return (
+                tuple(sorted((k, v.value) for k, v in profile.values.items())),
+                tuple(sorted((c.value, s) for c, s in profile.scores.items())),
+            )
+
+        return (
+            profile_fingerprint(self.baseline_profile),
+            tuple(
+                (alt.flow.signature(), profile_fingerprint(alt.profile))
+                for alt in self.alternatives
+            ),
+            tuple(self.skyline_indices),
+        )
+
     def summary(self) -> dict[str, object]:
         """Compact numeric summary of the planning run (used by reports/benches)."""
         return {
@@ -119,6 +147,11 @@ class Planner:
     measures:
         Measure registry used for the quality estimation; defaults to the
         Fig. 1-style default registry.
+    profile_cache:
+        Pre-built cache backend overriding the tier the configuration
+        would select -- the hook the redesign service uses to make a
+        whole worker pool of concurrent sessions share one tier.
+        Ignored when ``configuration.cache_profiles`` is false.
     """
 
     def __init__(
@@ -127,6 +160,7 @@ class Planner:
         configuration: ProcessingConfiguration | None = None,
         policy: DeploymentPolicy | None = None,
         measures: MeasureRegistry | None = None,
+        profile_cache: CacheBackend | None = None,
     ) -> None:
         self.palette = palette or default_palette()
         self.configuration = configuration or ProcessingConfiguration()
@@ -136,19 +170,24 @@ class Planner:
             seed=self.configuration.seed,
         )
         self.measures = measures or default_registry()
-        # The cache tier is selected by the configuration: the default
-        # in-process LRU, a persistent disk store, or memory-over-disk
-        # (shared across every estimator of this planner, every re-plan,
-        # and -- through RedesignSession -- every iteration).
-        self.profile_cache: CacheBackend | None = (
-            build_profile_cache(
+        # The cache tier is selected by the configuration -- the default
+        # in-process LRU, a persistent disk store, memory-over-disk, or
+        # a network cache service -- unless the caller injected a shared
+        # backend.  Either way one backend serves every estimator of
+        # this planner, every re-plan, and -- through RedesignSession --
+        # every iteration.
+        if not self.configuration.cache_profiles:
+            self.profile_cache: CacheBackend | None = None
+        elif profile_cache is not None:
+            self.profile_cache = profile_cache
+        else:
+            self.profile_cache = build_profile_cache(
                 tier=self.configuration.cache_tier,
                 cache_dir=self.configuration.cache_dir,
                 max_bytes=self.configuration.cache_max_bytes,
+                url=self.configuration.cache_url,
+                timeout=self.configuration.cache_timeout,
             )
-            if self.configuration.cache_profiles
-            else None
-        )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,
             seed=self.configuration.seed,
@@ -209,8 +248,18 @@ class Planner:
     # Full pipeline
     # ------------------------------------------------------------------
 
-    def plan(self, flow: ETLGraph) -> PlanningResult:
+    def plan(
+        self,
+        flow: ETLGraph,
+        on_evaluated: Callable[[AlternativeFlow], None] | None = None,
+    ) -> PlanningResult:
         """Run the full pipeline on an initial flow and return the result.
+
+        ``on_evaluated`` is called once per alternative as its profile
+        completes (in stream order, before constraint filtering) -- the
+        hook live progress reporting (the redesign service's status
+        endpoint) is built on.  The callback must be cheap and must not
+        raise; it runs on the planning thread.
 
         Contract
         --------
@@ -247,6 +296,8 @@ class Planner:
             candidates, batch_size=config.eval_batch_size
         ):
             assert alternative.profile is not None
+            if on_evaluated is not None:
+                on_evaluated(alternative)
             if config.satisfies_constraints(alternative.profile):
                 kept.append(alternative)
             else:

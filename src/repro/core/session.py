@@ -17,8 +17,14 @@ re-simulated later.  With a disk-backed tier
 (``cache_tier="disk"``/``"tiered"``) that sharing extends across
 *sessions and processes*: parallel sessions pointed at one ``cache_dir``
 serve each other's profiles, and a new run starts warm.
-:meth:`RedesignSession.cache_stats` exposes the accumulated hit/miss
-accounting (with a per-tier breakdown) for reports and benchmarks.
+With the network tier (``cache_tier="http"``) the sharing spans
+*machines*: every session pointed at one
+:class:`repro.service.CacheServer` reads and writes the same store, and
+the redesign service runs a whole worker pool of concurrent sessions on
+one injected backend.  :meth:`RedesignSession.cache_stats` exposes the
+accumulated hit/miss accounting (with a per-tier breakdown -- including
+the network tier's client/server/fallback split) for reports and
+benchmarks.
 """
 
 from __future__ import annotations
@@ -119,8 +125,10 @@ class RedesignSession:
 
         The top-level keys are the logical counters (one hit or miss per
         lookup regardless of tier); the ``"tiers"`` key breaks them down
-        per cache tier (a single ``"memory"`` or ``"disk"`` entry, or
-        ``overall``/``memory``/``disk`` for the tiered backend).
+        per cache tier (a single ``"memory"`` or ``"disk"`` entry,
+        ``overall``/``memory``/``disk`` for the tiered backend, or
+        ``http``/``server``/``fallback`` for the network tier --
+        ``server`` is fetched live and omitted when unreachable).
         Returns an empty dict when profile caching is disabled
         (``cache_profiles=False`` in the configuration).
         """
@@ -136,9 +144,18 @@ class RedesignSession:
         """Quality profile of the current flow."""
         return self.planner.evaluate_flow(self.current_flow)
 
-    def iterate(self) -> SessionIteration:
-        """Run one planning cycle on the current flow."""
-        result = self.planner.plan(self.current_flow)
+    def iterate(
+        self,
+        on_evaluated: Callable[[AlternativeFlow], None] | None = None,
+    ) -> SessionIteration:
+        """Run one planning cycle on the current flow.
+
+        ``on_evaluated`` is forwarded to :meth:`Planner.plan` -- called
+        once per alternative as its profile completes, which is how the
+        redesign service streams live progress for a session running
+        inside its worker pool.
+        """
+        result = self.planner.plan(self.current_flow, on_evaluated=on_evaluated)
         iteration = SessionIteration(index=len(self.iterations) + 1, result=result)
         self.iterations.append(iteration)
         return iteration

@@ -1,0 +1,135 @@
+"""Client for the redesign service.
+
+:class:`RedesignClient` is the programmatic counterpart of
+:class:`~repro.service.RedesignServer`: submit a flow, poll its status,
+fetch the ranked alternatives back as a real
+:class:`~repro.core.planner.PlanningResult`.  Unlike the *cache* client
+(:class:`~repro.cache.http.HTTPProfileCache`), which degrades silently
+because a cache is an optimisation, the redesign client surfaces every
+failure as an exception -- a lost planning job is not something to paper
+over.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.core.planner import PlanningResult
+from repro.etl.graph import ETLGraph
+from repro.service.results import result_from_dict
+
+#: Job states that will never change again.
+TERMINAL_STATES = ("done", "failed")
+
+
+class RedesignServiceError(RuntimeError):
+    """An error response (or transport failure) from the redesign service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+class RedesignClient:
+    """Talks JSON to one redesign server.
+
+    Parameters
+    ----------
+    url:
+        Base URL of the server, e.g. ``"http://127.0.0.1:8732"``.
+    timeout:
+        Per-request timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive (seconds)")
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+
+    def _request(self, path: str, payload: Mapping[str, Any] | None = None) -> dict:
+        if payload is None:
+            request = urllib.request.Request(self.url + path, method="GET")
+        else:
+            request = urllib.request.Request(
+                self.url + path,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
+            except Exception:
+                message = str(exc)
+            raise RedesignServiceError(exc.code, message) from None
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            raise RedesignServiceError(0, f"redesign service unreachable: {exc}") from None
+
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """The server's liveness document."""
+        return self._request("/health")
+
+    def submit(
+        self, flow: ETLGraph, configuration: Mapping[str, Any] | None = None
+    ) -> str:
+        """Submit one plan; returns the job id immediately."""
+        payload: dict[str, Any] = {"flow": flow.to_dict()}
+        if configuration is not None:
+            payload["configuration"] = dict(configuration)
+        return self._request("/plans", payload)["id"]
+
+    def status(self, job_id: str) -> dict:
+        """Live status/progress of one job."""
+        return self._request(f"/plans/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state; returns its status.
+
+        Raises :class:`TimeoutError` if the deadline passes first.  A
+        *failed* job is returned, not raised -- callers decide (fetching
+        its result will raise).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"plan {job_id} still {status['status']} after {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def result_raw(self, job_id: str) -> dict:
+        """The ranked alternatives as the raw JSON document."""
+        return self._request(f"/plans/{job_id}/result")["result"]
+
+    def result(self, job_id: str) -> PlanningResult:
+        """The ranked alternatives decoded back into a :class:`PlanningResult`."""
+        return result_from_dict(self.result_raw(job_id))
+
+    def plan(
+        self,
+        flow: ETLGraph,
+        configuration: Mapping[str, Any] | None = None,
+        timeout: float = 120.0,
+    ) -> PlanningResult:
+        """Submit, wait and decode in one call (the one-liner for scripts)."""
+        job_id = self.submit(flow, configuration)
+        status = self.wait(job_id, timeout=timeout)
+        if status["status"] == "failed":
+            raise RedesignServiceError(500, status.get("error", "plan failed"))
+        return self.result(job_id)

@@ -1,0 +1,205 @@
+"""Shared HTTP plumbing of the service layer.
+
+Both servers (:class:`~repro.service.CacheServer` and
+:class:`~repro.service.RedesignServer`) are stdlib-only: a
+:class:`http.server.ThreadingHTTPServer` behind a small JSON
+request/response convention implemented here.
+
+* Requests and responses are ``application/json``; errors are JSON too
+  (``{"error": "..."}``) with the appropriate status code, so clients
+  never have to scrape HTML tracebacks.
+* Bodies above the server's ``max_request_bytes`` are rejected with
+  ``413`` *before* being read; malformed JSON gets a clean ``400``.
+* Handler exceptions surface as ``500`` JSON errors; the server thread
+  keeps serving.
+
+The servers bind ``127.0.0.1`` by default and speak unauthenticated
+plain HTTP -- deploy them on trusted networks only (see
+``docs/service.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+logger = logging.getLogger("repro.service")
+
+#: Default cap on request bodies (flow documents are a few hundred kB at
+#: most; profiles far less).  Oversized requests are rejected with 413.
+MAX_REQUEST_BYTES = 8 * 1024 * 1024
+
+
+class ServiceError(Exception):
+    """A request failure with an HTTP status and a JSON-safe message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class JSONRequestHandler(BaseHTTPRequestHandler):
+    """Request handler base: JSON bodies in, JSON payloads out.
+
+    Subclasses implement :meth:`route` and receive the parsed body (for
+    ``POST``) or ``None`` (for ``GET``); whatever they return is
+    serialised as the 200 response.  Raise :class:`ServiceError` for
+    client errors; anything else becomes a 500.
+    """
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Tell keep-alive clients the truth (set when a request was
+            # rejected before its body was drained -- see read_json).
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def read_json(self) -> Any:
+        """Parse the request body, enforcing the size cap first.
+
+        A request rejected *before* its body is read (oversized, bad
+        Content-Length) leaves unread bytes on the socket; the
+        connection is marked for closing so a keep-alive client cannot
+        have its next request parsed out of the stale body.
+        """
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            self.close_connection = True
+            raise ServiceError(400, "invalid Content-Length header") from None
+        limit = getattr(self.server, "max_request_bytes", MAX_REQUEST_BYTES)
+        if length > limit:
+            self.close_connection = True
+            raise ServiceError(
+                413, f"request body of {length} bytes exceeds the {limit}-byte limit"
+            )
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, f"request body is not valid JSON: {exc}") from None
+
+    # ------------------------------------------------------------------
+
+    def route(self, method: str, path: str, body: Any) -> dict:
+        """Dispatch one request; subclasses override."""
+        raise ServiceError(404, f"unknown endpoint: {method} {path}")
+
+    def _handle(self, method: str) -> None:
+        try:
+            body = self.read_json() if method == "POST" else None
+            payload = self.route(method, self.path.rstrip("/") or "/", body)
+            self.send_json(200, payload)
+        except ServiceError as exc:
+            self.send_json(exc.status, {"error": exc.message})
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as exc:  # pragma: no cover - defensive
+            logger.exception("unhandled error serving %s %s", method, self.path)
+            try:
+                self.send_json(500, {"error": f"internal error: {exc}"})
+            except OSError:
+                pass
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("POST")
+
+
+class ServiceServer:
+    """A threaded HTTP server running on a daemon thread.
+
+    Subclasses provide the handler class and any service state; the
+    base owns the lifecycle: :meth:`start` binds and serves in the
+    background, :meth:`stop` shuts down and closes the socket, and the
+    instance doubles as a context manager.  ``port=0`` (the default)
+    binds an ephemeral port -- read it back from :attr:`url`.
+    """
+
+    handler_class: type[JSONRequestHandler] = JSONRequestHandler
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = MAX_REQUEST_BYTES,
+    ) -> None:
+        self._http = ThreadingHTTPServer((host, port), self.handler_class)
+        self._http.daemon_threads = True
+        # The handler reaches the service object through the server.
+        self._http.service = self  # type: ignore[attr-defined]
+        self._http.max_request_bytes = max_request_bytes  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use (``http://host:port``)."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "ServiceServer":
+        """Serve requests on a background daemon thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._http.serve_forever,
+                name=f"{type(self).__name__}@{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._thread is not None:
+            self._http.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._http.server_close()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (CLI entry point)."""
+        try:
+            self._http.serve_forever()
+        finally:
+            self._http.server_close()
+
+    def __enter__(self) -> "ServiceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

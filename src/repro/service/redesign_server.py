@@ -1,0 +1,323 @@
+"""The redesign service: POIESIS planning as a network endpoint.
+
+:class:`RedesignServer` turns the in-process redesign loop into a
+service: clients ``POST /plans`` a flow document (the
+:mod:`repro.io.jsonflow` structure) plus a processing configuration and
+get a job id back immediately; a bounded worker pool runs one
+:class:`~repro.core.session.RedesignSession` per job, **all sharing one
+profile-cache tier** injected into their planners, so concurrent clients
+redesigning similar flows warm each other up.  ``GET /plans/<id>``
+reports live progress -- the evaluated-alternatives counter advances as
+the PR 1 streaming pipeline yields, and the incremental
+:class:`~repro.core.alternatives.GenerationStats` / cache statistics come
+along -- and ``GET /plans/<id>/result`` returns the ranked alternatives
+as JSON (:func:`~repro.service.results.result_to_dict`).
+
+Endpoints (see ``docs/service.md``):
+
+========  ====================  =========================================
+method    path                  meaning
+========  ====================  =========================================
+POST      ``/plans``            submit ``{"flow": ..., "configuration": ...}`` -> ``{"id": ...}``
+GET       ``/plans/<id>``       status + live progress / stats
+GET       ``/plans/<id>/result``  ranked alternatives (409 until done)
+GET       ``/plans``            all job summaries
+GET       ``/stats``            shared cache tier statistics
+GET       ``/health``           liveness + worker-pool shape
+========  ====================  =========================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.cache import CacheBackend, ProfileCache
+from repro.core.configuration import MeasureConstraint, ProcessingConfiguration
+from repro.core.planner import Planner, PlanningResult
+from repro.core.session import RedesignSession
+from repro.etl.graph import ETLGraph
+from repro.etl.validation import validate_flow
+from repro.patterns.registry import PatternRegistry
+from repro.quality.framework import QualityCharacteristic
+from repro.service.common import (
+    MAX_REQUEST_BYTES,
+    JSONRequestHandler,
+    ServiceError,
+    ServiceServer,
+)
+from repro.service.results import result_to_dict
+
+#: Configuration fields a request may NOT set: the service owns the
+#: cache tier (one shared backend for the whole worker pool).
+_RESERVED_FIELDS = frozenset(
+    {"cache_tier", "cache_dir", "cache_max_bytes", "cache_url", "cache_timeout"}
+)
+
+#: Scalar/sequence fields accepted verbatim from the request document.
+_SIMPLE_FIELDS = frozenset(
+    {
+        "policy",
+        "pattern_budget",
+        "max_points_per_pattern",
+        "max_alternatives",
+        "simulation_runs",
+        "seed",
+        "parallel_workers",
+        "screening_beam",
+        "eval_batch_size",
+        "cache_profiles",
+        "copy_mode",
+        "prefix_cache",
+        "backend",
+    }
+)
+
+
+def configuration_from_request(data: Mapping[str, Any] | None) -> ProcessingConfiguration:
+    """Build a :class:`ProcessingConfiguration` from a request document.
+
+    Accepts the scalar knobs verbatim, ``pattern_names`` as an array,
+    ``goal_priorities`` as a ``{characteristic: weight}`` object,
+    ``skyline_characteristics`` as an array of characteristic names and
+    ``constraints`` as an array of ``{target, min_value, max_value}``
+    objects.  Unknown or reserved (cache-tier) fields are rejected with
+    a 400 -- the service owns the cache configuration.
+    """
+    if data is None:
+        data = {}
+    if not isinstance(data, Mapping):
+        raise ServiceError(400, '"configuration" must be a JSON object')
+    kwargs: dict[str, Any] = {}
+    for name, value in data.items():
+        if name in _RESERVED_FIELDS:
+            raise ServiceError(
+                400,
+                f"configuration field {name!r} is owned by the service "
+                "(one shared cache tier per server); remove it from the request",
+            )
+        if name in _SIMPLE_FIELDS:
+            kwargs[name] = value
+        elif name == "pattern_names":
+            kwargs[name] = tuple(value)
+        elif name == "goal_priorities":
+            try:
+                kwargs[name] = {
+                    QualityCharacteristic(characteristic): float(weight)
+                    for characteristic, weight in value.items()
+                }
+            except (AttributeError, TypeError, ValueError) as exc:
+                raise ServiceError(400, f"malformed goal_priorities: {exc}") from None
+        elif name == "skyline_characteristics":
+            try:
+                kwargs[name] = tuple(QualityCharacteristic(entry) for entry in value)
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(400, f"malformed skyline_characteristics: {exc}") from None
+        elif name == "constraints":
+            try:
+                kwargs[name] = tuple(
+                    MeasureConstraint(
+                        target=entry["target"],
+                        min_value=entry.get("min_value"),
+                        max_value=entry.get("max_value"),
+                    )
+                    for entry in value
+                )
+            except (KeyError, TypeError) as exc:
+                raise ServiceError(400, f"malformed constraints: {exc}") from None
+        else:
+            raise ServiceError(400, f"unknown configuration field: {name!r}")
+    try:
+        return ProcessingConfiguration(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(400, f"invalid configuration: {exc}") from None
+
+
+@dataclass
+class RedesignJob:
+    """One submitted planning job and its lifecycle state."""
+
+    job_id: str
+    status: str = "queued"  # queued -> running -> done | failed
+    evaluated: int = 0
+    error: str | None = None
+    planner: Planner | None = None
+    session: RedesignSession | None = None
+    result: PlanningResult | None = None
+    result_doc: dict | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def status_payload(self) -> dict[str, Any]:
+        """The ``GET /plans/<id>`` document (safe to read while running)."""
+        payload: dict[str, Any] = {
+            "id": self.job_id,
+            "status": self.status,
+            "evaluated": self.evaluated,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        planner = self.planner
+        if planner is not None:
+            stats = getattr(planner.generator, "last_stats", None)
+            if stats is not None:
+                payload["generation"] = stats.as_dict()
+        session = self.session
+        if session is not None:
+            payload["cache"] = session.cache_stats()
+        if self.result is not None:
+            payload["alternatives"] = len(self.result.alternatives)
+            payload["skyline_size"] = len(self.result.skyline_indices)
+        return payload
+
+
+class _RedesignHandler(JSONRequestHandler):
+    def route(self, method: str, path: str, body: Any) -> dict:
+        service: RedesignServer = self.server.service  # type: ignore[attr-defined]
+        if method == "POST" and path == "/plans":
+            return service.submit(body)
+        if method == "GET":
+            if path == "/health":
+                return {
+                    "status": "ok",
+                    "workers": service.workers,
+                    "jobs": len(service.jobs),
+                }
+            if path == "/stats":
+                return {"cache": service.cache.tier_stats()}
+            if path == "/plans":
+                return {"plans": [job.status_payload() for job in service.jobs_snapshot()]}
+            if path.startswith("/plans/"):
+                remainder = path[len("/plans/"):]
+                if remainder.endswith("/result"):
+                    return service.result(remainder[: -len("/result")])
+                return service.status(remainder)
+        raise ServiceError(404, f"unknown endpoint: {method} {path}")
+
+
+class RedesignServer(ServiceServer):
+    """Redesign-as-a-service on a bounded worker pool with one shared cache.
+
+    Parameters
+    ----------
+    cache:
+        The profile-cache tier every worker session shares; defaults to
+        an in-process :class:`~repro.cache.ProfileCache`.  Hand it a
+        disk or tiered backend to make the service survive restarts
+        warm.
+    workers:
+        Size of the planning pool: at most this many submitted plans run
+        concurrently, the rest queue in submission order.
+    palette:
+        Optional pattern palette forwarded to every planner.
+    host / port / max_request_bytes:
+        As in :class:`~repro.service.common.ServiceServer`.
+    """
+
+    handler_class = _RedesignHandler
+
+    def __init__(
+        self,
+        cache: CacheBackend | None = None,
+        workers: int = 2,
+        palette: PatternRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_request_bytes: int = MAX_REQUEST_BYTES,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
+        self.cache: CacheBackend = cache if cache is not None else ProfileCache()
+        self.workers = workers
+        self.palette = palette
+        self.jobs: dict[str, RedesignJob] = {}
+        self._jobs_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="redesign-worker"
+        )
+
+    # ------------------------------------------------------------------
+    # Job API (also usable in-process, without HTTP)
+    # ------------------------------------------------------------------
+
+    def submit(self, body: Any) -> dict:
+        """Validate one ``POST /plans`` document and enqueue the job."""
+        if not isinstance(body, dict):
+            raise ServiceError(400, "request body must be a JSON object")
+        flow_doc = body.get("flow")
+        if not isinstance(flow_doc, dict):
+            raise ServiceError(400, 'the request must carry a "flow" document object')
+        try:
+            flow = ETLGraph.from_dict(flow_doc)
+            validate_flow(flow, raise_on_error=True)
+        except ServiceError:
+            raise
+        except Exception as exc:
+            raise ServiceError(400, f"malformed flow document: {exc}") from None
+        configuration = configuration_from_request(body.get("configuration"))
+        with self._jobs_lock:
+            job = RedesignJob(job_id=f"plan-{next(self._ids)}")
+            self.jobs[job.job_id] = job
+        self._pool.submit(self._run, job, flow, configuration)
+        return {"id": job.job_id, "status": job.status}
+
+    def _run(self, job: RedesignJob, flow: ETLGraph, configuration: ProcessingConfiguration) -> None:
+        job.status = "running"
+        try:
+            planner = Planner(
+                palette=self.palette,
+                configuration=configuration,
+                profile_cache=self.cache,
+            )
+            session = RedesignSession(flow, planner=planner)
+            job.planner = planner
+            job.session = session
+
+            def on_evaluated(_alternative) -> None:
+                with job._lock:
+                    job.evaluated += 1
+
+            iteration = session.iterate(on_evaluated=on_evaluated)
+            job.result = iteration.result
+            job.result_doc = result_to_dict(iteration.result)
+            job.status = "done"
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = "failed"
+
+    def _job(self, job_id: str) -> RedesignJob:
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+        if job is None:
+            raise ServiceError(404, f"unknown plan id: {job_id!r}")
+        return job
+
+    def jobs_snapshot(self) -> list[RedesignJob]:
+        with self._jobs_lock:
+            return list(self.jobs.values())
+
+    def status(self, job_id: str) -> dict:
+        """The ``GET /plans/<id>`` payload."""
+        return self._job(job_id).status_payload()
+
+    def result(self, job_id: str) -> dict:
+        """The ``GET /plans/<id>/result`` payload (409 until the job is done)."""
+        job = self._job(job_id)
+        if job.status == "failed":
+            raise ServiceError(409, f"plan {job_id} failed: {job.error}")
+        if job.status != "done" or job.result_doc is None:
+            raise ServiceError(409, f"plan {job_id} is still {job.status}")
+        return {"id": job.job_id, "result": job.result_doc}
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop accepting requests and wait for running jobs to finish."""
+        super().stop()
+        self._pool.shutdown(wait=True)
+        if self.cache is not None:
+            self.cache.flush()

@@ -1,0 +1,79 @@
+"""JSON round-trip of planning results (the ``/plans/<id>/result`` payload).
+
+Built on the existing :mod:`repro.io.jsonflow` codecs: flows are
+serialised with :meth:`~repro.etl.graph.ETLGraph.to_dict` (the same
+structure ``flow_to_json`` persists) and profiles with
+:func:`~repro.io.jsonflow.profile_to_dict`.  The alternatives are
+returned in generation order with the skyline indices alongside, exactly
+as :class:`~repro.core.planner.PlanningResult` holds them.
+
+One deliberate loss: pattern *applications* are structured objects bound
+to live pattern instances, so the wire format carries their textual
+lineage (``applied`` / ``pattern_names``) instead.
+:func:`result_from_dict` therefore rebuilds alternatives with an empty
+``applications`` tuple -- flows, labels, profiles, skyline and baseline
+round-trip exactly, which is what result comparison and downstream
+reporting need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.alternatives import AlternativeFlow
+from repro.core.planner import PlanningResult
+from repro.etl.graph import ETLGraph
+from repro.io.jsonflow import profile_from_dict, profile_to_dict
+from repro.quality.framework import QualityCharacteristic
+
+
+def result_to_dict(result: PlanningResult) -> dict[str, Any]:
+    """Serialise a planning result to a JSON-compatible document."""
+    return {
+        "initial_flow": result.initial_flow.to_dict(),
+        "baseline_profile": profile_to_dict(result.baseline_profile),
+        "characteristics": [c.value for c in result.characteristics],
+        "discarded_by_constraints": result.discarded_by_constraints,
+        "skyline_indices": list(result.skyline_indices),
+        "alternatives": [
+            {
+                "label": alternative.label,
+                "applied": alternative.describe(),
+                "pattern_names": list(alternative.pattern_names),
+                "flow": alternative.flow.to_dict(),
+                "profile": (
+                    profile_to_dict(alternative.profile)
+                    if alternative.profile is not None
+                    else None
+                ),
+            }
+            for alternative in result.alternatives
+        ],
+    }
+
+
+def result_from_dict(data: Mapping[str, Any]) -> PlanningResult:
+    """Rebuild a :class:`PlanningResult` from :func:`result_to_dict` output."""
+    alternatives = [
+        AlternativeFlow(
+            flow=ETLGraph.from_dict(entry["flow"]),
+            applications=(),  # textual lineage only -- see the module docstring
+            profile=(
+                profile_from_dict(entry["profile"])
+                if entry.get("profile") is not None
+                else None
+            ),
+            label=entry.get("label", ""),
+        )
+        for entry in data["alternatives"]
+    ]
+    return PlanningResult(
+        initial_flow=ETLGraph.from_dict(data["initial_flow"]),
+        baseline_profile=profile_from_dict(data["baseline_profile"]),
+        alternatives=alternatives,
+        skyline_indices=list(data.get("skyline_indices", [])),
+        characteristics=tuple(
+            QualityCharacteristic(name) for name in data.get("characteristics", [])
+        ),
+        discarded_by_constraints=int(data.get("discarded_by_constraints", 0)),
+    )

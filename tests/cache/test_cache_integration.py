@@ -18,20 +18,6 @@ from repro.workloads import random_flow
 from repro.workloads.generator import RandomFlowConfig
 
 
-def _result_fingerprint(result) -> tuple:
-    return (
-        tuple(sorted((k, v.value) for k, v in result.baseline_profile.values.items())),
-        tuple(
-            (
-                alt.flow.signature(),
-                tuple(sorted((k, v.value) for k, v in alt.profile.values.items())),
-            )
-            for alt in result.alternatives
-        ),
-        tuple(result.skyline_indices),
-    )
-
-
 class TestConfigurationValidation:
     def test_defaults_select_the_memory_tier(self, make_config):
         planner = Planner(configuration=make_config())
@@ -77,18 +63,25 @@ class TestConfigurationValidation:
 class TestTierEquivalence:
     @pytest.mark.parametrize("flow_seed", [11, 29, 53])
     def test_all_tiers_plan_byte_identically(self, make_config, tmp_path, flow_seed):
-        """Property: cache tiers trade wall-clock, never results."""
+        """Property: cache tiers -- including the network one -- trade
+        wall-clock, never results."""
+        from repro.service import CacheServer
+
         flow = random_flow(RandomFlowConfig(operations=6, rows_per_source=500, seed=flow_seed))
-        fingerprints = set()
-        for name, extra in {
-            "memory": {},
-            "disk": dict(cache_tier="disk", cache_dir=str(tmp_path / f"d{flow_seed}")),
-            "tiered": dict(cache_tier="tiered", cache_dir=str(tmp_path / f"t{flow_seed}")),
-            "uncached": dict(cache_profiles=False),
-        }.items():
-            result = Planner(configuration=make_config(**extra)).plan(flow)
-            fingerprints.add(_result_fingerprint(result))
-        assert len(fingerprints) == 1
+        with CacheServer(DiskProfileCache(tmp_path / f"srv{flow_seed}")) as server:
+            fingerprints = set()
+            for name, extra in {
+                "memory": {},
+                "disk": dict(cache_tier="disk", cache_dir=str(tmp_path / f"d{flow_seed}")),
+                "tiered": dict(cache_tier="tiered", cache_dir=str(tmp_path / f"t{flow_seed}")),
+                "http": dict(cache_tier="http", cache_url=server.url),
+                "uncached": dict(cache_profiles=False),
+            }.items():
+                result = Planner(configuration=make_config(**extra)).plan(flow)
+                fingerprints.add(result.fingerprint())
+            assert len(fingerprints) == 1
+            # the http arm really went through the server
+            assert server.stats.lookups > 0
 
     def test_warm_disk_rerun_is_identical_and_all_hits(self, make_config, tmp_path, linear_flow):
         config = make_config(cache_tier="tiered", cache_dir=str(tmp_path))
@@ -96,7 +89,7 @@ class TestTierEquivalence:
         cold_result = cold.plan(linear_flow)
         warm = Planner(configuration=config)  # fresh process stand-in: empty memory tier
         warm_result = warm.plan(linear_flow)
-        assert _result_fingerprint(warm_result) == _result_fingerprint(cold_result)
+        assert warm_result.fingerprint() == cold_result.fingerprint()
         tiers = warm.profile_cache.tier_stats()
         assert tiers["overall"]["misses"] == 0
         assert tiers["disk"]["hits"] == tiers["overall"]["hits"]
@@ -110,7 +103,7 @@ class TestSharedCacheDir:
         b = Planner(configuration=config)
         result_a = a.plan(linear_flow)
         result_b = b.plan(linear_flow)
-        assert _result_fingerprint(result_a) == _result_fingerprint(result_b)
+        assert result_a.fingerprint() == result_b.fingerprint()
         assert b.profile_cache.stats.misses == 0
         assert b.profile_cache.stats.hits == b.profile_cache.stats.lookups
 
@@ -130,7 +123,7 @@ class TestSharedCacheDir:
         capped = Planner(configuration=capped_config)
         capped_result = capped.plan(linear_flow)
         # the cap squeezed the store without changing any result
-        assert _result_fingerprint(capped_result) == _result_fingerprint(reference)
+        assert capped_result.fingerprint() == reference.fingerprint()
         assert capped.profile_cache.stats.evictions > 0
         assert capped.profile_cache.size_bytes() <= capped_config.cache_max_bytes
 
@@ -176,7 +169,7 @@ class TestProcessBackendPool:
         )
         pooled_planner = Planner(configuration=pooled_config)
         pooled = pooled_planner.plan(linear_flow)
-        assert _result_fingerprint(pooled) == _result_fingerprint(sequential)
+        assert pooled.fingerprint() == sequential.fingerprint()
         # the parent's batched write-back published every profile on teardown
         disk = pooled_planner.profile_cache.disk
         assert not disk.batch_writes, "batching must be restored after the stream"
@@ -184,7 +177,7 @@ class TestProcessBackendPool:
         # a fresh planner is served entirely from the warm directory
         warm = Planner(configuration=pooled_config)
         warm_result = warm.plan(linear_flow)
-        assert _result_fingerprint(warm_result) == _result_fingerprint(sequential)
+        assert warm_result.fingerprint() == sequential.fingerprint()
         assert warm.profile_cache.stats.misses == 0
 
     def test_worker_reads_through_a_prewarmed_directory(

@@ -255,3 +255,124 @@ class TestCacheStatsInvalidCounter:
         snapshot = stats.as_dict()
         assert snapshot["invalid"] == 2
         assert snapshot["lookups"] == 4
+
+
+class TestGetMany:
+    def test_get_many_matches_sequential_gets_and_counts_once_per_key(self, tmp_path):
+        cache = DiskProfileCache(tmp_path)
+        cache.put(("a",), _profile("pa"))
+        cache.put(("b",), _profile("pb"))
+        results = cache.get_many([("a",), ("missing",), ("b",)])
+        assert [r.flow_name if r else None for r in results] == ["pa", None, "pb"]
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 1
+
+    def test_get_many_serves_the_pending_buffer(self, tmp_path):
+        cache = DiskProfileCache(tmp_path, batch_writes=True)
+        cache.put(("buffered",), _profile("pending"))
+        results = cache.get_many([("buffered",), ("absent",)])
+        assert results[0].flow_name == "pending"
+        assert results[1] is None
+
+
+class TestGetByDigest:
+    def test_round_trips_through_the_file_name_digest(self, tmp_path):
+        from repro.cache import key_digest
+
+        cache = DiskProfileCache(tmp_path)
+        key = ("flow", ("nested", 1, 2.5, None, True))
+        cache.put(key, _profile("digested"))
+        entry = cache.get_by_digest(key_digest(key))
+        assert entry is not None
+        stored_key, profile = entry
+        assert stored_key == key
+        assert profile.flow_name == "digested"
+        assert cache.stats.hits == 1
+
+    def test_unknown_digest_is_a_miss(self, tmp_path):
+        cache = DiskProfileCache(tmp_path)
+        assert cache.get_by_digest("0" * 64) is None
+        assert cache.stats.misses == 1
+
+    def test_version_mismatch_is_invalid_and_dropped(self, tmp_path):
+        from repro.cache import key_digest
+
+        cache = DiskProfileCache(tmp_path)
+        key = ("stale",)
+        cache.put(key, _profile())
+        path = cache._path(key)
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = CACHE_SCHEMA_VERSION + 999
+        path.write_bytes(pickle.dumps(payload))
+        assert cache.get_by_digest(key_digest(key)) is None
+        assert cache.stats.invalid == 1
+        assert not path.exists(), "stale entries are dropped, not served"
+
+    def test_pending_buffer_is_searched_first(self, tmp_path):
+        from repro.cache import key_digest
+
+        cache = DiskProfileCache(tmp_path, batch_writes=True)
+        key = ("buffered",)
+        cache.put(key, _profile("unpublished"))
+        entry = cache.get_by_digest(key_digest(key))
+        assert entry is not None and entry[1].flow_name == "unpublished"
+
+
+class TestBackgroundEviction:
+    def _capped_cache(self, tmp_path, entries: int = 5):
+        probe = DiskProfileCache(tmp_path / "probe")
+        probe.put(("probe",), _profile())
+        entry_size = probe.size_bytes()
+        cache = DiskProfileCache(tmp_path / "store", max_bytes=entry_size * 2)
+        return cache, entries
+
+    def test_sweeper_moves_eviction_off_the_write_path(self, tmp_path):
+        cache, entries = self._capped_cache(tmp_path)
+        cache.start_background_eviction(interval=3600.0)  # never fires in-test
+        try:
+            for i in range(entries):
+                cache.put((f"k{i}",), _profile(f"p{i}"))
+            # the write path no longer sweeps: the store exceeds the cap
+            assert cache.size_bytes() > cache.max_bytes
+            assert cache.stats.evictions == 0
+        finally:
+            cache.stop_background_eviction()  # final sweep restores the cap
+        assert cache.size_bytes() <= cache.max_bytes
+        assert cache.stats.evictions >= 1
+
+    def test_sweeper_thread_eventually_sweeps(self, tmp_path):
+        import time
+
+        cache, entries = self._capped_cache(tmp_path)
+        cache.start_background_eviction(interval=0.02)
+        try:
+            for i in range(entries):
+                cache.put((f"k{i}",), _profile(f"p{i}"))
+            deadline = time.monotonic() + 5.0
+            while cache.size_bytes() > cache.max_bytes:
+                assert time.monotonic() < deadline, "sweeper never caught up"
+                time.sleep(0.01)
+        finally:
+            cache.stop_background_eviction(final_sweep=False)
+        assert cache.stats.evictions >= 1
+
+    def test_inline_sweep_restored_after_stop(self, tmp_path):
+        cache, entries = self._capped_cache(tmp_path)
+        cache.start_background_eviction(interval=3600.0)
+        cache.stop_background_eviction()
+        for i in range(entries):
+            cache.put((f"k{i}",), _profile(f"p{i}"))
+        assert cache.size_bytes() <= cache.max_bytes  # in-line sweeping again
+
+    def test_double_start_rejected_and_interval_validated(self, tmp_path):
+        cache = DiskProfileCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.start_background_eviction(interval=0)
+        cache.start_background_eviction(interval=3600.0)
+        try:
+            with pytest.raises(RuntimeError):
+                cache.start_background_eviction(interval=3600.0)
+        finally:
+            cache.stop_background_eviction()
+        cache.start_background_eviction(interval=3600.0)  # restartable after stop
+        cache.stop_background_eviction()

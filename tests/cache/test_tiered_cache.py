@@ -126,3 +126,19 @@ class TestBuildProfileCache:
             build_profile_cache("disk")  # no cache_dir
         with pytest.raises(ValueError):
             build_profile_cache("redis", cache_dir=tmp_path)
+
+
+class TestTieredGetMany:
+    def test_batched_lookup_promotes_disk_hits_and_counts_logically(self, tmp_path):
+        cache = _tiered(tmp_path)
+        cache.put(("a",), _profile("pa"))
+        cache.put(("b",), _profile("pb"))
+        cache.memory.clear()  # simulate a fresh process: disk-only warmth
+        results = cache.get_many([("a",), ("gone",), ("b",)])
+        assert [r.flow_name if r else None for r in results] == ["pa", None, "pb"]
+        # one logical count per key...
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+        # ...and the disk hits were promoted into memory
+        assert ("a",) in cache.memory and ("b",) in cache.memory
+        cache.get_many([("a",), ("b",)])
+        assert cache.disk.stats.hits == 2, "promoted entries stop touching disk"

@@ -102,6 +102,28 @@ def test_profile_cache_bench_smoke_tiny_flow():
     assert "warm disk vs cold" in rendered
 
 
+def test_service_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_service.py")
+    report = bench.run_service_bench(
+        scale=0.01,
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=15,
+        clients=2,
+    )
+    assert report["clients"] == 2
+    assert report["identical_results"]
+    assert report["solo_seconds_wall"] > 0
+    assert report["service_seconds_wall"] > 0
+    assert len(report["solo_seconds"]) == 2
+    assert report["server_entries"] > 0
+    # the fleet clients were served by the warm shared server
+    assert all(rate == 1.0 for rate in report["client_hit_rates"])
+    rendered = bench._render_report(report)
+    assert "service vs solo" in rendered
+
+
 def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     run_all = _load_module(_BENCH_DIR / "run_all.py")
     output = tmp_path / "BENCH_generation.json"
@@ -124,3 +146,8 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     assert profile_cache["identical_results"]
     assert profile_cache["speedup_warm_disk_vs_cold"] > 0
     assert profile_cache["disk_entries"] > 0
+    service = record["service"]
+    assert service["identical_results"]
+    assert service["speedup_service_vs_solo"] > 0
+    assert service["server_entries"] > 0
+    assert len(service["client_hit_rates"]) == service["clients"] == 2

@@ -1,0 +1,265 @@
+"""The cache service: server + HTTP client tier behaviour.
+
+Covers the CacheBackend contract over the network (buffered writes
+visible locally, one flush per campaign, logical stats), the fleet
+scenario (two clients warm each other through one server), the digest
+fast path across server restarts, stats pickling, and the planner-level
+wiring of ``cache_tier="http"``.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import pytest
+
+from repro.cache import DiskProfileCache, ProfileCache, key_digest
+from repro.cache.http import HTTPProfileCache
+from repro.core import Planner, ProcessingConfiguration, RedesignSession
+from repro.quality.composite import QualityProfile
+from repro.service import CacheServer
+
+
+def _profile(name: str = "p") -> QualityProfile:
+    return QualityProfile(flow_name=name)
+
+
+@pytest.fixture()
+def disk_server(tmp_path):
+    with CacheServer(DiskProfileCache(tmp_path / "store")) as server:
+        yield server
+
+
+@pytest.fixture()
+def client(disk_server):
+    return HTTPProfileCache(disk_server.url, timeout=5.0)
+
+
+class TestClientBackendContract:
+    def test_put_buffers_until_flush_then_publishes(self, disk_server, client):
+        key = ("k", 1)
+        client.put(key, _profile("mine"))
+        # buffered: visible to this instance, invisible to the server
+        assert key in client
+        assert client.get(key).flow_name == "mine"
+        assert len(disk_server.backend) == 0
+        client.flush()
+        assert len(disk_server.backend) == 1
+        # a second client now sees it through the server
+        other = HTTPProfileCache(disk_server.url)
+        assert other.get(key).flow_name == "mine"
+        assert other.stats.hits == 1
+
+    def test_stats_count_one_per_lookup_on_either_side(self, client):
+        client.put(("a",), _profile())
+        assert client.get(("a",)) is not None  # pending buffer hit
+        assert client.get(("absent",)) is None  # server miss
+        assert client.stats.hits == 1 and client.stats.misses == 1
+        results = client.get_many([("a",), ("absent",), ("also-absent",)])
+        assert [r is not None for r in results] == [True, False, False]
+        assert client.stats.hits == 2 and client.stats.misses == 3
+
+    def test_clear_resets_client_and_server(self, disk_server, client):
+        client.put(("k",), _profile())
+        client.flush()
+        client.clear()
+        assert len(disk_server.backend) == 0
+        assert client.stats.lookups == 0
+        assert client.get(("k",)) is None
+
+    def test_tier_stats_exposes_client_server_fallback(self, client):
+        client.get(("missing",))
+        tiers = client.tier_stats()
+        assert set(tiers) == {"http", "server", "fallback"}
+        assert tiers["http"]["misses"] == 1
+        assert tiers["server"]["misses"] == 1
+        assert tiers["fallback"]["lookups"] == 0
+
+    def test_pickles_as_a_handle_with_stats(self, disk_server, client):
+        client.put(("k",), _profile("published"))
+        client.flush()
+        assert client.get(("k",)) is not None
+        clone = pickle.loads(pickle.dumps(client))
+        # stats round-trip (PR 4 discipline); buffer does not
+        assert clone.stats.hits == client.stats.hits
+        assert clone.stats.misses == client.stats.misses
+        # the clone is a live handle onto the same server
+        assert clone.get(("k",)).flow_name == "published"
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError):
+            HTTPProfileCache("http://127.0.0.1:1", timeout=0)
+
+
+class TestSharedServer:
+    def test_two_clients_see_each_others_warm_entries(self, disk_server):
+        a = HTTPProfileCache(disk_server.url)
+        b = HTTPProfileCache(disk_server.url)
+        a.put(("shared",), _profile("from-a"))
+        a.flush()
+        assert b.get(("shared",)).flow_name == "from-a"
+        b.put(("back",), _profile("from-b"))
+        b.flush()
+        assert a.get(("back",)).flow_name == "from-b"
+        assert disk_server.stats.hits == 2
+
+    def test_digest_path_survives_a_server_restart(self, tmp_path):
+        """A fresh server on a warm cache_dir serves old entries by digest."""
+        store = tmp_path / "store"
+        key = ("persisted", 1)
+        with CacheServer(DiskProfileCache(store)) as first:
+            warm = HTTPProfileCache(first.url)
+            warm.put(key, _profile("old"))
+            warm.flush()
+        with CacheServer(DiskProfileCache(store)) as second:
+            fresh = HTTPProfileCache(second.url)
+            assert fresh.get(key).flow_name == "old"
+            # served through DiskProfileCache.get_by_digest: the new
+            # server never saw the key, only its digest
+            assert second.stats.hits == 1
+
+    def test_entries_shared_bit_for_bit_with_local_disk_planners(self, tmp_path):
+        """A local disk tier and the server address the same files."""
+        store = tmp_path / "store"
+        local = DiskProfileCache(store)
+        key = ("local-write",)
+        local.put(key, _profile("direct"))
+        with CacheServer(DiskProfileCache(store)) as server:
+            over_http = HTTPProfileCache(server.url)
+            assert over_http.get(key).flow_name == "direct"
+        assert local._path(key).name.startswith(key_digest(key))
+
+
+class TestMemoryBackedServer:
+    def test_in_memory_scratch_server(self):
+        with CacheServer(ProfileCache()) as server:
+            client = HTTPProfileCache(server.url)
+            client.put(("k",), _profile("scratch"))
+            client.flush()
+            other = HTTPProfileCache(server.url)
+            assert other.get(("k",)).flow_name == "scratch"
+            assert ("k",) in other
+
+    def test_hot_map_eviction_falls_back_to_the_key_index(self):
+        with CacheServer(ProfileCache(), max_hot_entries=1) as server:
+            client = HTTPProfileCache(server.url)
+            client.put(("a",), _profile("pa"))
+            client.put(("b",), _profile("pb"))
+            client.flush()
+            # "a" was evicted from the hot map; the key index still
+            # reaches it through the backend
+            assert client.get(("a",)).flow_name == "pa"
+            assert client.get(("b",)).flow_name == "pb"
+
+
+class TestBackgroundEvictionWiring:
+    def test_server_runs_the_sweeper_and_stops_it(self, tmp_path):
+        probe = DiskProfileCache(tmp_path / "probe")
+        probe.put(("probe",), _profile())
+        entry_size = probe.size_bytes()
+        disk = DiskProfileCache(tmp_path / "store", max_bytes=entry_size * 2)
+        server = CacheServer(disk, eviction_interval=3600.0).start()
+        try:
+            client = HTTPProfileCache(server.url)
+            for i in range(5):
+                client.put((f"k{i}",), _profile(f"p{i}"))
+            client.flush()
+            # the write path did not sweep
+            assert disk.size_bytes() > disk.max_bytes
+        finally:
+            server.stop()  # final sweep
+        assert disk.size_bytes() <= disk.max_bytes
+        assert disk._sweeper is None
+
+    def test_eviction_interval_requires_a_disk_backend(self):
+        with pytest.raises(ValueError, match="disk-backed"):
+            CacheServer(ProfileCache(), eviction_interval=1.0)
+
+
+class TestPlannerWiring:
+    def test_cache_tier_http_builds_the_client_and_plans_warm(
+        self, disk_server, make_config, linear_flow
+    ):
+        config = make_config(cache_tier="http", cache_url=disk_server.url)
+        cold = Planner(configuration=config)
+        assert isinstance(cold.profile_cache, HTTPProfileCache)
+        cold_result = cold.plan(linear_flow)
+        assert cold.profile_cache.stats.misses > 0
+        warm = Planner(configuration=config)  # fresh client, warm server
+        warm_result = warm.plan(linear_flow)
+        assert warm.profile_cache.stats.misses == 0
+        assert warm.profile_cache.stats.hits == warm.profile_cache.stats.lookups
+        assert len(warm_result.alternatives) == len(cold_result.alternatives)
+
+    def test_session_cache_stats_show_the_network_tiers(
+        self, disk_server, make_config, linear_flow
+    ):
+        session = RedesignSession(
+            linear_flow,
+            configuration=make_config(cache_tier="http", cache_url=disk_server.url),
+        )
+        session.iterate()
+        stats = session.cache_stats()
+        assert stats["lookups"] > 0
+        assert {"http", "server", "fallback"} <= set(stats["tiers"])
+        assert stats["tiers"]["http"]["lookups"] == stats["lookups"]
+
+    def test_configuration_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="requires a cache_url"):
+            ProcessingConfiguration(cache_tier="http")
+        with pytest.raises(ValueError, match="cache_url only applies"):
+            ProcessingConfiguration(cache_url="http://x")
+        with pytest.raises(ValueError, match="cache_timeout"):
+            ProcessingConfiguration(
+                cache_tier="http", cache_url="http://x", cache_timeout=0
+            )
+        with pytest.raises(ValueError, match="cache_max_bytes"):
+            ProcessingConfiguration(
+                cache_tier="http", cache_url="http://x", cache_max_bytes=1 << 20
+            )
+        with pytest.raises(ValueError, match="cache_dir does not apply"):
+            ProcessingConfiguration(
+                cache_tier="http", cache_url="http://x", cache_dir=str(tmp_path)
+            )
+        config = ProcessingConfiguration(
+            cache_tier="http", cache_url="http://x", cache_timeout=0.5
+        )
+        assert config.cache_timeout == 0.5
+
+
+class TestDegradation:
+    def test_unreachable_server_logs_once_and_falls_back(self, caplog):
+        client = HTTPProfileCache("http://127.0.0.1:9", timeout=0.2)  # discard port
+        with caplog.at_level(logging.WARNING, logger="repro.cache.http"):
+            assert client.get(("k",)) is None
+            client.put(("k",), _profile("local"))
+            assert client.get(("k",)).flow_name == "local"  # served by the fallback
+            assert client.get(("other",)) is None
+        warnings = [r for r in caplog.records if "falling back" in r.getMessage()]
+        assert len(warnings) == 1, "degradation is logged exactly once"
+        assert client.degraded
+        tiers = client.tier_stats()
+        assert set(tiers) == {"http", "fallback"}  # no server section when dark
+        assert tiers["http"]["lookups"] == client.stats.lookups
+
+    def test_pending_writes_move_into_the_fallback(self):
+        with CacheServer(ProfileCache()) as server:
+            client = HTTPProfileCache(server.url, timeout=0.5)
+            client.put(("buffered",), _profile("survives"))
+            server.stop()
+        client.flush()  # fails -> degrades; the buffer must not be lost
+        assert client.degraded
+        assert client.get(("buffered",)).flow_name == "survives"
+
+    def test_degraded_pickle_clone_retries_the_server(self, tmp_path):
+        with CacheServer(DiskProfileCache(tmp_path)) as server:
+            doomed = HTTPProfileCache(server.url, timeout=0.5)
+            seeder = HTTPProfileCache(server.url)
+            seeder.put(("k",), _profile("alive"))
+            seeder.flush()
+            doomed._degrade(RuntimeError("simulated outage"))
+            assert doomed.degraded
+            clone = pickle.loads(pickle.dumps(doomed))
+            assert not clone.degraded
+            assert clone.get(("k",)).flow_name == "alive"

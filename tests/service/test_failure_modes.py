@@ -1,0 +1,116 @@
+"""Service failure modes: a dying cache server must never hurt a plan.
+
+The acceptance bar of the subsystem's failure story: a full plan
+survives its cache server being killed mid-run (the client degrades to
+a local memory tier and the ranked alternatives come out byte-identical
+to a never-cached run), and the degradation surfaces in the statistics
+instead of in exceptions.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.cache import DiskProfileCache, ProfileCache
+from repro.core import Planner
+from repro.service import CacheServer
+
+
+class TestServerKilledMidPlan:
+    @pytest.mark.parametrize("kill_after", [0, 2])
+    def test_plan_completes_identically_after_mid_run_kill(
+        self, tmp_path, make_config, linear_flow, kill_after, caplog
+    ):
+        """Kill the server after ``kill_after`` evaluated alternatives."""
+        reference = Planner(configuration=make_config()).plan(linear_flow)
+
+        server = CacheServer(DiskProfileCache(tmp_path / f"s{kill_after}")).start()
+        config = make_config(
+            cache_tier="http", cache_url=server.url, cache_timeout=2.0
+        )
+        planner = Planner(configuration=config)
+        seen = {"count": 0}
+
+        def killer(_alternative) -> None:
+            seen["count"] += 1
+            if seen["count"] == kill_after + 1 and server.running:
+                server.stop()
+
+        with caplog.at_level(logging.WARNING, logger="repro.cache.http"):
+            if kill_after == 0:
+                server.stop()  # dead before the very first lookup
+                result = planner.plan(linear_flow)
+            else:
+                result = planner.plan(linear_flow, on_evaluated=killer)
+
+        assert result.fingerprint() == reference.fingerprint()
+        assert planner.profile_cache.degraded
+        warnings = [r for r in caplog.records if "falling back" in r.getMessage()]
+        assert len(warnings) == 1, "one warning, however often the dead server is hit"
+        # the degradation is visible in the stats, not in exceptions
+        tiers = planner.profile_cache.tier_stats()
+        assert set(tiers) == {"http", "fallback"}
+
+    def test_degraded_planner_keeps_serving_replans_locally(
+        self, tmp_path, make_config, linear_flow
+    ):
+        """After degradation the fallback memoizes like the memory tier."""
+        server = CacheServer(DiskProfileCache(tmp_path)).start()
+        config = make_config(cache_tier="http", cache_url=server.url, cache_timeout=2.0)
+        planner = Planner(configuration=config)
+        server.stop()
+        first = planner.plan(linear_flow)
+        lookups_after_first = planner.profile_cache.stats.lookups
+        second = planner.plan(linear_flow)  # re-plan: all served by the fallback
+        assert second.fingerprint() == first.fingerprint()
+        new_lookups = planner.profile_cache.stats.lookups - lookups_after_first
+        assert planner.profile_cache.fallback.stats.hits >= new_lookups - 1
+
+
+class TestProcessPoolOverHTTP:
+    @pytest.mark.slow
+    def test_pooled_workers_read_through_the_cache_server(
+        self, tmp_path, make_config, linear_flow
+    ):
+        """The process backend's per-worker clients reconnect and share."""
+        with CacheServer(DiskProfileCache(tmp_path)) as server:
+            config = make_config(
+                cache_tier="http",
+                cache_url=server.url,
+                parallel_workers=2,
+                backend="process",
+            )
+            sequential = Planner(configuration=make_config()).plan(linear_flow)
+            pooled = Planner(configuration=config).plan(linear_flow)
+            assert pooled.fingerprint() == sequential.fingerprint()
+            # the parent's batched flush published every profile
+            assert len(server.backend) > 0
+
+    def test_worker_estimator_keeps_the_http_handle(self, tmp_path, make_config, linear_flow):
+        """_init_worker reduces the cache to its persistent component: the client."""
+        import pickle
+
+        from repro.cache.http import HTTPProfileCache
+        from repro.core import evaluator as evaluator_module
+        from repro.core.evaluator import _evaluate_chunk_pooled, _init_worker
+
+        with CacheServer(DiskProfileCache(tmp_path)) as server:
+            config = make_config(cache_tier="http", cache_url=server.url)
+            seeder = Planner(configuration=config)
+            seeder.plan(linear_flow)  # warms the server (flush on stream end)
+
+            fresh = Planner(configuration=config)
+            alternatives = fresh.generate_alternatives(linear_flow)
+            worker_estimator = pickle.loads(pickle.dumps(fresh.estimator))
+            original = evaluator_module._WORKER_ESTIMATOR
+            try:
+                _init_worker(worker_estimator)
+                assert isinstance(worker_estimator.cache, HTTPProfileCache)
+                profiles = _evaluate_chunk_pooled(alternatives[:2])
+                assert len(profiles) == 2 and all(p.values for p in profiles)
+                # both served from the warm server in one batched lookup
+                assert worker_estimator.cache.stats.hits == 2
+            finally:
+                evaluator_module._WORKER_ESTIMATOR = original

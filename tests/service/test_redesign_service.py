@@ -1,0 +1,205 @@
+"""The redesign service: job lifecycle, wire results, concurrency.
+
+The acceptance bar: results fetched over the wire are equivalent to an
+in-process plan, >= 4 concurrent submissions all complete correctly on
+a bounded pool with one shared cache, bad requests get clean JSON
+errors, and progress is observable while a job runs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cache import ProfileCache
+from repro.core import Planner
+from repro.service import (
+    RedesignClient,
+    RedesignServer,
+    RedesignServiceError,
+    configuration_from_request,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.service.common import ServiceError
+
+
+#: The knobs of the shared fast test configuration, as a wire document.
+_WIRE_CONFIG = dict(
+    pattern_budget=1,
+    max_points_per_pattern=2,
+    simulation_runs=1,
+    max_alternatives=200,
+    seed=7,
+)
+
+
+@pytest.fixture()
+def server():
+    with RedesignServer(cache=ProfileCache(), workers=2) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return RedesignClient(server.url, timeout=10.0)
+
+
+class TestResultCodec:
+    def test_wire_result_round_trips_the_planning_result(self, linear_flow, make_config):
+        reference = Planner(configuration=make_config()).plan(linear_flow)
+        decoded = result_from_dict(json.loads(json.dumps(result_to_dict(reference))))
+        assert decoded.fingerprint() == reference.fingerprint()
+        assert [a.label for a in decoded.alternatives] == [
+            a.label for a in reference.alternatives
+        ]
+        assert decoded.characteristics == reference.characteristics
+        assert decoded.discarded_by_constraints == reference.discarded_by_constraints
+
+
+class TestJobLifecycle:
+    def test_submit_wait_result_matches_in_process_plan(self, client, linear_flow, make_config):
+        reference = Planner(configuration=make_config()).plan(linear_flow)
+        job_id = client.submit(linear_flow, _WIRE_CONFIG)
+        status = client.wait(job_id, timeout=60.0)
+        assert status["status"] == "done"
+        # no constraints configured, so every evaluated candidate was kept
+        assert status["evaluated"] == len(reference.alternatives)
+        assert status["alternatives"] == len(reference.alternatives)
+        assert "generation" in status and status["generation"]["yielded"] > 0
+        assert "cache" in status and status["cache"]["lookups"] > 0
+        result = client.result(job_id)
+        assert result.fingerprint() == reference.fingerprint()
+
+    def test_one_liner_plan(self, client, linear_flow, make_config):
+        reference = Planner(configuration=make_config()).plan(linear_flow)
+        result = client.plan(linear_flow, _WIRE_CONFIG, timeout=60.0)
+        assert result.fingerprint() == reference.fingerprint()
+
+    def test_result_before_done_is_409_and_unknown_is_404(self, client, server, linear_flow):
+        with pytest.raises(RedesignServiceError) as excinfo:
+            client.result_raw("plan-9999")
+        assert excinfo.value.status == 404
+        # a queued/running job refuses its result cleanly
+        job_id = client.submit(linear_flow, _WIRE_CONFIG)
+        try:
+            client.result_raw(job_id)
+        except RedesignServiceError as exc:
+            assert exc.status == 409
+        client.wait(job_id, timeout=60.0)
+
+    def test_plans_listing_and_health(self, client, server, linear_flow):
+        job_id = client.submit(linear_flow, _WIRE_CONFIG)
+        client.wait(job_id, timeout=60.0)
+        health = client.health()
+        assert health["status"] == "ok" and health["workers"] == 2
+        with urllib.request.urlopen(server.url + "/plans", timeout=5.0) as response:
+            listing = json.loads(response.read().decode("utf-8"))
+        assert any(job["id"] == job_id for job in listing["plans"])
+
+    def test_invalid_flow_is_rejected_at_submit(self, client, server):
+        """A structurally broken flow never reaches the worker pool."""
+        from repro.etl.builder import FlowBuilder
+
+        builder = FlowBuilder("empty")  # no operations at all: a hard error
+        with pytest.raises(RedesignServiceError) as excinfo:
+            client.submit(builder.build(validate=False), _WIRE_CONFIG)
+        assert excinfo.value.status == 400
+        assert "malformed flow" in excinfo.value.message
+
+    def test_runtime_failure_fails_the_job_not_the_server(self, client, server, linear_flow):
+        """An error inside the planning run surfaces as a failed job."""
+        job_id = client.submit(
+            linear_flow, dict(_WIRE_CONFIG, policy="no-such-policy")
+        )
+        status = client.wait(job_id, timeout=60.0)
+        assert status["status"] == "failed"
+        assert "no-such-policy" in status["error"]
+        with pytest.raises(RedesignServiceError) as excinfo:
+            client.result_raw(job_id)
+        assert excinfo.value.status == 409
+        assert client.health()["status"] == "ok"  # the worker survived
+
+
+class TestConcurrentSubmissions:
+    def test_four_concurrent_posts_on_a_bounded_pool(self, linear_flow, branching_flow):
+        with RedesignServer(cache=ProfileCache(), workers=2) as server:
+            client = RedesignClient(server.url, timeout=10.0)
+            flows = [linear_flow, branching_flow, linear_flow, branching_flow]
+            job_ids: list = [None] * len(flows)
+
+            def submit(index: int) -> None:
+                job_ids[index] = client.submit(flows[index], _WIRE_CONFIG)
+
+            threads = [
+                threading.Thread(target=submit, args=(i,)) for i in range(len(flows))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(set(job_ids)) == 4, "every submission got its own job id"
+            statuses = [client.wait(job_id, timeout=120.0) for job_id in job_ids]
+            assert all(s["status"] == "done" for s in statuses)
+            # identical flows produced identical results through the pool
+            first = client.result(job_ids[0])
+            third = client.result(job_ids[2])
+            assert first.fingerprint() == third.fingerprint()
+            # ...and the shared cache saw cross-job hits (flow 3 == flow 1)
+            assert server.cache.stats.hits > 0
+
+
+class TestConfigurationFromRequest:
+    def test_accepts_the_documented_surface(self):
+        config = configuration_from_request(
+            {
+                "pattern_budget": 2,
+                "policy": "heuristic",
+                "pattern_names": ["recovery_point"],
+                "goal_priorities": {"performance": 2.0, "reliability": 1.0},
+                "skyline_characteristics": ["performance", "reliability"],
+                "constraints": [{"target": "performance", "min_value": 10.0}],
+            }
+        )
+        assert config.pattern_budget == 2
+        assert config.pattern_names == ("recovery_point",)
+        assert len(config.constraints) == 1
+
+    def test_rejects_reserved_unknown_and_invalid(self):
+        with pytest.raises(ServiceError, match="owned by the service"):
+            configuration_from_request({"cache_tier": "disk"})
+        with pytest.raises(ServiceError, match="unknown configuration field"):
+            configuration_from_request({"not_a_knob": 1})
+        with pytest.raises(ServiceError, match="invalid configuration"):
+            configuration_from_request({"pattern_budget": 0})
+        with pytest.raises(ServiceError, match="malformed goal_priorities"):
+            configuration_from_request({"goal_priorities": {"nope": "x"}})
+        assert configuration_from_request(None).pattern_budget == 2  # defaults
+
+    def test_http_level_rejections(self, server, linear_flow):
+        def post(payload: dict) -> int:
+            request = urllib.request.Request(
+                server.url + "/plans",
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                urllib.request.urlopen(request, timeout=5.0)
+                return 200
+            except urllib.error.HTTPError as exc:
+                exc.read()
+                return exc.code
+
+        import urllib.error
+
+        assert post({}) == 400  # no flow
+        assert post({"flow": "not-a-document"}) == 400
+        assert post({"flow": {"bogus": True}}) == 400  # malformed flow doc
+        assert (
+            post({"flow": linear_flow.to_dict(), "configuration": {"cache_dir": "/x"}})
+            == 400
+        )

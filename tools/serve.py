@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Run the repro service layer from the command line (``make serve``).
+
+Two subcommands, one per server (see ``docs/service.md``):
+
+``cache``
+    Serve a profile-cache tier to a fleet of planners::
+
+        PYTHONPATH=src python tools/serve.py cache --cache-dir .cache/profiles
+        # clients: ProcessingConfiguration(cache_tier="http", cache_url="http://host:8731")
+
+``redesign``
+    Serve the full redesign loop (``POST /plans`` -> ranked
+    alternatives), with every worker session sharing one cache tier::
+
+        PYTHONPATH=src python tools/serve.py redesign --workers 4 --cache-dir .cache/profiles
+
+Both bind ``127.0.0.1`` by default (pass ``--host 0.0.0.0`` to expose;
+the protocol is unauthenticated plain HTTP -- trusted networks only) and
+run until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+from repro.cache import DiskProfileCache, ProfileCache, TieredProfileCache  # noqa: E402
+from repro.service import CacheServer, RedesignServer  # noqa: E402
+
+
+def _backend(args: argparse.Namespace):
+    """The cache tier behind either server, from the shared CLI knobs."""
+    if args.cache_dir is None:
+        return ProfileCache()
+    disk = DiskProfileCache(args.cache_dir, max_bytes=args.max_bytes)
+    if args.tiered:
+        return TieredProfileCache(ProfileCache(), disk)
+    return disk
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="back the store with a persistent DiskProfileCache rooted here "
+        "(default: in-memory only)",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="LRU size cap on the disk store (requires --cache-dir)",
+    )
+    parser.add_argument(
+        "--tiered",
+        action="store_true",
+        help="put an in-memory LRU in front of the disk store (requires --cache-dir)",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-v", "--verbose", action="store_true", help="log every request")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cache = commands.add_parser("cache", help="serve a shared profile-cache tier")
+    cache.add_argument("--port", type=int, default=8731, help="TCP port (0 = ephemeral)")
+    _add_backend_arguments(cache)
+    cache.add_argument(
+        "--eviction-interval",
+        type=float,
+        default=None,
+        help="sweep the size cap on a background thread every N seconds "
+        "instead of on every publish (requires --cache-dir and --max-bytes)",
+    )
+    cache.add_argument(
+        "--max-hot-entries",
+        type=int,
+        default=8192,
+        help="LRU bound on the in-memory hot map of ready-to-send profile "
+        "documents (0 = unbounded)",
+    )
+
+    redesign = commands.add_parser("redesign", help="serve the redesign loop")
+    redesign.add_argument("--port", type=int, default=8732, help="TCP port (0 = ephemeral)")
+    redesign.add_argument(
+        "--workers", type=int, default=2, help="concurrent planning sessions"
+    )
+    _add_backend_arguments(redesign)
+
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    if args.max_bytes is not None and args.cache_dir is None:
+        parser.error("--max-bytes requires --cache-dir")
+    if args.tiered and args.cache_dir is None:
+        parser.error("--tiered requires --cache-dir")
+
+    backend = _backend(args)
+    if args.command == "cache":
+        if args.eviction_interval is not None and args.max_bytes is None:
+            parser.error("--eviction-interval requires --max-bytes")
+        server = CacheServer(
+            backend,
+            host=args.host,
+            port=args.port,
+            max_hot_entries=args.max_hot_entries or None,
+            eviction_interval=args.eviction_interval,
+        )
+        role = "profile-cache"
+        hint = f'ProcessingConfiguration(cache_tier="http", cache_url="{server.url}")'
+    else:
+        server = RedesignServer(
+            cache=backend, workers=args.workers, host=args.host, port=args.port
+        )
+        role = "redesign"
+        hint = f'RedesignClient("{server.url}").plan(flow)'
+
+    print(f"{role} service listening on {server.url}")
+    print(f"  try: {hint}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
