@@ -42,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
@@ -58,6 +59,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 CACHE_SCHEMA_VERSION = 1
 
 _ENTRY_SUFFIX = ".profile.pkl"
+
+#: The shape of a :func:`key_digest` value.  Digest-addressed lookups
+#: validate against this before building a file path, so a caller-
+#: supplied "digest" containing ``/`` or ``..`` (e.g. from an
+#: unauthenticated cache-service client) can never name a file outside
+#: ``cache_dir``.
+_DIGEST_RE = re.compile(r"[0-9a-f]{64}")
 
 
 def key_digest(key: tuple) -> str:
@@ -210,6 +218,9 @@ class DiskProfileCache:
         plus the unpickle/version integrity checks.
         """
         with self._lock:
+            if not isinstance(digest, str) or _DIGEST_RE.fullmatch(digest) is None:
+                self.stats.misses += 1
+                return None
             if self._pending:
                 for key, profile in self._pending.items():
                     if key_digest(key) == digest:

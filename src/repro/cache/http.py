@@ -41,6 +41,7 @@ Design points, mirroring the disk tier where the analogy holds:
 
 from __future__ import annotations
 
+import http.client
 import json
 import logging
 import threading
@@ -107,19 +108,34 @@ class HTTPProfileCache:
         """One JSON round-trip; ``None`` (after degrading) on any failure."""
         if self._degraded:
             return None
-        if payload is None:
-            request = urllib.request.Request(self.url + path, method="GET")
-        else:
-            request = urllib.request.Request(
-                self.url + path,
-                data=json.dumps(payload).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-                method="POST",
-            )
+        # Everything from serialising the payload (TypeError on a key a
+        # client somehow made non-JSON-able) to a misbehaving server
+        # (http.client.BadStatusLine is an HTTPException, not an
+        # OSError) degrades -- a cache failure must never fail a plan.
         try:
+            if payload is None:
+                request = urllib.request.Request(self.url + path, method="GET")
+            else:
+                request = urllib.request.Request(
+                    self.url + path,
+                    data=json.dumps(payload).encode("utf-8"),
+                    headers={"Content-Type": "application/json"},
+                    method="POST",
+                )
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except (urllib.error.URLError, OSError, ValueError) as exc:
+                parsed = json.loads(response.read().decode("utf-8"))
+            if not isinstance(parsed, dict):
+                raise ValueError(
+                    f"expected a JSON object response, got {type(parsed).__name__}"
+                )
+            return parsed
+        except (
+            urllib.error.URLError,
+            http.client.HTTPException,
+            OSError,
+            ValueError,
+            TypeError,
+        ) as exc:
             self._degrade(exc)
             return None
 
@@ -174,14 +190,44 @@ class HTTPProfileCache:
                 else:
                     remote.append(index)
         if remote:
-            response = self._request(
-                "/get_many",
-                {"digests": [key_digest(keys[index]) for index in remote]},
+            # Check degradation before hashing: once fallen back there is
+            # no point computing SHA-256 digests of multi-kilobyte keys
+            # just for _request to return None.
+            response = (
+                self._request(
+                    "/get_many",
+                    {"digests": [key_digest(keys[index]) for index in remote]},
+                )
+                if not self._degraded
+                else None
             )
             if response is not None:
-                for index, entry in zip(remote, response.get("profiles", [])):
-                    results[index] = profile_from_dict(entry) if entry else None
-            else:
+                try:
+                    profiles = response.get("profiles")
+                    if not isinstance(profiles, list) or len(profiles) != len(remote):
+                        raise ValueError(
+                            f"expected {len(remote)} profile documents in the "
+                            "response, got "
+                            + (
+                                str(len(profiles))
+                                if isinstance(profiles, list)
+                                else type(profiles).__name__
+                            )
+                        )
+                    decoded = [
+                        (profile_from_dict(entry) if entry else None, index)
+                        for index, entry in zip(remote, profiles)
+                    ]
+                except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                    # A 200 carrying non-profile documents is as
+                    # misbehaving as a dead socket: degrade rather than
+                    # raise into the plan.
+                    self._degrade(exc)
+                    response = None
+                else:
+                    for profile, index in decoded:
+                        results[index] = profile
+            if response is None:
                 # Degraded (now or earlier): the local tier answers, and
                 # its own stats record the fallback traffic.
                 for index in remote:

@@ -44,7 +44,7 @@ from repro.cache import (
     TieredProfileCache,
     key_digest,
 )
-from repro.cache.disk import _ENTRY_SUFFIX
+from repro.cache.disk import _DIGEST_RE, _ENTRY_SUFFIX
 from repro.io.jsonflow import cache_key_from_jsonable, profile_from_dict, profile_to_dict
 from repro.service.common import (
     MAX_REQUEST_BYTES,
@@ -67,8 +67,14 @@ def _decode_key(data: Any) -> tuple:
 
 
 def _decode_digest(data: Any) -> str:
-    if not isinstance(data, str) or len(data) != 64:
-        raise ServiceError(400, "digests must be 64-character hex strings")
+    """Accept exactly what :func:`repro.cache.key_digest` produces.
+
+    Anything else -- in particular strings containing ``/`` or ``..`` --
+    must never reach the digest-addressed file paths of the disk tier
+    (the shape regex is the disk tier's own, one source of truth).
+    """
+    if not isinstance(data, str) or _DIGEST_RE.fullmatch(data) is None:
+        raise ServiceError(400, "digests must be 64-character lowercase hex strings")
     return data
 
 
@@ -185,11 +191,12 @@ class CacheServer(ServiceServer):
         #: digest -> ready-to-send profile document (JSON-able dict).
         self._hot: OrderedDict[str, dict] = OrderedDict()
         #: digest -> full key.  Only populated for backends *without*
-        #: digest addressing (no disk component): there it mirrors the
-        #: backend's own content, so it is bounded by the same thing
-        #: that bounds the backend.  Disk-backed servers skip it --
-        #: entries are re-resolved by file-name digest instead.
-        self._keys: dict[str, tuple] = {}
+        #: digest addressing (no disk component).  Kept in LRU order and
+        #: trimmed to the backend's own entry count on every insert (plus
+        #: pruned when a lookup through it misses), so it is bounded by
+        #: the same thing that bounds the backend.  Disk-backed servers
+        #: skip it -- entries are re-resolved by file-name digest instead.
+        self._keys: OrderedDict[str, tuple] = OrderedDict()
         self._lock = threading.Lock()
         self._disk = self._disk_component(backend)
         self._sweeping: DiskProfileCache | None = None
@@ -227,9 +234,16 @@ class CacheServer(ServiceServer):
             self._hot.move_to_end(digest)
             if key is not None and self._disk is None:
                 # Only keyed backends need the index (see its comment);
-                # it stays on eviction so backend entries whose document
-                # was dropped from the hot map remain reachable.
+                # it survives hot-map eviction so backend entries whose
+                # document was dropped remain reachable -- but it is
+                # trimmed to the backend's entry count, so a bounded
+                # backend can never leave the index growing with the
+                # full history of distinct keys ever stored.
                 self._keys[digest] = key
+                self._keys.move_to_end(digest)
+                backend_entries = len(self.backend)
+                while len(self._keys) > backend_entries:
+                    self._keys.popitem(last=False)
             if self.max_hot_entries is not None:
                 while len(self._hot) > self.max_hot_entries:
                     self._hot.popitem(last=False)
@@ -252,12 +266,28 @@ class CacheServer(ServiceServer):
                         self._hot_put(digest, document)
                 else:
                     # Backends without digest addressing (the in-memory
-                    # scratch tier) are reached through the key index.
-                    key = self._keys.get(digest)
+                    # scratch tier) are reached through the key index;
+                    # touching it keeps its LRU order tracking the
+                    # backend's.
+                    with self._lock:
+                        key = self._keys.get(digest)
+                        if key is not None:
+                            self._keys.move_to_end(digest)
                     profile = self.backend.get(key) if key is not None else None
                     if profile is not None:
                         document = profile_to_dict(profile)
                         self._hot_put(digest, document)
+                    elif key is not None:
+                        # The backend evicted the entry under its own
+                        # bound: prune the now-dangling index entry so
+                        # the index stays bounded by the backend's
+                        # content.  Conditional on identity: a
+                        # concurrent store_entries may have re-indexed
+                        # the digest (with a freshly decoded tuple)
+                        # after our backend miss.
+                        with self._lock:
+                            if self._keys.get(digest) is key:
+                                del self._keys[digest]
             if document is not None:
                 hits += 1
             results.append(document)
@@ -279,8 +309,17 @@ class CacheServer(ServiceServer):
                 return True
             key = self._keys.get(digest)
         if key is not None:
-            return key in self.backend
-        if self._disk is not None:
+            if key in self.backend:
+                return True
+            # The backend dropped the entry (eviction/clear): prune the
+            # index so it stays bounded by the backend's content.  Only
+            # if it is still *our* entry -- a concurrent store_entries
+            # may have re-indexed the digest since the backend miss.
+            with self._lock:
+                if self._keys.get(digest) is key:
+                    del self._keys[digest]
+            return False
+        if self._disk is not None and _DIGEST_RE.fullmatch(digest) is not None:
             return (self._disk.cache_dir / f"{digest}{_ENTRY_SUFFIX}").exists()
         return False
 

@@ -54,15 +54,20 @@ class RedesignClient:
 
     # ------------------------------------------------------------------
 
-    def _request(self, path: str, payload: Mapping[str, Any] | None = None) -> dict:
+    def _request(
+        self,
+        path: str,
+        payload: Mapping[str, Any] | None = None,
+        method: str | None = None,
+    ) -> dict:
         if payload is None:
-            request = urllib.request.Request(self.url + path, method="GET")
+            request = urllib.request.Request(self.url + path, method=method or "GET")
         else:
             request = urllib.request.Request(
                 self.url + path,
                 data=json.dumps(payload).encode("utf-8"),
                 headers={"Content-Type": "application/json"},
-                method="POST",
+                method=method or "POST",
             )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -112,6 +117,10 @@ class RedesignClient:
                     f"plan {job_id} still {status['status']} after {timeout:.1f}s"
                 )
             time.sleep(poll)
+
+    def delete(self, job_id: str) -> dict:
+        """Forget a finished job server-side, freeing its result document."""
+        return self._request(f"/plans/{job_id}", method="DELETE")
 
     def result_raw(self, job_id: str) -> dict:
         """The ranked alternatives as the raw JSON document."""

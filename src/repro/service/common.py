@@ -45,10 +45,12 @@ class ServiceError(Exception):
 class JSONRequestHandler(BaseHTTPRequestHandler):
     """Request handler base: JSON bodies in, JSON payloads out.
 
-    Subclasses implement :meth:`route` and receive the parsed body (for
-    ``POST``) or ``None`` (for ``GET``); whatever they return is
-    serialised as the 200 response.  Raise :class:`ServiceError` for
-    client errors; anything else becomes a 500.
+    Subclasses implement :meth:`route` and receive the parsed body for
+    every method (``{}`` when the request carries none -- bodies are
+    always drained so keep-alive connections stay in sync); whatever
+    they return is serialised as the 200 response.  Raise
+    :class:`ServiceError` for client errors; anything else becomes a
+    500.
     """
 
     server_version = "repro-service/1"
@@ -107,7 +109,11 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
     def _handle(self, method: str) -> None:
         try:
-            body = self.read_json() if method == "POST" else None
+            # The body is parsed (and thereby drained) for every method,
+            # not just POST: unread bytes would desync the next request
+            # on a keep-alive connection, exactly what the 400/413 paths
+            # guard against.  Bodyless requests parse as {}.
+            body = self.read_json()
             payload = self.route(method, self.path.rstrip("/") or "/", body)
             self.send_json(200, payload)
         except ServiceError as exc:
@@ -126,6 +132,9 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._handle("DELETE")
 
 
 class ServiceServer:

@@ -21,10 +21,16 @@ method    path                  meaning
 POST      ``/plans``            submit ``{"flow": ..., "configuration": ...}`` -> ``{"id": ...}``
 GET       ``/plans/<id>``       status + live progress / stats
 GET       ``/plans/<id>/result``  ranked alternatives (409 until done)
+DELETE    ``/plans/<id>``       forget a finished job (409 while running)
 GET       ``/plans``            all job summaries
 GET       ``/stats``            shared cache tier statistics
 GET       ``/health``           liveness + worker-pool shape
 ========  ====================  =========================================
+
+Finished jobs are retained in compacted form (status counters plus the
+result document; the planning graph is dropped at completion) and only
+up to ``max_retained_jobs`` of them -- older ones are evicted as new
+plans arrive, so memory does not grow with the submission history.
 """
 
 from __future__ import annotations
@@ -138,7 +144,14 @@ def configuration_from_request(data: Mapping[str, Any] | None) -> ProcessingConf
 
 @dataclass
 class RedesignJob:
-    """One submitted planning job and its lifecycle state."""
+    """One submitted planning job and its lifecycle state.
+
+    While a job runs, progress is read live off its planner/session;
+    once it reaches a terminal state those references are dropped (the
+    planning graph of a finished job is pure memory overhead on a
+    long-running server) and the status payload is served from the
+    compact fields captured at completion.
+    """
 
     job_id: str
     status: str = "queued"  # queued -> running -> done | failed
@@ -148,7 +161,36 @@ class RedesignJob:
     session: RedesignSession | None = None
     result: PlanningResult | None = None
     result_doc: dict | None = None
+    generation: dict | None = None
+    cache: dict | None = None
+    alternatives: int | None = None
+    skyline_size: int | None = None
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def finish(self) -> None:
+        """Capture the terminal status fields and release the planning state.
+
+        Must never raise: it runs in the worker's exception handler too,
+        and a failure here (e.g. an injected cache backend whose stats
+        calls are as broken as whatever failed the plan) would strand
+        the job in ``running`` forever.  Stats are best-effort.
+        """
+        planner, session, result = self.planner, self.session, self.result
+        try:
+            if planner is not None and self.generation is None:
+                stats = getattr(planner.generator, "last_stats", None)
+                if stats is not None:
+                    self.generation = stats.as_dict()
+            if session is not None and self.cache is None:
+                self.cache = session.cache_stats()
+        except Exception:
+            pass
+        if result is not None:
+            self.alternatives = len(result.alternatives)
+            self.skyline_size = len(result.skyline_indices)
+        self.planner = None
+        self.session = None
+        self.result = None
 
     def status_payload(self) -> dict[str, Any]:
         """The ``GET /plans/<id>`` document (safe to read while running)."""
@@ -159,17 +201,28 @@ class RedesignJob:
         }
         if self.error is not None:
             payload["error"] = self.error
+        generation = self.generation
         planner = self.planner
-        if planner is not None:
+        if generation is None and planner is not None:
             stats = getattr(planner.generator, "last_stats", None)
             if stats is not None:
-                payload["generation"] = stats.as_dict()
+                generation = stats.as_dict()
+        if generation is not None:
+            payload["generation"] = generation
+        cache = self.cache
         session = self.session
-        if session is not None:
-            payload["cache"] = session.cache_stats()
-        if self.result is not None:
-            payload["alternatives"] = len(self.result.alternatives)
-            payload["skyline_size"] = len(self.result.skyline_indices)
+        if cache is None and session is not None:
+            try:
+                cache = session.cache_stats()
+            except Exception:
+                # Live stats are best-effort: a cache tier broken enough
+                # to raise here must not turn a status poll into a 500.
+                cache = None
+        if cache is not None:
+            payload["cache"] = cache
+        if self.alternatives is not None:
+            payload["alternatives"] = self.alternatives
+            payload["skyline_size"] = self.skyline_size
         return payload
 
 
@@ -194,6 +247,8 @@ class _RedesignHandler(JSONRequestHandler):
                 if remainder.endswith("/result"):
                     return service.result(remainder[: -len("/result")])
                 return service.status(remainder)
+        if method == "DELETE" and path.startswith("/plans/"):
+            return service.delete(path[len("/plans/"):])
         raise ServiceError(404, f"unknown endpoint: {method} {path}")
 
 
@@ -212,6 +267,14 @@ class RedesignServer(ServiceServer):
         concurrently, the rest queue in submission order.
     palette:
         Optional pattern palette forwarded to every planner.
+    max_retained_jobs:
+        Bound on the job table: when a new submission would exceed it,
+        the oldest *finished* (done/failed) jobs -- and their result
+        documents -- are forgotten, so a long-running server's memory
+        does not grow with every plan ever submitted.  Queued and
+        running jobs are never evicted.  ``None`` retains everything;
+        clients can also free a finished job eagerly with
+        ``DELETE /plans/<id>``.
     host / port / max_request_bytes:
         As in :class:`~repro.service.common.ServiceServer`.
     """
@@ -223,16 +286,20 @@ class RedesignServer(ServiceServer):
         cache: CacheBackend | None = None,
         workers: int = 2,
         palette: PatternRegistry | None = None,
+        max_retained_jobs: int | None = 256,
         host: str = "127.0.0.1",
         port: int = 0,
         max_request_bytes: int = MAX_REQUEST_BYTES,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if max_retained_jobs is not None and max_retained_jobs < 1:
+            raise ValueError("max_retained_jobs must be at least 1 (or None)")
         super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
         self.cache: CacheBackend = cache if cache is not None else ProfileCache()
         self.workers = workers
         self.palette = palette
+        self.max_retained_jobs = max_retained_jobs
         self.jobs: dict[str, RedesignJob] = {}
         self._jobs_lock = threading.Lock()
         self._ids = itertools.count(1)
@@ -262,8 +329,28 @@ class RedesignServer(ServiceServer):
         with self._jobs_lock:
             job = RedesignJob(job_id=f"plan-{next(self._ids)}")
             self.jobs[job.job_id] = job
+            self._evict_finished_jobs()
         self._pool.submit(self._run, job, flow, configuration)
         return {"id": job.job_id, "status": job.status}
+
+    def _evict_finished_jobs(self) -> None:
+        """Forget the oldest terminal jobs beyond the retention cap.
+
+        Caller holds ``_jobs_lock``.  ``jobs`` is insertion-ordered, so
+        the first terminal entries are the oldest submissions.
+        """
+        if self.max_retained_jobs is None:
+            return
+        excess = len(self.jobs) - self.max_retained_jobs
+        if excess <= 0:
+            return
+        stale = [
+            job_id
+            for job_id, job in self.jobs.items()
+            if job.status in ("done", "failed")
+        ]
+        for job_id in stale[:excess]:
+            del self.jobs[job_id]
 
     def _run(self, job: RedesignJob, flow: ETLGraph, configuration: ProcessingConfiguration) -> None:
         job.status = "running"
@@ -284,9 +371,11 @@ class RedesignServer(ServiceServer):
             iteration = session.iterate(on_evaluated=on_evaluated)
             job.result = iteration.result
             job.result_doc = result_to_dict(iteration.result)
+            job.finish()
             job.status = "done"
         except Exception as exc:
             job.error = f"{type(exc).__name__}: {exc}"
+            job.finish()
             job.status = "failed"
 
     def _job(self, job_id: str) -> RedesignJob:
@@ -312,6 +401,17 @@ class RedesignServer(ServiceServer):
         if job.status != "done" or job.result_doc is None:
             raise ServiceError(409, f"plan {job_id} is still {job.status}")
         return {"id": job.job_id, "result": job.result_doc}
+
+    def delete(self, job_id: str) -> dict:
+        """Forget a finished job (``DELETE /plans/<id>``; 409 while it runs)."""
+        with self._jobs_lock:
+            job = self.jobs.get(job_id)
+            if job is None:
+                raise ServiceError(404, f"unknown plan id: {job_id!r}")
+            if job.status not in ("done", "failed"):
+                raise ServiceError(409, f"plan {job_id} is still {job.status}")
+            del self.jobs[job_id]
+        return {"id": job_id, "deleted": True}
 
     # ------------------------------------------------------------------
 

@@ -152,6 +152,35 @@ class TestMemoryBackedServer:
             assert client.get(("a",)).flow_name == "pa"
             assert client.get(("b",)).flow_name == "pb"
 
+    def test_key_index_prunes_entries_the_backend_evicted(self):
+        """The digest->key index stays bounded by the backend's content."""
+        with CacheServer(ProfileCache(max_entries=1), max_hot_entries=1) as server:
+            client = HTTPProfileCache(server.url)
+            client.put(("a",), _profile("pa"))
+            client.flush()
+            client.put(("b",), _profile("pb"))
+            client.flush()  # the bounded backend evicted "a"
+            assert client.get(("a",)) is None
+            assert client.get(("b",)).flow_name == "pb"
+            # the index dropped the evicted digest instead of keeping
+            # the stale entry forever
+            assert key_digest(("a",)) not in server._keys
+            assert key_digest(("b",)) in server._keys
+
+    def test_key_index_never_outgrows_a_bounded_backend(self):
+        """Storing many distinct keys must not grow the index with history."""
+        # max_hot_entries=1 so the final lookup goes through the key
+        # index, not the hot document map
+        with CacheServer(ProfileCache(max_entries=2), max_hot_entries=1) as server:
+            client = HTTPProfileCache(server.url)
+            for i in range(20):
+                client.put((f"k{i}",), _profile(f"p{i}"))
+                client.flush()
+            assert len(server._keys) <= len(server.backend) == 2
+            # the surviving index entries still resolve their profiles
+            assert client.get(("k18",)).flow_name == "p18"
+            assert client.get(("k19",)).flow_name == "p19"
+
 
 class TestBackgroundEvictionWiring:
     def test_server_runs_the_sweeper_and_stops_it(self, tmp_path):

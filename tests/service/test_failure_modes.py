@@ -69,6 +69,81 @@ class TestServerKilledMidPlan:
         assert planner.profile_cache.fallback.stats.hits >= new_lookups - 1
 
 
+class TestClientDegradesOnAnyFailure:
+    """The "never fails a plan" guarantee covers more than dead sockets."""
+
+    def test_protocol_garbage_degrades_instead_of_raising(self, monkeypatch):
+        """http.client.HTTPException (not an OSError) must degrade too."""
+        import http.client
+        import urllib.request
+
+        from repro.cache.http import HTTPProfileCache
+
+        def bad_server(*args, **kwargs):
+            raise http.client.BadStatusLine("<html>not http/1.1</html>")
+
+        monkeypatch.setattr(urllib.request, "urlopen", bad_server)
+        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        assert client.get(("k",)) is None  # degrades, no exception
+        assert client.degraded
+
+    def test_garbage_200_with_malformed_profiles_degrades(self, monkeypatch):
+        """A 200 whose documents aren't profiles must not raise into a plan."""
+        from repro.cache.http import HTTPProfileCache
+
+        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        monkeypatch.setattr(
+            client, "_request", lambda path, payload=None: {"profiles": [{"x": 1}]}
+        )
+        assert client.get(("k",)) is None  # falls back, no exception
+        assert client.degraded
+
+    def test_garbage_200_with_a_short_profiles_array_degrades(self, monkeypatch):
+        """A 200 answering fewer documents than asked is not 'all misses'."""
+        from repro.cache.http import HTTPProfileCache
+
+        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        monkeypatch.setattr(client, "_request", lambda path, payload=None: {"ok": True})
+        assert client.get_many([("a",), ("b",)]) == [None, None]
+        assert client.degraded
+
+    def test_garbage_200_with_a_non_object_body_degrades(self, monkeypatch):
+        """A proxy answering 200 with a JSON array degrades like a dead socket."""
+        import urllib.request
+
+        from repro.cache.http import HTTPProfileCache
+
+        class FakeResponse:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def read(self):
+                return b"[1, 2, 3]"
+
+        monkeypatch.setattr(
+            urllib.request, "urlopen", lambda *args, **kwargs: FakeResponse()
+        )
+        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        assert client.get(("k",)) is None
+        assert client.degraded
+
+    def test_unserializable_key_degrades_on_flush_without_losing_the_entry(self):
+        """json.dumps failures count as cache failures, not plan failures."""
+        from repro.cache.http import HTTPProfileCache
+        from repro.quality.composite import QualityProfile
+
+        with CacheServer(ProfileCache()) as server:
+            client = HTTPProfileCache(server.url, timeout=2.0)
+            key = (b"bytes-are-hashable-but-not-json",)
+            client.put(key, QualityProfile(flow_name="kept"))
+            client.flush()  # TypeError inside the request -> degrade
+            assert client.degraded
+            assert client.get(key).flow_name == "kept"  # served by the fallback
+
+
 class TestProcessPoolOverHTTP:
     @pytest.mark.slow
     def test_pooled_workers_read_through_the_cache_server(

@@ -124,6 +124,113 @@ class TestJobLifecycle:
         assert client.health()["status"] == "ok"  # the worker survived
 
 
+class TestJobRetention:
+    def test_finished_jobs_are_compacted_and_evicted_beyond_the_cap(self, linear_flow):
+        with RedesignServer(
+            cache=ProfileCache(), workers=1, max_retained_jobs=2
+        ) as server:
+            client = RedesignClient(server.url, timeout=10.0)
+            job_ids = []
+            for _ in range(3):
+                job_id = client.submit(linear_flow, _WIRE_CONFIG)
+                client.wait(job_id, timeout=60.0)
+                job_ids.append(job_id)
+            # a finished job drops its planning graph...
+            for job in server.jobs_snapshot():
+                assert job.planner is None
+                assert job.session is None
+                assert job.result is None
+            # ...but its status payload still carries the captured stats
+            status = client.status(job_ids[-1])
+            assert status["alternatives"] > 0 and status["skyline_size"] > 0
+            assert "generation" in status and "cache" in status
+            result = client.result(job_ids[-1])
+            assert result.alternatives
+            # the oldest finished job was evicted at the third submission
+            assert len(server.jobs) == 2
+            with pytest.raises(RedesignServiceError) as excinfo:
+                client.status(job_ids[0])
+            assert excinfo.value.status == 404
+
+    def test_delete_frees_a_finished_job(self, client, server, linear_flow):
+        job_id = client.submit(linear_flow, _WIRE_CONFIG)
+        client.wait(job_id, timeout=60.0)
+        assert client.delete(job_id)["deleted"] is True
+        assert job_id not in server.jobs
+        for call in (client.status, client.delete):
+            with pytest.raises(RedesignServiceError) as excinfo:
+                call(job_id)
+            assert excinfo.value.status == 404
+
+    def test_rejects_nonpositive_retention_cap(self):
+        with pytest.raises(ValueError, match="max_retained_jobs"):
+            RedesignServer(max_retained_jobs=0)
+
+    def test_broken_backend_cannot_strand_a_job_in_running(self, linear_flow):
+        """A cache backend raising even in its stats calls still yields a
+        terminal *failed* job (never a forever-``running`` one) and a
+        status endpoint that answers instead of 500ing."""
+        from repro.cache import CacheStats
+
+        class ExplodingBackend:
+            batch_writes = False
+            stats = CacheStats()
+
+            def get(self, key):
+                raise RuntimeError("backend down")
+
+            def get_many(self, keys):
+                raise RuntimeError("backend down")
+
+            def put(self, key, profile):
+                raise RuntimeError("backend down")
+
+            def tier_stats(self):
+                raise RuntimeError("backend down")
+
+            def flush(self):
+                pass
+
+            def clear(self):
+                pass
+
+            def __len__(self):
+                return 0
+
+            def __contains__(self, key):
+                return False
+
+        with RedesignServer(cache=ExplodingBackend(), workers=1) as server:
+            client = RedesignClient(server.url, timeout=10.0)
+            job_id = client.submit(linear_flow, _WIRE_CONFIG)
+            status = client.wait(job_id, timeout=60.0)
+            assert status["status"] == "failed"
+            assert "backend down" in status["error"]
+            assert client.delete(job_id)["deleted"] is True  # reclaimable
+
+    def test_delete_with_a_body_does_not_desync_keepalive(self, server):
+        """The DELETE body is drained; the next request parses cleanly."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port, timeout=5.0)
+        try:
+            connection.request(
+                "DELETE",
+                "/plans/nope",
+                body=json.dumps({"reason": "cleanup"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 404
+            response.read()
+            connection.request("GET", "/health")
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["status"] == "ok"
+        finally:
+            connection.close()
+
+
 class TestConcurrentSubmissions:
     def test_four_concurrent_posts_on_a_bounded_pool(self, linear_flow, branching_flow):
         with RedesignServer(cache=ProfileCache(), workers=2) as server:

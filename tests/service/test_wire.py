@@ -134,6 +134,33 @@ class TestRequestHygiene:
         finally:
             connection.close()
 
+    def test_traversal_shaped_digest_is_rejected_and_touches_no_files(self, tmp_path):
+        """A 64-char "digest" with path components must never reach the disk.
+
+        Before validation, ``../``-shaped digests flowed into
+        ``cache_dir / f"{digest}.profile.pkl"`` — letting a client read,
+        touch or (via the invalid-entry discard) delete ``*.profile.pkl``
+        files outside the served directory.
+        """
+        from repro.cache import DiskProfileCache
+
+        rest = "a" * 61
+        evil = "../" + rest  # exactly 64 chars: defeats a length-only check
+        outside = tmp_path / f"{rest}.profile.pkl"
+        outside.write_bytes(b"not an entry; outside the served directory")
+        disk = DiskProfileCache(tmp_path / "store")
+        with CacheServer(disk) as server:
+            for path in ("/get", "/contains"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    self._post(server.url + path, json.dumps({"digest": evil}).encode())
+                assert excinfo.value.code == 400, path
+                assert "hex" in json.loads(excinfo.value.read().decode())["error"]
+        # defense in depth: the digest-addressed disk lookup itself
+        # refuses non-hex digests instead of building a path from them
+        assert disk.get_by_digest(evil) is None
+        assert disk.get_by_digest("A" * 64) is None  # uppercase is not a digest
+        assert outside.read_bytes() == b"not an entry; outside the served directory"
+
     def test_health_and_stats_endpoints(self, server):
         with urllib.request.urlopen(server.url + "/health", timeout=5.0) as response:
             health = json.loads(response.read().decode("utf-8"))
