@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-tiny bench-cache bench-service serve docs-check examples check
+.PHONY: test test-fast bench bench-tiny bench-cache bench-service bench-wire serve docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -29,6 +29,10 @@ bench-cache:
 ## service benchmark only: N clients sharing a cache server vs N cold solo runs
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+## wire benchmark only: pooled keep-alive + compression vs per-request connections
+bench-wire:
+	$(PYTHON) benchmarks/bench_wire.py
 
 ## run the redesign service (persistent shared cache under .cache/profiles)
 serve:

@@ -1,0 +1,361 @@
+"""Wire-path overhaul: pooled+compressed HTTP tier vs the per-request path.
+
+The wire overhaul claims that a planning campaign against a *remote*
+cache server is dominated by transport costs the old client paid per
+request: a fresh TCP connection for every round-trip and uncompressed
+multi-kilobyte profile documents.  This benchmark measures exactly that
+delta on a warm campaign, with the network made honest by an
+artificial-latency loopback proxy (loopback TCP is too fast to show
+what a real link does):
+
+* **per-request** -- the PR 5 wire behaviour, reproduced by
+  ``HTTPProfileCache(pool=False, compression=False)``: one TCP
+  connection per request (each paying the proxy's connect latency), raw
+  JSON bodies (each paying the proxy's bandwidth throttle in full).
+* **pooled** -- the overhauled default: per-thread persistent
+  keep-alive connections (the connect latency is paid once per thread)
+  and transparent gzip of large bodies (the throttle sees ~10x fewer
+  bytes).
+
+Both arms run the same warm campaign against the same server through
+the same proxy and must produce byte-identical planning results -- the
+tier-equivalence guarantee is not negotiable for a transport change.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_wire.py
+
+or through pytest (``pytest benchmarks/bench_wire.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+from repro.cache import ProfileCache  # noqa: E402
+from repro.cache.http import HTTPProfileCache  # noqa: E402
+from repro.core import Planner, ProcessingConfiguration  # noqa: E402
+from repro.service import CacheServer  # noqa: E402
+from repro.workloads import tpch_refresh_flow  # noqa: E402
+
+
+class LatencyProxy:
+    """A TCP proxy that charges for connections and for bytes.
+
+    Every *accepted* connection sleeps ``connect_latency`` seconds
+    before the upstream dial (the handshake cost of a real link), and
+    every chunk relayed in either direction sleeps ``len/bandwidth``
+    (a symmetric bandwidth throttle, bytes per second).  That makes
+    loopback behave like the network the wire overhaul is about: new
+    connections are expensive, bytes are not free.
+    """
+
+    def __init__(
+        self,
+        target_host: str,
+        target_port: int,
+        connect_latency: float = 0.025,
+        bandwidth: float | None = 4 * 1024 * 1024,
+    ) -> None:
+        self.target = (target_host, target_port)
+        self.connect_latency = connect_latency
+        self.bandwidth = bandwidth
+        self.connections = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self.port = self._listener.getsockname()[1]
+        self._running = False
+        self._thread: threading.Thread | None = None
+        self._open: set[socket.socket] = set()
+        self._lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    def start(self) -> "LatencyProxy":
+        self._running = True
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            sockets, self._open = set(self._open), set()
+        for sock in sockets:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+    def __enter__(self) -> "LatencyProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            threading.Thread(target=self._serve, args=(client,), daemon=True).start()
+
+    def _serve(self, client: socket.socket) -> None:
+        time.sleep(self.connect_latency)
+        upstream = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            upstream.connect(self.target)
+            # The proxy must only charge the configured costs, not smuggle
+            # Nagle/delayed-ACK stalls of its own into either hop.
+            for sock in (client, upstream):
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            client.close()
+            return
+        with self._lock:
+            self._open.update((client, upstream))
+        threading.Thread(
+            target=self._pump, args=(client, upstream), daemon=True
+        ).start()
+        threading.Thread(
+            target=self._pump, args=(upstream, client), daemon=True
+        ).start()
+
+    def _pump(self, source: socket.socket, sink: socket.socket) -> None:
+        try:
+            while True:
+                data = source.recv(65536)
+                if not data:
+                    break
+                if self.bandwidth:
+                    time.sleep(len(data) / self.bandwidth)
+                sink.sendall(data)
+        except OSError:
+            pass
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+
+def _client(url: str, *, pooled: bool) -> HTTPProfileCache:
+    """One arm's cache client: the overhauled wire or the PR 5 wire."""
+    return HTTPProfileCache(
+        url,
+        timeout=30.0,
+        pool=pooled,
+        compression=pooled,
+        recovery_interval=None,
+    )
+
+
+def _timed_campaign(flow, configuration, cache: HTTPProfileCache) -> dict:
+    planner = Planner(configuration=configuration, profile_cache=cache)
+    t0 = time.perf_counter()
+    result = planner.plan(flow)
+    seconds = time.perf_counter() - t0
+    assert not cache.degraded, "benchmark client degraded -- wire numbers are fiction"
+    return {
+        "seconds": seconds,
+        "fingerprint": result.fingerprint(),
+        "alternatives": len(result.alternatives),
+        "wire": cache.wire_stats(),
+        "hit_rate": cache.stats.as_dict().get("hit_rate", 0.0),
+    }
+
+
+def run_wire_bench(
+    flow=None,
+    *,
+    scale: float = 0.05,
+    pattern_budget: int = 2,
+    max_points_per_pattern: int = 2,
+    simulation_runs: int = 5,
+    max_alternatives: int = 80,
+    eval_batch_size: int = 4,
+    connect_latency: float = 0.025,
+    bandwidth: float | None = 4 * 1024 * 1024,
+    repeats: int = 3,
+) -> dict:
+    """Time a warm campaign over both wire arms; return a comparison report.
+
+    ``eval_batch_size`` deliberately defaults low: smaller evaluation
+    windows mean more ``/get_many`` round-trips, which is the regime a
+    real fleet (large flows, bounded memory) lives in.  ``repeats`` warm
+    campaigns are timed per arm and the best run kept (the usual
+    benchmarking discipline against scheduler noise).
+    """
+    if flow is None:
+        flow = tpch_refresh_flow(scale=scale)
+    configuration = ProcessingConfiguration(
+        pattern_budget=pattern_budget,
+        max_points_per_pattern=max_points_per_pattern,
+        simulation_runs=simulation_runs,
+        max_alternatives=max_alternatives,
+        eval_batch_size=eval_batch_size,
+    )
+    reference = Planner(configuration=configuration).plan(flow)
+    fingerprints = {reference.fingerprint()}
+
+    with CacheServer(ProfileCache()) as server:
+        with LatencyProxy(
+            server.host, server.port, connect_latency, bandwidth
+        ) as proxy:
+            # Warm the server once (through the proxy, but untimed).  The
+            # cold campaign owns the one genuinely large request -- the
+            # end-of-stream /put publishing every profile under its full
+            # multi-kilobyte key -- so its wire stats are where the
+            # request compressor shows up.
+            warm = _timed_campaign(flow, configuration, _client(proxy.url, pooled=True))
+            fingerprints.add(warm["fingerprint"])
+
+            arms: dict[str, dict] = {}
+            for name, pooled in (("per_request", False), ("pooled", True)):
+                runs = []
+                for _ in range(repeats):
+                    run = _timed_campaign(
+                        flow, configuration, _client(proxy.url, pooled=pooled)
+                    )
+                    fingerprints.add(run["fingerprint"])
+                    runs.append(run)
+                best = min(runs, key=lambda run: run["seconds"])
+                best["all_seconds"] = [run["seconds"] for run in runs]
+                arms[name] = best
+
+    return {
+        "workload": flow.name,
+        "alternatives": arms["pooled"]["alternatives"],
+        "pattern_budget": pattern_budget,
+        "simulation_runs": simulation_runs,
+        "eval_batch_size": eval_batch_size,
+        "connect_latency_ms": connect_latency * 1000.0,
+        "bandwidth_bytes_per_s": bandwidth,
+        "per_request_seconds": arms["per_request"]["seconds"],
+        "per_request_all_seconds": arms["per_request"]["all_seconds"],
+        "per_request_wire": arms["per_request"]["wire"],
+        "pooled_seconds": arms["pooled"]["seconds"],
+        "pooled_all_seconds": arms["pooled"]["all_seconds"],
+        "pooled_wire": arms["pooled"]["wire"],
+        "speedup_pooled_vs_per_request": arms["per_request"]["seconds"]
+        / max(arms["pooled"]["seconds"], 1e-9),
+        "cold_publish_wire": warm["wire"],
+        "warm_hit_rate": arms["pooled"]["hit_rate"],
+        "proxy_connections": proxy.connections,
+        "identical_results": len(fingerprints) == 1,
+    }
+
+
+def _render_report(report: dict) -> str:
+    per_request, pooled = report["per_request_wire"], report["pooled_wire"]
+    bandwidth = report["bandwidth_bytes_per_s"]
+    lines = [
+        f"workload: {report['workload']}  "
+        f"({report['alternatives']} alternatives, budget {report['pattern_budget']}, "
+        f"{report['simulation_runs']} simulation runs, "
+        f"eval window {report['eval_batch_size']})",
+        f"proxy: {report['connect_latency_ms']:.0f} ms per connection, "
+        + (
+            f"{bandwidth / (1024 * 1024):.1f} MB/s throttle"
+            if bandwidth
+            else "unthrottled"
+        ),
+        f"per-request wire (PR 5):  {report['per_request_seconds']:8.3f} s warm campaign "
+        f"({per_request['requests']} requests over "
+        f"{per_request['connections_opened']} connections, uncompressed)",
+        f"pooled+compressed wire:   {report['pooled_seconds']:8.3f} s warm campaign "
+        f"({pooled['requests']} requests over "
+        f"{pooled['connections_opened']} connections, "
+        f"{pooled['compressed_requests']}/{pooled['compressed_responses']} "
+        "compressed req/resp)",
+        f"cold publish: {report['cold_publish_wire']['compressed_requests']} "
+        f"compressed request(s) of {report['cold_publish_wire']['requests']} "
+        "(the full-key /put is where bodies get big)",
+        f"speedup pooled vs per-request: "
+        f"{report['speedup_pooled_vs_per_request']:.2f}x   "
+        f"warm hit rate: {report['warm_hit_rate'] * 100.0:.0f}%   "
+        f"identical results: {report['identical_results']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_pooled_wire_beats_the_per_request_wire():
+    """Pooled+compressed must beat the PR 5 wire >= 1.5x on a warm campaign."""
+    report = run_wire_bench()
+    print()
+    print("=" * 78)
+    print("ARTIFACT: wire-path overhaul, per-request vs pooled+compressed (TPC-H)")
+    print("=" * 78)
+    print(_render_report(report))
+    assert report["identical_results"], "the wire overhaul changed the planning results"
+    assert report["speedup_pooled_vs_per_request"] >= 1.5, (
+        f"pooled wire speedup {report['speedup_pooled_vs_per_request']:.2f}x "
+        "below the 1.5x bar"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--pattern-budget", type=int, default=2)
+    parser.add_argument("--max-points-per-pattern", type=int, default=2)
+    parser.add_argument("--simulation-runs", type=int, default=5)
+    parser.add_argument("--max-alternatives", type=int, default=80)
+    parser.add_argument("--eval-batch-size", type=int, default=4)
+    parser.add_argument(
+        "--connect-latency", type=float, default=0.025, help="seconds per new connection"
+    )
+    parser.add_argument(
+        "--bandwidth",
+        type=float,
+        default=4 * 1024 * 1024,
+        help="proxy throttle in bytes/second (0 = unthrottled)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", action="store_true", help="emit the raw report as JSON")
+    args = parser.parse_args(argv)
+    report = run_wire_bench(
+        scale=args.scale,
+        pattern_budget=args.pattern_budget,
+        max_points_per_pattern=args.max_points_per_pattern,
+        simulation_runs=args.simulation_runs,
+        max_alternatives=args.max_alternatives,
+        eval_batch_size=args.eval_batch_size,
+        connect_latency=args.connect_latency,
+        bandwidth=args.bandwidth or None,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(_render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,8 +4,10 @@ Executes the generation benchmark (``bench_generation``: deep vs.
 copy-on-write pattern application), the streaming-pipeline benchmark
 (``bench_streaming_pipeline``: eager vs. streaming vs. screening), the
 profile-cache benchmark (``bench_profile_cache``: cold vs. warm-disk
-vs. in-memory planning) and the service benchmark (``bench_service``:
-concurrent clients sharing one cache server vs. cold solo runs) and
+vs. in-memory planning), the service benchmark (``bench_service``:
+concurrent clients sharing one cache server vs. cold solo runs) and the
+wire benchmark (``bench_wire``: pooled keep-alive + compressed wire vs.
+the per-request wire through a latency-injecting proxy) and
 writes one JSON document --
 ``BENCH_generation.json`` by default -- with candidates/sec, the
 measured speedups, the application/validation time split and the
@@ -46,16 +48,17 @@ def _load(name: str):
     return module
 
 
-def _run_service_bench_isolated(arguments: list[str]) -> dict:
-    """Run ``bench_service.py --json`` in a fresh interpreter.
+def _run_bench_isolated(script: str, arguments: list[str]) -> dict:
+    """Run a benchmark script with ``--json`` in a fresh interpreter.
 
-    The service benchmark times forked client fleets, so it must not
-    inherit this process's warmed module-level memos and fat heap --
-    running it in-process measurably skews *both* arms.  A subprocess
-    reproduces exactly what the standalone invocation measures.
+    The service and wire benchmarks time forked client fleets and
+    latency-proxied campaigns, so they must not inherit this process's
+    warmed module-level memos and fat heap -- running them in-process
+    measurably skews *both* arms.  A subprocess reproduces exactly what
+    the standalone invocation measures.
     """
     completed = subprocess.run(
-        [sys.executable, str(_BENCH_DIR / "bench_service.py"), "--json", *arguments],
+        [sys.executable, str(_BENCH_DIR / script), "--json", *arguments],
         capture_output=True,
         text=True,
         check=True,
@@ -96,16 +99,24 @@ def run_all(tiny: bool = False) -> dict:
             "--max-points-per-pattern", "2", "--simulation-runs", "1",
             "--max-alternatives", "15", "--clients", "2",
         ]
+        wire_arguments = [
+            "--scale", "0.01", "--pattern-budget", "1",
+            "--max-points-per-pattern", "2", "--simulation-runs", "1",
+            "--max-alternatives", "15", "--repeats", "1",
+            "--connect-latency", "0.005",
+        ]
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
         cache_kwargs = {}
         service_arguments = []
+        wire_arguments = []
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
     profile_cache = bench_cache.run_cache_bench(**cache_kwargs)
-    service = _run_service_bench_isolated(service_arguments)
+    service = _run_bench_isolated("bench_service.py", service_arguments)
+    wire = _run_bench_isolated("bench_wire.py", wire_arguments)
 
     return {
         "schema_version": 1,
@@ -170,6 +181,16 @@ def run_all(tiny: bool = False) -> dict:
             "client_hit_rates": service["client_hit_rates"],
             "raw": service,
         },
+        "wire": {
+            "workload": wire["workload"],
+            "speedup_pooled_vs_per_request": wire["speedup_pooled_vs_per_request"],
+            "identical_results": wire["identical_results"],
+            "connect_latency_ms": wire["connect_latency_ms"],
+            "per_request_wire": wire["per_request_wire"],
+            "pooled_wire": wire["pooled_wire"],
+            "warm_hit_rate": wire["warm_hit_rate"],
+            "raw": wire,
+        },
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -213,6 +234,12 @@ def main(argv=None) -> int:
         f"service: {service['clients']} shared-cache clients "
         f"{service['speedup_service_vs_solo']:.2f}x vs cold solo runs, "
         f"identical={service['identical_results']}"
+    )
+    wire = report["wire"]
+    print(
+        f"wire: pooled+compressed {wire['speedup_pooled_vs_per_request']:.2f}x vs "
+        f"per-request over a {wire['connect_latency_ms']:.0f} ms-connect proxy, "
+        f"identical={wire['identical_results']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

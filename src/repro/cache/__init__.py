@@ -39,7 +39,11 @@ from repro.cache.tiered import TieredProfileCache
 
 # Safe to import eagerly: repro.cache.http defers its JSON-codec imports
 # (repro.io -> repro.quality -> repro.cache) to call time, so no cycle.
-from repro.cache.http import HTTPProfileCache  # noqa: E402  (after siblings)
+from repro.cache.http import (  # noqa: E402  (after siblings)
+    DEFAULT_MAX_PENDING,
+    DEFAULT_RECOVERY_INTERVAL,
+    HTTPProfileCache,
+)
 
 #: The valid values of ``ProcessingConfiguration.cache_tier``.
 CACHE_TIERS = ("memory", "disk", "tiered", "http")
@@ -54,15 +58,22 @@ def build_profile_cache(
     max_bytes: int | None = None,
     url: str | None = None,
     timeout: float = DEFAULT_CACHE_TIMEOUT,
+    compression: bool = True,
+    auth_token: str | None = None,
+    recovery_interval: float | None = DEFAULT_RECOVERY_INTERVAL,
+    max_pending: int = DEFAULT_MAX_PENDING,
 ) -> CacheBackend:
     """Build the cache backend selected by the configuration knobs.
 
     Mirrors the ``cache_tier`` / ``cache_dir`` / ``cache_max_bytes`` /
     ``cache_url`` / ``cache_timeout`` fields of
-    :class:`~repro.core.configuration.ProcessingConfiguration`
-    (which validates the combination up front); the planner calls this
-    when ``cache_profiles`` is enabled.  ``tier="memory"`` ignores the
-    other arguments and reproduces the original in-process behaviour.
+    :class:`~repro.core.configuration.ProcessingConfiguration` -- plus
+    the ``"http"`` tier's wire knobs (``cache_compression``,
+    ``cache_auth_token``, ``cache_recovery_interval``,
+    ``cache_max_pending``); the configuration validates the combination
+    up front and the planner calls this when ``cache_profiles`` is
+    enabled.  ``tier="memory"`` ignores the other arguments and
+    reproduces the original in-process behaviour.
     """
     if tier == "memory":
         return ProfileCache()
@@ -71,7 +82,14 @@ def build_profile_cache(
     if tier == "http":
         if url is None:
             raise ValueError('cache_tier="http" requires a cache_url')
-        return HTTPProfileCache(url, timeout=timeout)
+        return HTTPProfileCache(
+            url,
+            timeout=timeout,
+            compression=compression,
+            auth_token=auth_token,
+            recovery_interval=recovery_interval,
+            max_pending=max_pending,
+        )
     if cache_dir is None:
         raise ValueError(f"cache_tier={tier!r} requires a cache_dir")
     disk = DiskProfileCache(cache_dir, max_bytes=max_bytes)

@@ -18,23 +18,46 @@ Design points, mirroring the disk tier where the analogy holds:
   :func:`repro.io.jsonflow.profile_to_dict` documents; the round-trip is
   exact, so the tier-equivalence property (identical planning results
   across tiers) holds over the network too.
-* **Client-side write batching.**  ``put`` always buffers; ``flush``
-  publishes the buffer in a single ``POST /put`` -- the same discipline
-  the parallel evaluator already applies to the disk tier, so a planning
+* **Pooled keep-alive connections.**  Requests ride the per-thread
+  persistent connections of :class:`repro.wire.PooledJSONClient`: the
+  TCP handshake is paid once per thread, a keep-alive socket that went
+  stale while idle (server restart) is replaced and the request retried
+  exactly once, and protocol garbage is never retried.  Large bodies
+  are gzip-compressed transparently (``compression`` knob).
+* **Client-side write batching.**  ``put`` buffers; ``flush`` publishes
+  the buffer in a single ``POST /put`` -- the same discipline the
+  parallel evaluator already applies to the disk tier, so a planning
   stream costs one round-trip per campaign, not one per stored profile.
-  Buffered entries are served by ``get``/``in`` of this instance.
+  A campaign that outgrows ``max_pending`` buffered entries publishes
+  early (memory stays bounded on flows that never flush).  Buffered
+  entries are served by ``get``/``in`` of this instance.
 * **Batched lookups.**  :meth:`get_many` resolves a whole evaluation
   chunk in one ``POST /get_many`` round-trip (the per-task read-through
   of process-pool workers uses this).
-* **Graceful degradation.**  A server that is unreachable, times out or
-  misbehaves *never* fails a plan: the first failure is logged once
-  (``repro.cache.http`` logger), pending writes move into a local
-  in-memory fallback tier, and every later operation is served locally.
-  The plan completes with identical results -- cache tiers trade
+* **Graceful degradation, with recovery.**  A server that is
+  unreachable, times out or misbehaves *never* fails a plan: the first
+  failure is logged once (``repro.cache.http`` logger), pending writes
+  move into a local in-memory fallback tier, and operations are served
+  locally.  A degraded client then probes ``GET /health`` on an
+  exponential-backoff timer (``recovery_interval``; doubling up to
+  16x); when the server answers again the client re-attaches,
+  republishes everything the fallback accumulated in one batch, and
+  the server wins traffic back -- no process restart needed.  Plans
+  complete with identical results throughout: cache tiers trade
   wall-clock, never correctness.
+* **Observability never degrades.**  :meth:`tier_stats` and
+  :meth:`__len__` are read-only monitoring surfaces: a failed ``/stats``
+  poll returns the local view *without* flipping the client into
+  fallback mode -- a monitoring scrape must never downgrade the hot
+  path.
+* **Authentication fails loudly.**  With the server started under a
+  shared token, a client holding the wrong one gets ``401`` -- surfaced
+  as :class:`CacheAuthError`, *not* silent local fallback: running an
+  entire campaign cold because of a misconfigured token is exactly the
+  failure an operator wants to see immediately.
 * **Pickling.**  Like the disk tier, the client is a *handle*: a clone
   re-opens the same URL with a fresh buffer and a fresh (non-degraded)
-  connection state, while the accumulated hit/miss statistics survive
+  connection pool, while the accumulated hit/miss statistics survive
   the round-trip.  Process-pool workers therefore get read-through to
   the shared server.
 """
@@ -42,16 +65,14 @@ Design points, mirroring the disk tier where the analogy holds:
 from __future__ import annotations
 
 import http.client
-import json
 import logging
 import threading
-import urllib.error
-import urllib.request
 from typing import TYPE_CHECKING, Sequence
 
 from repro.cache.backend import CacheStats
 from repro.cache.disk import key_digest
 from repro.cache.memory import ProfileCache
+from repro.wire import COMPRESS_MIN_BYTES, PooledJSONClient, WireError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.quality.composite import QualityProfile
@@ -60,6 +81,28 @@ logger = logging.getLogger("repro.cache.http")
 
 #: Default per-request budget, in seconds (``ProcessingConfiguration.cache_timeout``).
 DEFAULT_TIMEOUT = 5.0
+
+#: Default first recovery-probe delay, in seconds
+#: (``ProcessingConfiguration.cache_recovery_interval``).
+DEFAULT_RECOVERY_INTERVAL = 5.0
+
+#: Default bound on the unflushed write buffer
+#: (``ProcessingConfiguration.cache_max_pending``).
+DEFAULT_MAX_PENDING = 1024
+
+#: The probe delay doubles after each failed probe, up to this multiple
+#: of ``recovery_interval``.
+RECOVERY_BACKOFF_CAP = 16
+
+
+class CacheAuthError(RuntimeError):
+    """The cache server rejected this client's token (HTTP 401).
+
+    Deliberately *not* handled by degradation: an auth failure is
+    deterministic misconfiguration, and silently running a whole fleet
+    on cold local caches would hide it.  Fix the token
+    (``cache_auth_token`` / the server's ``--auth-token``) instead.
+    """
 
 
 class HTTPProfileCache:
@@ -76,6 +119,27 @@ class HTTPProfileCache:
         Optional LRU bound on the local in-memory tier used after
         degradation (``None`` = unbounded, matching the default
         ``ProfileCache``).
+    compression:
+        Gzip request bodies at/above ``compress_min_bytes`` and accept
+        compressed responses (``ProcessingConfiguration.cache_compression``).
+    compress_min_bytes:
+        Size threshold of the request compressor.
+    auth_token:
+        Shared token sent as ``Authorization: Bearer <token>``
+        (``ProcessingConfiguration.cache_auth_token``); a ``401``
+        raises :class:`CacheAuthError` instead of degrading.
+    recovery_interval:
+        First recovery-probe delay after degradation, in seconds; the
+        delay doubles per failed probe up to 16x.  ``None`` disables
+        probing (degradation is then permanent for the process, the
+        pre-overhaul behaviour).
+    max_pending:
+        Auto-publish the write buffer once it holds this many entries
+        (campaigns below it keep the one-round-trip-per-campaign
+        discipline).
+    pool:
+        ``False`` tears the connection down after every request -- the
+        per-request TCP behaviour the wire benchmark compares against.
     """
 
     def __init__(
@@ -83,16 +147,40 @@ class HTTPProfileCache:
         url: str,
         timeout: float = DEFAULT_TIMEOUT,
         fallback_max_entries: int | None = None,
+        compression: bool = True,
+        compress_min_bytes: int = COMPRESS_MIN_BYTES,
+        auth_token: str | None = None,
+        recovery_interval: float | None = DEFAULT_RECOVERY_INTERVAL,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        pool: bool = True,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive (seconds)")
+        if recovery_interval is not None and recovery_interval <= 0:
+            raise ValueError("recovery_interval must be positive seconds (or None)")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.stats = CacheStats()
         self.fallback = ProfileCache(max_entries=fallback_max_entries)
         self._fallback_max_entries = fallback_max_entries
+        self.recovery_interval = recovery_interval
+        self.max_pending = max_pending
+        self._client = PooledJSONClient(
+            self.url,
+            timeout,
+            compression=compression,
+            compress_min_bytes=compress_min_bytes,
+            auth_token=auth_token,
+            keep_alive=pool,
+        )
         self._pending: dict[tuple, QualityProfile] = {}
         self._degraded = False
+        self._closed = False
+        self._probe_timer: threading.Timer | None = None
+        self._probe_interval = recovery_interval or 0.0
+        self._recoveries = 0
         self._lock = threading.Lock()
 
     #: Puts always buffer until :meth:`flush` -- advertised so the
@@ -104,43 +192,61 @@ class HTTPProfileCache:
     # Wire helpers
     # ------------------------------------------------------------------
 
-    def _request(self, path: str, payload: dict | None = None) -> dict | None:
-        """One JSON round-trip; ``None`` (after degrading) on any failure."""
+    def _request(
+        self, path: str, payload: dict | None = None, *, best_effort: bool = False
+    ) -> dict | None:
+        """One JSON round-trip; ``None`` on any failure.
+
+        Hot-path calls degrade the client on failure (the local
+        fallback serves from then on); ``best_effort`` calls -- the
+        read-only observability surfaces -- just return ``None``, so a
+        failed monitoring poll can never downgrade planning traffic.
+        A ``401`` always raises :class:`CacheAuthError`.
+        """
         if self._degraded:
             return None
         # Everything from serialising the payload (TypeError on a key a
         # client somehow made non-JSON-able) to a misbehaving server
-        # (http.client.BadStatusLine is an HTTPException, not an
-        # OSError) degrades -- a cache failure must never fail a plan.
+        # (http.client's protocol exceptions are not OSErrors) degrades
+        # -- a cache failure must never fail a plan.
         try:
             if payload is None:
-                request = urllib.request.Request(self.url + path, method="GET")
+                parsed = self._client.request_json("GET", path)
             else:
-                request = urllib.request.Request(
-                    self.url + path,
-                    data=json.dumps(payload).encode("utf-8"),
-                    headers={"Content-Type": "application/json"},
-                    method="POST",
-                )
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                parsed = json.loads(response.read().decode("utf-8"))
+                parsed = self._client.request_json("POST", path, payload)
             if not isinstance(parsed, dict):
                 raise ValueError(
                     f"expected a JSON object response, got {type(parsed).__name__}"
                 )
             return parsed
+        except WireError as exc:
+            if exc.status == 401:
+                raise CacheAuthError(
+                    f"cache server {self.url} rejected the auth token: {exc.message} "
+                    "(set cache_auth_token to the server's --auth-token)"
+                ) from None
+            if best_effort:
+                return None
+            self._degrade(exc)
+            return None
         except (
-            urllib.error.URLError,
             http.client.HTTPException,
             OSError,
             ValueError,
             TypeError,
         ) as exc:
+            if best_effort:
+                return None
             self._degrade(exc)
             return None
 
     def _degrade(self, exc: Exception) -> None:
-        """Switch permanently to the local fallback tier, logging once."""
+        """Switch to the local fallback tier, logging once per outage.
+
+        With ``recovery_interval`` set, degradation is no longer
+        terminal: a backoff timer starts probing ``/health`` and
+        re-attaches when the server answers (see :meth:`_probe`).
+        """
         with self._lock:
             if self._degraded:
                 return
@@ -152,15 +258,115 @@ class HTTPProfileCache:
             self.fallback.put(key, profile)
         logger.warning(
             "profile cache server %s unreachable (%s); falling back to a local "
-            "in-memory tier for the rest of this process",
+            "in-memory tier%s",
             self.url,
             exc,
+            (
+                f" (probing for recovery every {self.recovery_interval:g}s, backing off)"
+                if self.recovery_interval is not None
+                else " for the rest of this process"
+            ),
         )
+        if self.recovery_interval is not None:
+            self._schedule_probe(self.recovery_interval)
+
+    # ------------------------------------------------------------------
+    # Recovery probes
+    # ------------------------------------------------------------------
+
+    def _schedule_probe(self, interval: float) -> None:
+        with self._lock:
+            if self._closed or not self._degraded:
+                return
+            self._probe_interval = interval
+            timer = threading.Timer(interval, self._probe)
+            timer.daemon = True
+            self._probe_timer = timer
+            timer.start()
+
+    def _probe(self) -> None:
+        """One recovery attempt (runs on the backoff timer's thread)."""
+        if self._closed or not self._degraded:
+            return
+        try:
+            self._client.request_json("GET", "/health")
+        except WireError as exc:
+            if exc.status == 401:
+                # Probing can't fix a bad token; stop and say so.
+                logger.error(
+                    "cache server %s is back but rejected the auth token (%s); "
+                    "staying on the local fallback -- fix cache_auth_token",
+                    self.url,
+                    exc.message,
+                )
+                return
+            self._schedule_probe(self._next_probe_interval())
+        except (http.client.HTTPException, OSError, ValueError):
+            self._schedule_probe(self._next_probe_interval())
+        else:
+            self._reattach()
+
+    def _next_probe_interval(self) -> float:
+        cap = (self.recovery_interval or 1.0) * RECOVERY_BACKOFF_CAP
+        return min(self._probe_interval * 2, cap)
+
+    def _reattach(self) -> None:
+        """Return traffic to a recovered server, republishing the fallback."""
+        with self._lock:
+            if not self._degraded:
+                return
+            self._degraded = False
+            self._probe_timer = None
+            self._recoveries += 1
+        entries = self.fallback.drain()
+        with self._lock:
+            for key, profile in entries:
+                self._pending.setdefault(key, profile)
+            republished = len(self._pending)
+        logger.warning(
+            "profile cache server %s is reachable again; re-attached "
+            "(republishing %d fallback entr%s)",
+            self.url,
+            republished,
+            "y" if republished == 1 else "ies",
+        )
+        if republished:
+            self.flush()  # a failure here degrades again (timer restarts)
 
     @property
     def degraded(self) -> bool:
-        """Whether the client has fallen back to its local memory tier."""
+        """Whether the client is currently on its local memory tier."""
         return self._degraded
+
+    @property
+    def recoveries(self) -> int:
+        """How many times a recovery probe has re-attached the server."""
+        return self._recoveries
+
+    def wire_stats(self) -> dict[str, int]:
+        """Transport accounting of the pooled connection layer."""
+        client = self._client
+        return {
+            "requests": client.requests,
+            "connections_opened": client.connections_opened,
+            "reconnects": client.reconnects,
+            "compressed_requests": client.compressed_requests,
+            "compressed_responses": client.compressed_responses,
+            "recoveries": self._recoveries,
+        }
+
+    def close(self) -> None:
+        """Cancel any recovery probe and drop every pooled connection.
+
+        Idempotent and terminal for the probe timer; buffered writes are
+        *not* flushed (call :meth:`flush` first if they should be).
+        """
+        with self._lock:
+            self._closed = True
+            timer, self._probe_timer = self._probe_timer, None
+        if timer is not None:
+            timer.cancel()
+        self._client.close()
 
     # ------------------------------------------------------------------
     # CacheBackend protocol
@@ -245,13 +451,20 @@ class HTTPProfileCache:
 
         The degraded check happens under the same lock :meth:`_degrade`
         drains the buffer with, so a put racing with the degradation can
-        never strand an entry in a buffer nothing will ever flush.
+        never strand an entry in a buffer nothing will ever flush.  A
+        buffer reaching ``max_pending`` entries publishes immediately --
+        a campaign that never flushes cannot hold every profile it ever
+        produced in memory.
         """
         with self._lock:
             if not self._degraded:
                 self._pending[key] = profile
+                if len(self._pending) < self.max_pending:
+                    return
+            else:
+                self.fallback.put(key, profile)
                 return
-        self.fallback.put(key, profile)
+        self.flush()
 
     def flush(self) -> None:
         """Publish every buffered entry to the server in a single request."""
@@ -298,12 +511,13 @@ class HTTPProfileCache:
         per lookup, whichever side served it), ``"server"`` the remote
         backend's own counters (fetched best-effort; omitted when the
         server is unreachable), and ``"fallback"`` the local tier that
-        serves after degradation.
+        serves after degradation.  Best-effort throughout: a failed
+        stats poll never degrades the hot path.
         """
         tiers: dict[str, dict[str, float]] = {}
         with self._lock:
             tiers["http"] = self.stats.as_dict()
-        response = self._request("/stats")
+        response = self._request("/stats", best_effort=True)
         if response is not None and "stats" in response:
             tiers["server"] = response["stats"]
         tiers["fallback"] = self.fallback.stats.as_dict()
@@ -311,8 +525,10 @@ class HTTPProfileCache:
 
     def __len__(self) -> int:
         """Entry count: server entries plus unflushed buffer (approximate
-        across the flush boundary), or the fallback after degradation."""
-        response = self._request("/stats")
+        across the flush boundary), or the fallback after degradation.
+        Best-effort: an unreachable server yields the local count
+        without degrading the client."""
+        response = self._request("/stats", best_effort=True)
         with self._lock:
             pending = len(self._pending)
         if response is None:
@@ -330,7 +546,7 @@ class HTTPProfileCache:
 
     # ------------------------------------------------------------------
     # Pickling: a handle onto the same server -- fresh buffer, fresh
-    # connection state (a degraded parent does not doom its clones), the
+    # connection pool (a degraded parent does not doom its clones), the
     # statistics round-trip (consistent with the other tiers).
     # ------------------------------------------------------------------
 
@@ -339,6 +555,12 @@ class HTTPProfileCache:
             "url": self.url,
             "timeout": self.timeout,
             "fallback_max_entries": self._fallback_max_entries,
+            "compression": self._client.compression,
+            "compress_min_bytes": self._client.compress_min_bytes,
+            "auth_token": self._client.auth_token,
+            "recovery_interval": self.recovery_interval,
+            "max_pending": self.max_pending,
+            "pool": self._client.keep_alive,
             "stats": self.stats,
         }
 
@@ -347,6 +569,12 @@ class HTTPProfileCache:
             state["url"],
             timeout=state.get("timeout", DEFAULT_TIMEOUT),
             fallback_max_entries=state.get("fallback_max_entries"),
+            compression=state.get("compression", True),
+            compress_min_bytes=state.get("compress_min_bytes", COMPRESS_MIN_BYTES),
+            auth_token=state.get("auth_token"),
+            recovery_interval=state.get("recovery_interval", DEFAULT_RECOVERY_INTERVAL),
+            max_pending=state.get("max_pending", DEFAULT_MAX_PENDING),
+            pool=state.get("pool", True),
         )
         stats = state.get("stats")
         if stats is not None:

@@ -86,6 +86,20 @@ class ProfileCache:
     def flush(self) -> None:
         """No-op: in-memory writes are always synchronous."""
 
+    def drain(self) -> list[tuple[tuple, "QualityProfile"]]:
+        """Remove and return every entry, *keeping* the statistics.
+
+        Unlike :meth:`clear` (drop everything, reset accounting), this
+        hands the contents over for re-publication elsewhere -- the
+        network tier uses it to push fallback entries back to a
+        recovered cache server without losing the fallback's hit/miss
+        history.
+        """
+        with self._lock:
+            entries = list(self._entries.items())
+            self._entries.clear()
+        return entries
+
     def clear(self) -> None:
         """Drop every entry and reset the statistics."""
         with self._lock:

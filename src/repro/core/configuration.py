@@ -70,6 +70,13 @@ seed behaviour; turning them on changes wall-clock, never results (except
     filesystem.  The client degrades gracefully -- an unreachable
     server is logged once and the plan falls back to a local in-memory
     tier, never failing.  See ``docs/service.md``.
+``cache_compression`` / ``cache_auth_token`` / ``cache_recovery_interval`` / ``cache_max_pending``
+    Wire-path behaviour of the ``"http"`` tier: transparent gzip of
+    large bodies, the shared bearer token of an authenticated server, a
+    degraded client's recovery-probe cadence (exponential backoff; the
+    client re-attaches and republishes its fallback writes when the
+    server returns), and the auto-publish bound on the client-side
+    write buffer.
 """
 
 from __future__ import annotations
@@ -211,6 +218,27 @@ class ProcessingConfiguration:
         Per-request budget of the ``"http"`` cache client, in seconds.
         A request exceeding it counts as a server failure and triggers
         the local fallback.
+    cache_compression:
+        Whether the ``"http"`` client gzip-compresses large request
+        bodies and accepts compressed responses (default ``True``;
+        profile documents compress several-fold).  ``False`` reproduces
+        the uncompressed wire protocol.
+    cache_auth_token:
+        Shared token of an authenticated cache server (its
+        ``--auth-token``), sent as ``Authorization: Bearer <token>``.
+        A rejected token raises
+        :class:`repro.cache.http.CacheAuthError` instead of silently
+        degrading.  Only valid with ``cache_tier="http"``.
+    cache_recovery_interval:
+        Seconds before a degraded ``"http"`` client's first recovery
+        probe; the delay doubles per failed probe (capped at 16x).  On
+        success the client re-attaches and republishes what the local
+        fallback accumulated.  ``None`` disables probing (degradation
+        lasts for the process).
+    cache_max_pending:
+        The ``"http"`` client's write buffer auto-publishes once it
+        holds this many entries, bounding client memory on campaigns
+        that never flush.
     copy_mode:
         How pattern application copies flows: ``"deep"`` (default, the
         seed behaviour) clones every operation payload per application;
@@ -256,6 +284,10 @@ class ProcessingConfiguration:
     cache_max_bytes: int | None = None
     cache_url: str | None = None
     cache_timeout: float = 5.0
+    cache_compression: bool = True
+    cache_auth_token: str | None = None
+    cache_recovery_interval: float | None = 5.0
+    cache_max_pending: int = 1024
     copy_mode: str = "deep"
     prefix_cache: bool = True
     backend: str = "thread"
@@ -299,6 +331,20 @@ class ProcessingConfiguration:
             )
         if self.cache_timeout <= 0:
             raise ValueError("cache_timeout must be positive (seconds)")
+        if self.cache_auth_token is not None:
+            if not self.cache_auth_token:
+                raise ValueError("cache_auth_token must be a non-empty string (or None)")
+            if self.cache_tier != "http":
+                raise ValueError(
+                    'cache_auth_token only applies to cache_tier="http" '
+                    f"(got cache_tier={self.cache_tier!r})"
+                )
+        if self.cache_recovery_interval is not None and self.cache_recovery_interval <= 0:
+            raise ValueError(
+                "cache_recovery_interval must be positive seconds (or None to disable)"
+            )
+        if self.cache_max_pending < 1:
+            raise ValueError("cache_max_pending must be at least 1")
         if self.cache_max_bytes is not None:
             if self.cache_max_bytes < 1:
                 raise ValueError("cache_max_bytes must be at least 1 (or None for unbounded)")

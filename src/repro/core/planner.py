@@ -187,6 +187,10 @@ class Planner:
                 max_bytes=self.configuration.cache_max_bytes,
                 url=self.configuration.cache_url,
                 timeout=self.configuration.cache_timeout,
+                compression=self.configuration.cache_compression,
+                auth_token=self.configuration.cache_auth_token,
+                recovery_interval=self.configuration.cache_recovery_interval,
+                max_pending=self.configuration.cache_max_pending,
             )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,

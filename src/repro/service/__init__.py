@@ -10,7 +10,8 @@ two coordinated halves.
     Any profile-cache tier served over HTTP, so a *fleet* of planners on
     different machines shares one store
     (``ProcessingConfiguration.cache_tier="http"``); unreachable servers
-    degrade to a local memory tier, never failing a plan.
+    degrade to a local memory tier, never failing a plan, and recovery
+    probes win a restarted server its traffic back.
 
 :class:`RedesignServer` / :class:`RedesignClient`
     ``POST /plans`` a flow document, poll live progress (streamed by the
@@ -20,8 +21,11 @@ two coordinated halves.
 
 Start either from the command line with ``tools/serve.py``; see
 ``docs/service.md`` for the wire format and deployment sketch.  Both
-servers speak unauthenticated plain HTTP and bind ``127.0.0.1`` by
-default -- deploy on trusted networks only.
+servers bind ``127.0.0.1`` by default and speak HTTP/1.1 with pooled
+keep-alive connections, transparent gzip for large bodies, and
+optional shared-token authentication (``--auth-token`` /
+``auth_token=``) -- terminate TLS in a fronting proxy before a token
+crosses an untrusted network.
 """
 
 from repro.service.cache_server import CacheServer

@@ -152,6 +152,10 @@ class CacheServer(ServiceServer):
         back from :attr:`url`.
     max_request_bytes:
         Reject request bodies above this size with ``413``.
+    auth_token:
+        Optional shared token: requests (``GET /health`` excepted) must
+        carry ``Authorization: Bearer <token>`` or get a ``401``.
+        Clients configure it as ``cache_auth_token``.
     max_hot_entries:
         LRU bound on the digest-keyed hot map of ready-to-send profile
         documents (default 8192 -- tens of MB at typical profile sizes,
@@ -181,10 +185,16 @@ class CacheServer(ServiceServer):
         host: str = "127.0.0.1",
         port: int = 0,
         max_request_bytes: int = MAX_REQUEST_BYTES,
+        auth_token: str | None = None,
         max_hot_entries: int | None = 8192,
         eviction_interval: float | None = None,
     ) -> None:
-        super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
+        super().__init__(
+            host=host,
+            port=port,
+            max_request_bytes=max_request_bytes,
+            auth_token=auth_token,
+        )
         self.backend = backend
         self.stats = CacheStats()
         self.max_hot_entries = max_hot_entries

@@ -8,19 +8,23 @@ fetch the ranked alternatives back as a real
 because a cache is an optimisation, the redesign client surfaces every
 failure as an exception -- a lost planning job is not something to paper
 over.
+
+Transport: requests ride the shared wire client
+(:class:`repro.wire.PooledJSONClient`) -- one persistent keep-alive
+connection per calling thread, transparent compression of large bodies,
+and optional bearer-token authentication, matching the cache tier.
 """
 
 from __future__ import annotations
 
-import json
+import http.client
 import time
-import urllib.error
-import urllib.request
 from typing import Any, Mapping
 
 from repro.core.planner import PlanningResult
 from repro.etl.graph import ETLGraph
 from repro.service.results import result_from_dict
+from repro.wire import PooledJSONClient, WireError
 
 #: Job states that will never change again.
 TERMINAL_STATES = ("done", "failed")
@@ -44,13 +48,40 @@ class RedesignClient:
         Base URL of the server, e.g. ``"http://127.0.0.1:8732"``.
     timeout:
         Per-request timeout in seconds.
+    compression:
+        Compress large request bodies and accept compressed responses
+        (on by default; flows serialise to highly redundant JSON).
+    auth_token:
+        Shared token for servers started with ``auth_token``; sent as
+        ``Authorization: Bearer <token>``.  A wrong or missing token
+        surfaces as a ``RedesignServiceError`` with status 401.
+    poll_max:
+        Cap for the exponential status-poll backoff used by
+        :meth:`wait` (the floor is ``wait``'s ``poll`` argument).
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        *,
+        compression: bool = True,
+        auth_token: str | None = None,
+        poll_max: float = 1.0,
+    ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive (seconds)")
+        if poll_max <= 0:
+            raise ValueError("poll_max must be positive (seconds)")
         self.url = url.rstrip("/")
         self.timeout = timeout
+        self.poll_max = poll_max
+        self._client = PooledJSONClient(
+            self.url,
+            timeout,
+            compression=compression,
+            auth_token=auth_token,
+        )
 
     # ------------------------------------------------------------------
 
@@ -60,26 +91,26 @@ class RedesignClient:
         payload: Mapping[str, Any] | None = None,
         method: str | None = None,
     ) -> dict:
-        if payload is None:
-            request = urllib.request.Request(self.url + path, method=method or "GET")
-        else:
-            request = urllib.request.Request(
-                self.url + path,
-                data=json.dumps(payload).encode("utf-8"),
-                headers={"Content-Type": "application/json"},
-                method=method or "POST",
-            )
+        if method is None:
+            method = "GET" if payload is None else "POST"
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(exc.read().decode("utf-8")).get("error", str(exc))
-            except Exception:
-                message = str(exc)
-            raise RedesignServiceError(exc.code, message) from None
-        except (urllib.error.URLError, OSError, ValueError) as exc:
-            raise RedesignServiceError(0, f"redesign service unreachable: {exc}") from None
+            return self._client.request_json(method, path, payload)
+        except WireError as exc:
+            raise RedesignServiceError(exc.status, exc.message) from None
+        except (OSError, http.client.HTTPException, ValueError) as exc:
+            raise RedesignServiceError(
+                0, f"redesign service unreachable: {exc}"
+            ) from None
+
+    def close(self) -> None:
+        """Close the pooled connections (the client stays usable)."""
+        self._client.close()
+
+    def __enter__(self) -> "RedesignClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
 
@@ -103,20 +134,32 @@ class RedesignClient:
     def wait(self, job_id: str, timeout: float = 120.0, poll: float = 0.05) -> dict:
         """Poll until the job reaches a terminal state; returns its status.
 
+        ``poll`` is the *floor* of the polling interval, not a fixed
+        period: the delay doubles after every non-terminal status, up to
+        the client's ``poll_max``, so a long-running plan is not
+        hammered with status requests while a short one is still picked
+        up within ``poll`` seconds.  The final sleep is clipped to the
+        deadline.
+
         Raises :class:`TimeoutError` if the deadline passes first.  A
         *failed* job is returned, not raised -- callers decide (fetching
         its result will raise).
         """
+        if poll <= 0:
+            raise ValueError("poll must be positive (seconds)")
         deadline = time.monotonic() + timeout
+        delay = poll
         while True:
             status = self.status(job_id)
             if status["status"] in TERMINAL_STATES:
                 return status
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise TimeoutError(
                     f"plan {job_id} still {status['status']} after {timeout:.1f}s"
                 )
-            time.sleep(poll)
+            time.sleep(min(delay, min(self.poll_max, remaining)))
+            delay = min(delay * 2, self.poll_max)
 
     def delete(self, job_id: str) -> dict:
         """Forget a finished job server-side, freeing its result document."""

@@ -13,18 +13,37 @@ request/response convention implemented here.
 * Handler exceptions surface as ``500`` JSON errors; the server thread
   keeps serving.
 
-The servers bind ``127.0.0.1`` by default and speak unauthenticated
-plain HTTP -- deploy them on trusted networks only (see
-``docs/service.md``).
+Wire-path features shared with the clients (:mod:`repro.wire`):
+
+* Request bodies may arrive gzip- or deflate-compressed
+  (``Content-Encoding``); they are decompressed transparently, with the
+  ``max_request_bytes`` cap enforced on *both* the wire size and the
+  decompressed size (a compressed bomb cannot bypass the limit).
+* Responses at or above :data:`repro.wire.COMPRESS_MIN_BYTES` are
+  gzip-compressed when the client advertised ``Accept-Encoding: gzip``.
+* With ``auth_token`` set on the server, every request (except ``GET
+  /health``, the conventional load-balancer liveness probe) must carry
+  ``Authorization: Bearer <token>`` or is rejected with a ``401`` JSON
+  error.  Tokens are compared in constant time.
+
+The servers bind ``127.0.0.1`` by default and speak plain HTTP -- the
+shared token authenticates, but does not encrypt; deploy across trust
+boundaries only behind a TLS terminator (see ``docs/service.md``).
 """
 
 from __future__ import annotations
 
+import gzip
+import hmac
 import json
 import logging
+import socket
 import threading
+import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+
+from repro.wire import COMPRESS_MIN_BYTES, BodyTooLarge, decode_body
 
 logger = logging.getLogger("repro.service")
 
@@ -55,6 +74,10 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
+    # Responses also go out as two segments (headers, body); without
+    # this, Nagle holds the second back for the client's delayed ACK on
+    # every keep-alive round-trip.
+    disable_nagle_algorithm = True
 
     # ------------------------------------------------------------------
 
@@ -63,8 +86,17 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
     def send_json(self, status: int, payload: dict) -> None:
         body = json.dumps(payload).encode("utf-8")
+        content_encoding = None
+        if len(body) >= COMPRESS_MIN_BYTES and "gzip" in (
+            self.headers.get("Accept-Encoding") or ""
+        ).lower():
+            compressed = gzip.compress(body, mtime=0)
+            if len(compressed) < len(body):
+                body, content_encoding = compressed, "gzip"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
+        if content_encoding is not None:
+            self.send_header("Content-Encoding", content_encoding)
         self.send_header("Content-Length", str(len(body)))
         if self.close_connection:
             # Tell keep-alive clients the truth (set when a request was
@@ -96,6 +128,22 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         if length <= 0:
             return {}
         raw = self.rfile.read(length)
+        content_encoding = self.headers.get("Content-Encoding")
+        if content_encoding:
+            try:
+                raw = decode_body(raw, content_encoding, max_bytes=limit)
+            except BodyTooLarge:
+                # The wire size passed the cap but the decompressed body
+                # does not: same 413; the body WAS drained, so the
+                # keep-alive connection stays usable.
+                raise ServiceError(
+                    413,
+                    f"request body decompresses past the {limit}-byte limit",
+                ) from None
+            except (OSError, EOFError, zlib.error, ValueError) as exc:
+                raise ServiceError(
+                    400, f"cannot decode request body ({content_encoding}): {exc}"
+                ) from None
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -103,12 +151,34 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
 
+    def check_auth(self, method: str) -> None:
+        """Enforce the server's shared token, when one is configured.
+
+        ``GET /health`` stays open (the conventional unauthenticated
+        liveness probe for load balancers and recovery probes carries
+        no data).  Everything else must present ``Authorization:
+        Bearer <token>``; tokens are compared in constant time.  The
+        401 is sent *before* the body is drained, so the connection is
+        marked for closing like the 413 path.
+        """
+        token = getattr(self.server, "auth_token", None)
+        if token is None:
+            return
+        if method == "GET" and (self.path.rstrip("/") or "/") == "/health":
+            return
+        supplied = self.headers.get("Authorization") or ""
+        if hmac.compare_digest(supplied.encode(), f"Bearer {token}".encode()):
+            return
+        self.close_connection = True
+        raise ServiceError(401, "missing or invalid authorization token")
+
     def route(self, method: str, path: str, body: Any) -> dict:
         """Dispatch one request; subclasses override."""
         raise ServiceError(404, f"unknown endpoint: {method} {path}")
 
     def _handle(self, method: str) -> None:
         try:
+            self.check_auth(method)
             # The body is parsed (and thereby drained) for every method,
             # not just POST: unread bytes would desync the next request
             # on a keep-alive connection, exactly what the 400/413 paths
@@ -137,6 +207,46 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         self._handle("DELETE")
 
 
+class _TrackingHTTPServer(ThreadingHTTPServer):
+    """A threading server that can sever its live connections.
+
+    ``ThreadingHTTPServer.shutdown()`` only stops the *accept* loop;
+    handler threads serving established keep-alive connections live on,
+    happily answering pooled clients of a server that is officially
+    stopped.  Track every client socket so :meth:`close_all_connections`
+    can shut them down -- that is what makes ``ServiceServer.stop()``
+    mean *stopped* to a keep-alive client (its next request fails
+    instead of reaching a zombie handler thread).
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._client_sockets: set[socket.socket] = set()
+        self._client_lock = threading.Lock()
+
+    def process_request(self, request: socket.socket, client_address: Any) -> None:
+        with self._client_lock:
+            self._client_sockets.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request: socket.socket) -> None:  # type: ignore[override]
+        with self._client_lock:
+            self._client_sockets.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._client_lock:
+            sockets = list(self._client_sockets)
+            self._client_sockets.clear()
+        for sock in sockets:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+
+
 class ServiceServer:
     """A threaded HTTP server running on a daemon thread.
 
@@ -145,6 +255,10 @@ class ServiceServer:
     background, :meth:`stop` shuts down and closes the socket, and the
     instance doubles as a context manager.  ``port=0`` (the default)
     binds an ephemeral port -- read it back from :attr:`url`.
+
+    ``auth_token`` (optional) makes every handler require
+    ``Authorization: Bearer <token>`` (``GET /health`` excepted); see
+    :meth:`JSONRequestHandler.check_auth`.
     """
 
     handler_class: type[JSONRequestHandler] = JSONRequestHandler
@@ -154,28 +268,65 @@ class ServiceServer:
         host: str = "127.0.0.1",
         port: int = 0,
         max_request_bytes: int = MAX_REQUEST_BYTES,
+        auth_token: str | None = None,
     ) -> None:
-        self._http = ThreadingHTTPServer((host, port), self.handler_class)
-        self._http.daemon_threads = True
+        if auth_token is not None and not auth_token:
+            raise ValueError("auth_token must be a non-empty string (or None)")
+        self._http = _TrackingHTTPServer((host, port), self.handler_class)
         # The handler reaches the service object through the server.
         self._http.service = self  # type: ignore[attr-defined]
         self._http.max_request_bytes = max_request_bytes  # type: ignore[attr-defined]
+        self._http.auth_token = auth_token  # type: ignore[attr-defined]
+        self.auth_token = auth_token
         self._thread: threading.Thread | None = None
 
     # ------------------------------------------------------------------
 
     @property
     def host(self) -> str:
+        """The address the listening socket is *bound* to.
+
+        May be a wildcard (``0.0.0.0``) -- a binding, not a place
+        clients can connect to; :attr:`url` resolves a connectable
+        address for display.
+        """
         return self._http.server_address[0]
 
     @property
     def port(self) -> int:
         return self._http.server_address[1]
 
+    @staticmethod
+    def _connectable_host(bound_host: str) -> str:
+        """A host clients can actually dial, given the bound address.
+
+        A server bound to the IPv4 wildcard (``0.0.0.0``, or ``""``)
+        listens on every interface, but the wildcard itself is not a
+        destination -- printing ``http://0.0.0.0:port`` as the
+        copy-paste address hands the user an unconnectable URL.  Resolve
+        the primary outbound interface's address instead (a connected
+        UDP socket to a TEST-NET address -- no packet is ever sent, the
+        kernel just picks the route), falling back to loopback on
+        isolated hosts.
+        """
+        if bound_host not in ("0.0.0.0", ""):
+            return bound_host
+        try:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as probe:
+                probe.connect(("192.0.2.1", 9))  # TEST-NET-1: never routed
+                return probe.getsockname()[0]
+        except OSError:
+            return "127.0.0.1"
+
     @property
     def url(self) -> str:
-        """Base URL clients should use (``http://host:port``)."""
-        return f"http://{self.host}:{self.port}"
+        """Base URL clients should use (``http://host:port``).
+
+        For wildcard bindings this substitutes a *connectable* host
+        (the primary interface's address, or loopback) -- the bound
+        address itself stays available as :attr:`host`.
+        """
+        return f"http://{self._connectable_host(self.host)}:{self.port}"
 
     @property
     def running(self) -> bool:
@@ -193,9 +344,15 @@ class ServiceServer:
         return self
 
     def stop(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
+        """Stop serving and release the socket (idempotent).
+
+        Live keep-alive connections are severed, not just orphaned: a
+        pooled client's next request on an old socket fails fast
+        instead of being answered by a leftover handler thread.
+        """
         if self._thread is not None:
             self._http.shutdown()
+            self._http.close_all_connections()
             self._thread.join(timeout=5.0)
             self._thread = None
         self._http.server_close()

@@ -60,7 +60,17 @@ from repro.service.results import result_to_dict
 #: Configuration fields a request may NOT set: the service owns the
 #: cache tier (one shared backend for the whole worker pool).
 _RESERVED_FIELDS = frozenset(
-    {"cache_tier", "cache_dir", "cache_max_bytes", "cache_url", "cache_timeout"}
+    {
+        "cache_tier",
+        "cache_dir",
+        "cache_max_bytes",
+        "cache_url",
+        "cache_timeout",
+        "cache_compression",
+        "cache_auth_token",
+        "cache_recovery_interval",
+        "cache_max_pending",
+    }
 )
 
 #: Scalar/sequence fields accepted verbatim from the request document.
@@ -275,8 +285,10 @@ class RedesignServer(ServiceServer):
         running jobs are never evicted.  ``None`` retains everything;
         clients can also free a finished job eagerly with
         ``DELETE /plans/<id>``.
-    host / port / max_request_bytes:
-        As in :class:`~repro.service.common.ServiceServer`.
+    host / port / max_request_bytes / auth_token:
+        As in :class:`~repro.service.common.ServiceServer` (with
+        ``auth_token`` set, clients authenticate with
+        ``RedesignClient(..., auth_token=...)``).
     """
 
     handler_class = _RedesignHandler
@@ -290,12 +302,18 @@ class RedesignServer(ServiceServer):
         host: str = "127.0.0.1",
         port: int = 0,
         max_request_bytes: int = MAX_REQUEST_BYTES,
+        auth_token: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if max_retained_jobs is not None and max_retained_jobs < 1:
             raise ValueError("max_retained_jobs must be at least 1 (or None)")
-        super().__init__(host=host, port=port, max_request_bytes=max_request_bytes)
+        super().__init__(
+            host=host,
+            port=port,
+            max_request_bytes=max_request_bytes,
+            auth_token=auth_token,
+        )
         self.cache: CacheBackend = cache if cache is not None else ProfileCache()
         self.workers = workers
         self.palette = palette

@@ -53,6 +53,59 @@ class TestServerKilledMidPlan:
         tiers = planner.profile_cache.tier_stats()
         assert set(tiers) == {"http", "fallback"}
 
+    def test_revived_server_wins_the_planner_back_mid_session(
+        self, make_config, linear_flow
+    ):
+        """Kill mid-plan, revive: the probe re-attaches and republishes."""
+        import time
+
+        server = CacheServer(ProfileCache()).start()
+        port = server.port
+        config = make_config(
+            cache_tier="http",
+            cache_url=server.url,
+            cache_timeout=2.0,
+            cache_recovery_interval=0.05,
+        )
+        planner = Planner(configuration=config)
+        seen = {"count": 0}
+
+        def killer(_alternative) -> None:
+            seen["count"] += 1
+            if seen["count"] == 2 and server.running:
+                server.stop()
+
+        result = planner.plan(linear_flow, on_evaluated=killer)
+        client = planner.profile_cache
+        assert client.degraded  # the plan finished on the fallback tier
+        assert len(client.fallback) > 0
+
+        expected = len(client.fallback)
+        revived = CacheServer(ProfileCache(), port=port).start()
+        try:
+            # Re-attach flips `degraded` first and then republishes, so
+            # wait for the whole batch to land, not just the flip.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and (
+                client.degraded
+                or len(revived.backend) < expected
+                or len(client._pending) > 0
+            ):
+                time.sleep(0.02)
+            assert not client.degraded, "recovery probe never re-attached"
+            # Every profile the fallback accumulated is on the server now...
+            assert len(revived.backend) == expected
+            assert len(client.fallback) == 0
+            assert len(client._pending) == 0
+            # ... so a re-plan is served warm by the revived server.
+            hits_before = revived.stats.hits
+            replanned = planner.plan(linear_flow)
+            assert replanned.fingerprint() == result.fingerprint()
+            assert revived.stats.hits > hits_before
+        finally:
+            revived.stop()
+            client.close()
+
     def test_degraded_planner_keeps_serving_replans_locally(
         self, tmp_path, make_config, linear_flow
     ):
@@ -75,15 +128,15 @@ class TestClientDegradesOnAnyFailure:
     def test_protocol_garbage_degrades_instead_of_raising(self, monkeypatch):
         """http.client.HTTPException (not an OSError) must degrade too."""
         import http.client
-        import urllib.request
 
         from repro.cache.http import HTTPProfileCache
+
+        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
 
         def bad_server(*args, **kwargs):
             raise http.client.BadStatusLine("<html>not http/1.1</html>")
 
-        monkeypatch.setattr(urllib.request, "urlopen", bad_server)
-        client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        monkeypatch.setattr(client._client, "request_json", bad_server)
         assert client.get(("k",)) is None  # degrades, no exception
         assert client.degraded
 
@@ -109,24 +162,12 @@ class TestClientDegradesOnAnyFailure:
 
     def test_garbage_200_with_a_non_object_body_degrades(self, monkeypatch):
         """A proxy answering 200 with a JSON array degrades like a dead socket."""
-        import urllib.request
-
         from repro.cache.http import HTTPProfileCache
 
-        class FakeResponse:
-            def __enter__(self):
-                return self
-
-            def __exit__(self, *exc_info):
-                return False
-
-            def read(self):
-                return b"[1, 2, 3]"
-
-        monkeypatch.setattr(
-            urllib.request, "urlopen", lambda *args, **kwargs: FakeResponse()
-        )
         client = HTTPProfileCache("http://127.0.0.1:1", timeout=1.0)
+        monkeypatch.setattr(
+            client._client, "request_json", lambda *args, **kwargs: [1, 2, 3]
+        )
         assert client.get(("k",)) is None
         assert client.degraded
 

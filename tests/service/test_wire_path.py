@@ -1,0 +1,313 @@
+"""The overhauled wire path: pooling, compression, auth, recovery.
+
+Covers the transport contracts of :mod:`repro.wire` end-to-end against
+real servers: one TCP connection per thread across a whole campaign, a
+stale keep-alive socket surviving a server restart with exactly one
+reconnect, transparent compression with byte-identical profiles, token
+authentication failing loudly (never silent fallback), degraded clients
+winning traffic back through recovery probes, and the observability
+surfaces (``/stats`` polls, ``len()``) staying best-effort.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cache import ProfileCache
+from repro.cache.http import CacheAuthError, HTTPProfileCache
+from repro.quality.composite import QualityProfile
+from repro.service import CacheServer, RedesignClient, RedesignServer
+from repro.service.client import RedesignServiceError
+from repro.wire import BodyTooLarge, decode_body, encode_body
+
+
+def _profile(name: str = "p") -> QualityProfile:
+    return QualityProfile(flow_name=name)
+
+
+def _big_profile(name: str = "big") -> QualityProfile:
+    """A profile whose JSON document clears the compression threshold."""
+    return QualityProfile(flow_name=name + "x" * 4096)
+
+
+@pytest.fixture()
+def server():
+    with CacheServer(ProfileCache()) as srv:
+        yield srv
+
+
+class TestConnectionPooling:
+    def test_one_connection_serves_a_whole_campaign(self, server):
+        client = HTTPProfileCache(server.url, timeout=5.0)
+        for index in range(10):
+            client.put((f"k{index}",), _profile())
+        client.flush()
+        assert all(client.get((f"k{index}",)) for index in range(10))
+        stats = client.wire_stats()
+        assert stats["connections_opened"] == 1
+        assert stats["reconnects"] == 0
+        assert stats["requests"] >= 11  # one flush + ten lookups
+
+    def test_pool_false_reproduces_per_request_connections(self, server):
+        client = HTTPProfileCache(server.url, timeout=5.0, pool=False)
+        for _ in range(4):
+            assert client.get(("absent",)) is None
+        assert client.wire_stats()["connections_opened"] == 4
+        assert not client.degraded
+
+    def test_stale_keepalive_socket_reconnects_exactly_once(self, server):
+        """A server restart costs one transparent reconnect, not a plan."""
+        client = HTTPProfileCache(server.url, timeout=5.0, recovery_interval=None)
+        client.put(("warm",), _profile("kept"))
+        client.flush()
+        port = server.port
+        server.stop()
+        restarted = CacheServer(ProfileCache(), port=port).start()
+        try:
+            # The pooled socket is stale; the request must be retried on
+            # a fresh connection -- once -- and succeed, without the
+            # client ever touching its fallback tier.
+            assert client.get(("warm",)) is None  # fresh (empty) store
+            stats = client.wire_stats()
+            assert stats["reconnects"] == 1
+            assert stats["connections_opened"] == 2
+            assert not client.degraded
+        finally:
+            restarted.stop()
+
+
+class TestCompression:
+    def test_roundtrip_is_byte_identical_and_actually_compressed(self, server):
+        writer = HTTPProfileCache(server.url, timeout=5.0)
+        profile = _big_profile()
+        writer.put(("big",), profile)
+        writer.flush()
+        assert writer.wire_stats()["compressed_requests"] >= 1
+
+        for compression in (True, False):
+            reader = HTTPProfileCache(server.url, timeout=5.0, compression=compression)
+            fetched = reader.get(("big",))
+            assert fetched == profile  # exact document, either wire format
+            expected = 1 if compression else 0
+            assert reader.wire_stats()["compressed_responses"] == expected
+            assert not reader.degraded
+
+    def test_small_bodies_travel_uncompressed(self, server):
+        client = HTTPProfileCache(server.url, timeout=5.0)
+        assert client.get(("tiny",)) is None
+        assert client.wire_stats()["compressed_requests"] == 0
+
+    def test_encode_decode_inverse_and_deterministic(self):
+        payload = {"profiles": ["x" * 4096]}
+        body, coding = encode_body(payload, compress=True)
+        again, _ = encode_body(payload, compress=True)
+        assert coding == "gzip" and body == again  # mtime=0: reproducible
+        assert json.loads(decode_body(body, coding).decode()) == payload
+
+    def test_decompression_bomb_is_rejected_with_413(self, server):
+        bomb = gzip.compress(b"0" * (64 * 1024 * 1024), mtime=0)
+        with pytest.raises(BodyTooLarge):
+            decode_body(bomb, "gzip", max_bytes=1024)
+        request = urllib.request.Request(
+            server.url + "/get_many",
+            data=bomb,
+            headers={"Content-Type": "application/json", "Content-Encoding": "gzip"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 413
+
+    def test_corrupt_compressed_body_is_a_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/get_many",
+            data=b"\x1f\x8bnot really gzip",
+            headers={"Content-Type": "application/json", "Content-Encoding": "gzip"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+
+
+class TestAuthentication:
+    @pytest.fixture()
+    def locked_server(self):
+        with CacheServer(ProfileCache(), auth_token="s3cret") as srv:
+            yield srv
+
+    def test_matching_token_serves_normally(self, locked_server):
+        client = HTTPProfileCache(locked_server.url, timeout=5.0, auth_token="s3cret")
+        client.put(("k",), _profile("authed"))
+        client.flush()
+        assert client.get(("k",)).flow_name == "authed"
+        assert not client.degraded
+
+    @pytest.mark.parametrize("token", [None, "wrong"])
+    def test_bad_token_raises_instead_of_silent_fallback(self, locked_server, token):
+        client = HTTPProfileCache(locked_server.url, timeout=5.0, auth_token=token)
+        with pytest.raises(CacheAuthError):
+            client.get(("k",))
+        # The one failure an operator must see: NOT degraded-and-quiet.
+        assert not client.degraded
+
+    def test_health_stays_open_for_unauthenticated_probes(self, locked_server):
+        with urllib.request.urlopen(locked_server.url + "/health", timeout=5.0) as resp:
+            assert json.loads(resp.read().decode())["status"] == "ok"
+
+    def test_redesign_client_surfaces_401(self):
+        with RedesignServer(auth_token="s3cret") as srv:
+            bad = RedesignClient(srv.url, timeout=5.0)
+            with pytest.raises(RedesignServiceError) as excinfo:
+                bad.status("any")
+            assert excinfo.value.status == 401
+            good = RedesignClient(srv.url, timeout=5.0, auth_token="s3cret")
+            with pytest.raises(RedesignServiceError) as excinfo:
+                good.status("absent")  # authenticated, but no such job
+            assert excinfo.value.status == 404
+
+    def test_empty_token_is_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            CacheServer(ProfileCache(), auth_token="")
+
+
+class TestRecoveryProbes:
+    def test_degraded_client_reattaches_and_republishes(self, caplog):
+        import logging
+
+        server = CacheServer(ProfileCache()).start()
+        port = server.port
+        client = HTTPProfileCache(server.url, timeout=2.0, recovery_interval=0.05)
+        client.put(("before",), _profile("early"))
+        server.stop()
+        with caplog.at_level(logging.WARNING, logger="repro.cache.http"):
+            assert client.get(("before",)).flow_name == "early"  # buffered
+            assert client.get(("missing",)) is None  # degrades here
+            assert client.degraded
+            client.put(("during",), _profile("offline"))  # fallback write
+            restarted = CacheServer(ProfileCache(), port=port).start()
+            try:
+                # Re-attach flips `degraded` before the republish flush
+                # lands; wait for the entries, not just the flip.
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline and (
+                    client.degraded or len(restarted.backend) < 2
+                ):
+                    time.sleep(0.02)
+                assert not client.degraded, "recovery probe never re-attached"
+                assert client.recoveries == 1
+                # Everything written while offline (and the pre-outage
+                # buffer) was republished to the restarted server.
+                assert len(restarted.backend) == 2
+                assert client.get(("during",)).flow_name == "offline"
+            finally:
+                restarted.stop()
+                client.close()
+        assert any("re-attached" in record.message for record in caplog.records)
+
+    def test_recovery_interval_none_keeps_pr5_terminal_degradation(self):
+        server = CacheServer(ProfileCache()).start()
+        client = HTTPProfileCache(server.url, timeout=2.0, recovery_interval=None)
+        server.stop()
+        assert client.get(("k",)) is None
+        assert client.degraded
+        assert client._probe_timer is None  # nothing scheduled, ever
+
+    def test_close_cancels_the_probe_timer(self):
+        server = CacheServer(ProfileCache()).start()
+        client = HTTPProfileCache(server.url, timeout=2.0, recovery_interval=30.0)
+        server.stop()
+        assert client.get(("k",)) is None and client.degraded
+        assert client._probe_timer is not None
+        client.close()
+        assert client._probe_timer is None
+
+
+class TestBestEffortObservability:
+    def test_failed_stats_poll_never_degrades_the_hot_path(self, server, monkeypatch):
+        client = HTTPProfileCache(server.url, timeout=5.0)
+        client.put(("k",), _profile("served"))
+        client.flush()
+
+        real = client._client.request_json
+
+        def flaky(method, path, payload=None):
+            if path == "/stats":
+                raise OSError("monitoring endpoint down")
+            return real(method, path, payload)
+
+        monkeypatch.setattr(client._client, "request_json", flaky)
+        tiers = client.tier_stats()
+        assert set(tiers) == {"http", "fallback"}  # server view omitted
+        assert len(client) == 0  # local view: buffer empty, fallback empty
+        assert not client.degraded
+        # The next lookup still goes to the server -- and hits.
+        assert client.get(("k",)).flow_name == "served"
+        assert server.stats.hits == 1
+
+    def test_stats_include_wire_accounting(self, server):
+        client = HTTPProfileCache(server.url, timeout=5.0)
+        client.get(("k",))
+        stats = client.wire_stats()
+        assert {
+            "requests",
+            "connections_opened",
+            "reconnects",
+            "compressed_requests",
+            "compressed_responses",
+            "recoveries",
+        } <= set(stats)
+
+
+class TestPendingBuffer:
+    def test_buffer_auto_publishes_at_max_pending(self, server):
+        client = HTTPProfileCache(server.url, timeout=5.0, max_pending=3)
+        client.put(("a",), _profile())
+        client.put(("b",), _profile())
+        assert len(server.backend) == 0  # still buffered
+        client.put(("c",), _profile())  # third entry crosses the bound
+        assert len(server.backend) == 3
+        assert client._pending == {}
+
+    def test_max_pending_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HTTPProfileCache("http://127.0.0.1:1", max_pending=0)
+
+
+class TestWildcardBinding:
+    def test_url_is_connectable_when_bound_to_every_interface(self):
+        with CacheServer(ProfileCache(), host="0.0.0.0") as srv:
+            assert srv.host == "0.0.0.0"  # the binding is preserved
+            assert "0.0.0.0" not in srv.url  # ... but never advertised
+            client = HTTPProfileCache(srv.url, timeout=5.0)
+            assert client.get(("k",)) is None
+            assert not client.degraded
+
+
+class TestWaitBackoff:
+    def test_poll_interval_doubles_up_to_the_cap(self, monkeypatch):
+        client = RedesignClient("http://127.0.0.1:1", timeout=1.0, poll_max=0.08)
+        statuses = iter(["queued"] * 5 + ["done"])
+        monkeypatch.setattr(
+            client, "status", lambda job_id: {"status": next(statuses)}
+        )
+        sleeps: list[float] = []
+        monkeypatch.setattr(time, "sleep", lambda s: sleeps.append(s))
+        result = client.wait("job", timeout=60.0, poll=0.01)
+        assert result["status"] == "done"
+        assert sleeps == [0.01, 0.02, 0.04, 0.08, 0.08]
+
+    def test_deadline_still_raises_timeout(self, monkeypatch):
+        client = RedesignClient("http://127.0.0.1:1", timeout=1.0)
+        monkeypatch.setattr(client, "status", lambda job_id: {"status": "queued"})
+        with pytest.raises(TimeoutError):
+            client.wait("job", timeout=0.0, poll=0.01)
+
+    def test_nonpositive_poll_is_rejected(self):
+        client = RedesignClient("http://127.0.0.1:1", timeout=1.0)
+        with pytest.raises(ValueError):
+            client.wait("job", poll=0.0)

@@ -15,9 +15,15 @@ Two subcommands, one per server (see ``docs/service.md``):
 
         PYTHONPATH=src python tools/serve.py redesign --workers 4 --cache-dir .cache/profiles
 
-Both bind ``127.0.0.1`` by default (pass ``--host 0.0.0.0`` to expose;
-the protocol is unauthenticated plain HTTP -- trusted networks only) and
-run until interrupted.
+Both bind ``127.0.0.1`` by default and run until interrupted.  ``--host``
+sets the *bind* address: ``0.0.0.0`` listens on every interface (the
+printed URL substitutes a connectable address -- the wildcard is a
+binding, not a destination).  ``--auth-token TOKEN`` requires clients to
+present ``Authorization: Bearer TOKEN`` (``GET /health`` stays open for
+load-balancer probes); without it the protocol is unauthenticated.
+Either way the wire is plain HTTP -- the token gates access but does not
+encrypt; put a TLS terminator in front to cross untrusted networks (see
+``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -46,7 +52,17 @@ def _backend(args: argparse.Namespace):
 
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: loopback)")
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: loopback; 0.0.0.0 = every interface)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        help="require 'Authorization: Bearer TOKEN' on every request "
+        "(GET /health excepted); clients set cache_auth_token / auth_token",
+    )
     parser.add_argument(
         "--cache-dir",
         default=None,
@@ -106,6 +122,13 @@ def main(argv=None) -> int:
     if args.tiered and args.cache_dir is None:
         parser.error("--tiered requires --cache-dir")
 
+    if args.host in ("0.0.0.0", "") and args.auth_token is None:
+        logging.getLogger("repro.service").warning(
+            "binding every interface (--host %s) without --auth-token: any "
+            "host that can reach this port can read and write the store",
+            args.host or '""',
+        )
+
     backend = _backend(args)
     if args.command == "cache":
         if args.eviction_interval is not None and args.max_bytes is None:
@@ -114,6 +137,7 @@ def main(argv=None) -> int:
             backend,
             host=args.host,
             port=args.port,
+            auth_token=args.auth_token,
             max_hot_entries=args.max_hot_entries or None,
             eviction_interval=args.eviction_interval,
         )
@@ -121,12 +145,17 @@ def main(argv=None) -> int:
         hint = f'ProcessingConfiguration(cache_tier="http", cache_url="{server.url}")'
     else:
         server = RedesignServer(
-            cache=backend, workers=args.workers, host=args.host, port=args.port
+            cache=backend,
+            workers=args.workers,
+            host=args.host,
+            port=args.port,
+            auth_token=args.auth_token,
         )
         role = "redesign"
         hint = f'RedesignClient("{server.url}").plan(flow)'
 
-    print(f"{role} service listening on {server.url}")
+    bound = " (bound to every interface)" if args.host in ("0.0.0.0", "") else ""
+    print(f"{role} service listening on {server.url}{bound}")
     print(f"  try: {hint}")
     try:
         server.serve_forever()
