@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-tiny bench-cache bench-service bench-wire serve docs-check examples check
+.PHONY: test test-fast test-fleet bench bench-tiny bench-cache bench-service bench-wire bench-fleet serve serve-fleet worker docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -13,6 +13,11 @@ test:
 ## same, skipping simulation-heavy tests marked `slow`
 test-fast:
 	$(PYTHON) -m pytest -x -q -m "not slow"
+
+## fleet harness only: ring/queue/sharded-cache/failure-storm tests
+## (FLEET_SLOW=1 includes the `slow`-marked storm scenarios)
+test-fleet:
+	$(PYTHON) -m pytest -x -q tests/fleet $(if $(FLEET_SLOW),,-m "not slow")
 
 ## regenerate BENCH_generation.json at full scale (idle machine!)
 bench:
@@ -34,9 +39,21 @@ bench-service:
 bench-wire:
 	$(PYTHON) benchmarks/bench_wire.py
 
+## fleet benchmark only: C clients vs 1..4 cache shards (near-linear scaling)
+bench-fleet:
+	$(PYTHON) benchmarks/bench_fleet.py
+
 ## run the redesign service (persistent shared cache under .cache/profiles)
 serve:
 	$(PYTHON) tools/serve.py redesign --cache-dir .cache/profiles
+
+## run a local fleet: 2 shards + job queue + 2 workers + front-end
+serve-fleet:
+	$(PYTHON) tools/serve.py fleet --shards 2 --fleet-workers 2 --queue .fleet/jobs.sqlite
+
+## add one worker process to the local fleet's queue (WORKER_ARGS for cache URLs etc.)
+worker:
+	$(PYTHON) tools/worker.py --queue .fleet/jobs.sqlite $(WORKER_ARGS)
 
 ## intra-doc links + every ProcessingConfiguration knob documented
 docs-check:

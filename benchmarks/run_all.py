@@ -5,9 +5,11 @@ copy-on-write pattern application), the streaming-pipeline benchmark
 (``bench_streaming_pipeline``: eager vs. streaming vs. screening), the
 profile-cache benchmark (``bench_profile_cache``: cold vs. warm-disk
 vs. in-memory planning), the service benchmark (``bench_service``:
-concurrent clients sharing one cache server vs. cold solo runs) and the
+concurrent clients sharing one cache server vs. cold solo runs), the
 wire benchmark (``bench_wire``: pooled keep-alive + compressed wire vs.
-the per-request wire through a latency-injecting proxy) and
+the per-request wire through a latency-injecting proxy) and the fleet
+benchmark (``bench_fleet``: concurrent clients against 1 vs. 4 cache
+shards, each shard a shared-capacity channel) and
 writes one JSON document --
 ``BENCH_generation.json`` by default -- with candidates/sec, the
 measured speedups, the application/validation time split and the
@@ -105,18 +107,26 @@ def run_all(tiny: bool = False) -> dict:
             "--max-alternatives", "15", "--repeats", "1",
             "--connect-latency", "0.005",
         ]
+        fleet_arguments = [
+            "--scale", "0.01", "--pattern-budget", "1",
+            "--max-points-per-pattern", "2", "--simulation-runs", "1",
+            "--max-alternatives", "15", "--shards", "1", "2",
+            "--clients", "1", "2",
+        ]
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
         cache_kwargs = {}
         service_arguments = []
         wire_arguments = []
+        fleet_arguments = []
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
     profile_cache = bench_cache.run_cache_bench(**cache_kwargs)
     service = _run_bench_isolated("bench_service.py", service_arguments)
     wire = _run_bench_isolated("bench_wire.py", wire_arguments)
+    fleet = _run_bench_isolated("bench_fleet.py", fleet_arguments)
 
     return {
         "schema_version": 1,
@@ -191,6 +201,16 @@ def run_all(tiny: bool = False) -> dict:
             "warm_hit_rate": wire["warm_hit_rate"],
             "raw": wire,
         },
+        "fleet": {
+            "workload": fleet["workload"],
+            "shard_counts": fleet["shard_counts"],
+            "client_counts": fleet["client_counts"],
+            "busiest_clients": fleet["busiest_clients"],
+            "speedup_sharded_vs_single": fleet["speedup_sharded_vs_single"],
+            "speedup_single_client": fleet["speedup_single_client"],
+            "identical_results": fleet["identical_results"],
+            "raw": fleet,
+        },
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -240,6 +260,13 @@ def main(argv=None) -> int:
         f"wire: pooled+compressed {wire['speedup_pooled_vs_per_request']:.2f}x vs "
         f"per-request over a {wire['connect_latency_ms']:.0f} ms-connect proxy, "
         f"identical={wire['identical_results']}"
+    )
+    fleet = report["fleet"]
+    print(
+        f"fleet: {fleet['busiest_clients']} clients on {max(fleet['shard_counts'])} "
+        f"shards {fleet['speedup_sharded_vs_single']:.2f}x vs "
+        f"{min(fleet['shard_counts'])} shard(s), "
+        f"identical={fleet['identical_results']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

@@ -21,6 +21,11 @@ This package provides the cache tiers behind
     service (:class:`repro.service.CacheServer`), so a fleet of machines
     shares one store; degrades gracefully to a local memory tier when
     the server is unreachable.
+``"sharded"``
+    :class:`~repro.fleet.ShardedProfileCache` -- a consistent-hash ring
+    of ``"http"`` clients partitioning the store across N cache servers
+    (``cache_urls``); each shard degrades and recovers independently.
+    See ``docs/fleet.md``.
 
 All tiers implement the :class:`CacheBackend` protocol.  See
 ``docs/caching.md`` for the selection guide, the key/versioning scheme
@@ -46,7 +51,7 @@ from repro.cache.http import (  # noqa: E402  (after siblings)
 )
 
 #: The valid values of ``ProcessingConfiguration.cache_tier``.
-CACHE_TIERS = ("memory", "disk", "tiered", "http")
+CACHE_TIERS = ("memory", "disk", "tiered", "http", "sharded")
 
 #: Default ``ProcessingConfiguration.cache_timeout`` (seconds per request).
 DEFAULT_CACHE_TIMEOUT = 5.0
@@ -62,6 +67,8 @@ def build_profile_cache(
     auth_token: str | None = None,
     recovery_interval: float | None = DEFAULT_RECOVERY_INTERVAL,
     max_pending: int = DEFAULT_MAX_PENDING,
+    urls: tuple[str, ...] | None = None,
+    ring_replicas: int | None = None,
 ) -> CacheBackend:
     """Build the cache backend selected by the configuration knobs.
 
@@ -70,8 +77,10 @@ def build_profile_cache(
     :class:`~repro.core.configuration.ProcessingConfiguration` -- plus
     the ``"http"`` tier's wire knobs (``cache_compression``,
     ``cache_auth_token``, ``cache_recovery_interval``,
-    ``cache_max_pending``); the configuration validates the combination
-    up front and the planner calls this when ``cache_profiles`` is
+    ``cache_max_pending``) and the ``"sharded"`` tier's ring knobs
+    (``cache_urls`` -> ``urls``, ``fleet_ring_replicas`` ->
+    ``ring_replicas``); the configuration validates the combination up
+    front and the planner calls this when ``cache_profiles`` is
     enabled.  ``tier="memory"`` ignores the other arguments and
     reproduces the original in-process behaviour.
     """
@@ -79,6 +88,22 @@ def build_profile_cache(
         return ProfileCache()
     if tier not in CACHE_TIERS:
         raise ValueError(f"unknown cache tier: {tier!r} (use one of {CACHE_TIERS})")
+    if tier == "sharded":
+        if not urls:
+            raise ValueError('cache_tier="sharded" requires cache_urls')
+        # Imported lazily: repro.fleet.sharded imports this package.
+        from repro.fleet.sharded import ShardedProfileCache
+
+        kwargs: dict = dict(
+            timeout=timeout,
+            compression=compression,
+            auth_token=auth_token,
+            recovery_interval=recovery_interval,
+            max_pending=max_pending,
+        )
+        if ring_replicas is not None:
+            kwargs["ring_replicas"] = ring_replicas
+        return ShardedProfileCache(urls, **kwargs)
     if tier == "http":
         if url is None:
             raise ValueError('cache_tier="http" requires a cache_url')

@@ -77,6 +77,12 @@ seed behaviour; turning them on changes wall-clock, never results (except
     client re-attaches and republishes its fallback writes when the
     server returns), and the auto-publish bound on the client-side
     write buffer.
+``cache_urls`` / ``fleet_ring_replicas``
+    The scale-out cache tier (``cache_tier="sharded"``): the shard
+    server URLs of a consistent-hash ring partitioning the profile
+    store, and the ring's virtual points per shard.  Each shard is a
+    full ``"http"`` client, so every wire knob above applies per shard.
+    See ``docs/fleet.md``.
 """
 
 from __future__ import annotations
@@ -85,6 +91,12 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cache import CACHE_TIERS
+
+#: Default virtual points per shard on the ``"sharded"`` tier's hash
+#: ring.  Kept in sync with :data:`repro.fleet.ring.DEFAULT_REPLICAS`
+#: (not imported: ``repro.fleet`` imports the planner, which imports
+#: this module -- a cycle at import time).
+DEFAULT_RING_REPLICAS = 96
 from repro.quality.composite import QualityProfile
 from repro.quality.framework import QualityCharacteristic
 
@@ -194,7 +206,10 @@ class ProcessingConfiguration:
         promoting disk hits -- the best of both for repeated runs) or
         ``"http"`` (a client onto a shared
         :class:`repro.service.CacheServer` at ``cache_url`` -- profiles
-        shared across *machines*, no common filesystem needed).
+        shared across *machines*, no common filesystem needed) or
+        ``"sharded"`` (a consistent-hash ring of ``"http"`` clients
+        partitioning the store across the ``cache_urls`` shard servers;
+        see ``docs/fleet.md``).
     cache_dir:
         Directory of the persistent profile store; required by (and only
         meaningful for) the ``"disk"`` and ``"tiered"`` cache tiers.
@@ -239,6 +254,24 @@ class ProcessingConfiguration:
         The ``"http"`` client's write buffer auto-publishes once it
         holds this many entries, bounding client memory on campaigns
         that never flush.
+    cache_urls:
+        The shard-server base URLs of the ``"sharded"`` tier (required
+        by and only valid for it) -- one
+        :class:`repro.service.CacheServer` per entry, e.g.
+        ``("http://shard0:8731", "http://shard1:8731")``.  Routing is a
+        pure function of this *set* (order does not matter), so every
+        planner and worker configured with the same URLs agrees on
+        placement with no coordination.  Wire knobs (``cache_timeout``,
+        ``cache_compression``, ``cache_auth_token``,
+        ``cache_recovery_interval``, ``cache_max_pending``) apply to
+        each shard client; an unreachable shard degrades *alone* to a
+        local fallback and recovers without touching live shards.
+    fleet_ring_replicas:
+        Virtual points per shard on the consistent-hash ring (the
+        ``"sharded"`` tier).  More points smooth the partition; the
+        default keeps the busiest of four shards well within 2x of the
+        ideal quarter.  Must be identical across a fleet -- it changes
+        placement.
     copy_mode:
         How pattern application copies flows: ``"deep"`` (default, the
         seed behaviour) clones every operation payload per application;
@@ -288,6 +321,8 @@ class ProcessingConfiguration:
     cache_auth_token: str | None = None
     cache_recovery_interval: float | None = 5.0
     cache_max_pending: int = 1024
+    cache_urls: tuple[str, ...] | None = None
+    fleet_ring_replicas: int = DEFAULT_RING_REPLICAS
     copy_mode: str = "deep"
     prefix_cache: bool = True
     backend: str = "thread"
@@ -319,25 +354,42 @@ class ProcessingConfiguration:
             raise ValueError(f"cache_tier={self.cache_tier!r} requires a cache_dir")
         if self.cache_tier == "http" and self.cache_url is None:
             raise ValueError('cache_tier="http" requires a cache_url')
-        if self.cache_tier == "http" and self.cache_dir is not None:
+        if self.cache_tier in ("http", "sharded") and self.cache_dir is not None:
             raise ValueError(
-                'cache_dir does not apply to cache_tier="http" -- the cache '
-                "server owns the store; point the server at the directory instead"
+                f"cache_dir does not apply to cache_tier={self.cache_tier!r} -- the "
+                "cache server owns the store; point the server at the directory instead"
             )
         if self.cache_url is not None and self.cache_tier != "http":
             raise ValueError(
                 'cache_url only applies to cache_tier="http" '
+                f"(got cache_tier={self.cache_tier!r}; "
+                'the "sharded" tier takes cache_urls, plural)'
+            )
+        if self.cache_tier == "sharded":
+            if not self.cache_urls:
+                raise ValueError(
+                    'cache_tier="sharded" requires cache_urls (the shard server URLs)'
+                )
+            if not all(isinstance(url, str) and url for url in self.cache_urls):
+                raise ValueError("cache_urls entries must be non-empty strings")
+            if len(set(self.cache_urls)) != len(tuple(self.cache_urls)):
+                raise ValueError(f"cache_urls contains duplicates: {self.cache_urls!r}")
+        elif self.cache_urls is not None:
+            raise ValueError(
+                'cache_urls only applies to cache_tier="sharded" '
                 f"(got cache_tier={self.cache_tier!r})"
             )
+        if self.fleet_ring_replicas < 1:
+            raise ValueError("fleet_ring_replicas must be at least 1")
         if self.cache_timeout <= 0:
             raise ValueError("cache_timeout must be positive (seconds)")
         if self.cache_auth_token is not None:
             if not self.cache_auth_token:
                 raise ValueError("cache_auth_token must be a non-empty string (or None)")
-            if self.cache_tier != "http":
+            if self.cache_tier not in ("http", "sharded"):
                 raise ValueError(
-                    'cache_auth_token only applies to cache_tier="http" '
-                    f"(got cache_tier={self.cache_tier!r})"
+                    "cache_auth_token only applies to the network cache tiers "
+                    f"('http' or 'sharded'; got cache_tier={self.cache_tier!r})"
                 )
         if self.cache_recovery_interval is not None and self.cache_recovery_interval <= 0:
             raise ValueError(

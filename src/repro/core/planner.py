@@ -191,6 +191,8 @@ class Planner:
                 auth_token=self.configuration.cache_auth_token,
                 recovery_interval=self.configuration.cache_recovery_interval,
                 max_pending=self.configuration.cache_max_pending,
+                urls=self.configuration.cache_urls,
+                ring_replicas=self.configuration.fleet_ring_replicas,
             )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,

@@ -1,0 +1,440 @@
+"""A durable, pull-based job queue for the redesign worker fleet.
+
+:class:`JobQueue` is the persistence layer between the submit/status
+front-end (:class:`~repro.service.RedesignServer` constructed with
+``queue=``) and the pull-based worker fleet (:mod:`repro.fleet.worker`,
+``tools/worker.py``).  It is a single SQLite file -- stdlib only, safe
+for concurrent access from many processes (WAL journal, immediate
+transactions, a busy timeout) -- so the front-end, N workers and any
+monitoring tool coordinate through the filesystem alone.
+
+The lease protocol (see ``docs/fleet.md`` for the full state diagram):
+
+* ``enqueue`` inserts a job as ``queued`` and returns its id
+  (``plan-<n>``, monotonically increasing across restarts -- ids come
+  from the table's AUTOINCREMENT rowid, so a restarted front-end can
+  never reissue one).
+* ``lease`` atomically claims the oldest *available* job for a worker:
+  available means ``queued``, or ``leased`` with an **expired lease
+  deadline** -- a job whose worker died mid-plan simply becomes
+  leasable again once its deadline passes, which is the whole crash
+  story; nothing marks jobs orphaned, the deadline does.  Each lease
+  increments ``attempts``.
+* ``heartbeat`` extends the deadline of a held lease (and records live
+  progress -- the ``evaluated`` counter the status endpoint serves).
+  It fails, returning ``False``, once the lease was lost to another
+  worker: the worker must abandon the job (its successor owns it now).
+* ``ack`` records the terminal result (``done`` with the result
+  document, or ``failed`` with an error) -- but only for the worker
+  that *currently* holds the lease.  A zombie worker acking a job that
+  was re-leased after its lease expired is rejected, so a re-run can
+  never produce duplicate (or conflicting) result rows.
+
+Workers additionally ``register`` themselves (name, pid, start time)
+and refresh ``last_seen`` with every lease/heartbeat; a worker process
+restarted after a kill re-registers under the same name and simply
+continues draining -- there is no session state to rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+#: Default seconds a lease stays valid without a heartbeat.  Workers
+#: heartbeat at a fraction of this, so only a genuinely dead worker
+#: lets its lease expire.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    rowid       INTEGER PRIMARY KEY AUTOINCREMENT,
+    id          TEXT NOT NULL UNIQUE,
+    payload     TEXT NOT NULL,
+    status      TEXT NOT NULL DEFAULT 'queued',
+    worker      TEXT,
+    lease_deadline REAL,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    evaluated   INTEGER NOT NULL DEFAULT 0,
+    enqueued_at REAL NOT NULL,
+    finished_at REAL,
+    result      TEXT,
+    error       TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_status ON jobs (status, rowid);
+CREATE TABLE IF NOT EXISTS workers (
+    id          TEXT PRIMARY KEY,
+    pid         INTEGER,
+    registered_at REAL NOT NULL,
+    restarts    INTEGER NOT NULL DEFAULT 0,
+    last_seen   REAL NOT NULL
+);
+"""
+
+#: Job states.  ``queued`` and (expired) ``leased`` are leasable;
+#: ``done`` and ``failed`` are terminal.
+TERMINAL_STATES = ("done", "failed")
+
+
+@dataclass(frozen=True)
+class LeasedJob:
+    """What a worker receives from :meth:`JobQueue.lease`."""
+
+    job_id: str
+    payload: dict[str, Any]
+    attempts: int
+    lease_deadline: float
+
+
+class JobQueue:
+    """One SQLite-backed job queue shared by front-end and workers.
+
+    Parameters
+    ----------
+    path:
+        The database file.  Every process of the fleet opens its own
+        :class:`JobQueue` on the same path; SQLite (WAL mode) arbitrates.
+    lease_timeout:
+        Default lease validity in seconds; :meth:`lease` and
+        :meth:`heartbeat` accept per-call overrides.
+
+    The instance is thread-safe (one connection guarded by a lock) and
+    cheap to open -- ``tools/worker.py`` opens one per process.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, lease_timeout: float = DEFAULT_LEASE_TIMEOUT
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive (seconds)")
+        self.path = os.fspath(path)
+        self.lease_timeout = lease_timeout
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(
+            self.path,
+            timeout=10.0,
+            isolation_level=None,  # explicit transactions only
+            check_same_thread=False,
+        )
+        self._connection.row_factory = sqlite3.Row
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute("PRAGMA busy_timeout=10000")
+        # executescript() manages its own transaction (it commits any
+        # pending one first), so the schema runs outside _transaction().
+        with self._lock:
+            self._connection.executescript(_SCHEMA)
+
+    # ------------------------------------------------------------------
+
+    def _transaction(self):
+        """``with`` helper: lock + BEGIN IMMEDIATE + commit/rollback.
+
+        IMMEDIATE takes the write lock up front, so a lease's
+        read-then-claim can never race another process into claiming
+        the same job.
+        """
+        queue = self
+
+        class _Txn:
+            def __enter__(self) -> sqlite3.Connection:
+                queue._lock.acquire()
+                try:
+                    queue._connection.execute("BEGIN IMMEDIATE")
+                except BaseException:
+                    queue._lock.release()
+                    raise
+                return queue._connection
+
+            def __exit__(self, exc_type, *exc_info: object) -> None:
+                try:
+                    if exc_type is None:
+                        queue._connection.execute("COMMIT")
+                    else:
+                        queue._connection.execute("ROLLBACK")
+                finally:
+                    queue._lock.release()
+
+        return _Txn()
+
+    def close(self) -> None:
+        """Close the connection (the file keeps every job, of course)."""
+        with self._lock:
+            self._connection.close()
+
+    def __enter__(self) -> "JobQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Producer side (the submit/status front-end)
+    # ------------------------------------------------------------------
+
+    def enqueue(self, payload: dict[str, Any]) -> str:
+        """Insert one job as ``queued``; returns its durable id."""
+        document = json.dumps(payload)
+        with self._transaction() as connection:
+            cursor = connection.execute(
+                "INSERT INTO jobs (id, payload, enqueued_at) VALUES ('', ?, ?)",
+                (document, time.time()),
+            )
+            job_id = f"plan-{cursor.lastrowid}"
+            connection.execute(
+                "UPDATE jobs SET id = ? WHERE rowid = ?", (job_id, cursor.lastrowid)
+            )
+        return job_id
+
+    def status(self, job_id: str) -> dict[str, Any] | None:
+        """One job's row as a JSON-able status document (``None`` if unknown).
+
+        A ``leased`` job whose deadline already passed reports
+        ``"stalled": True`` -- it will be re-leased by the next idle
+        worker; callers see the truth instead of a forever-"running"
+        job.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return None if row is None else self._row_payload(row)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        """Every job's status document, in submission order."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT * FROM jobs ORDER BY rowid"
+            ).fetchall()
+        return [self._row_payload(row) for row in rows]
+
+    def result(self, job_id: str) -> dict[str, Any] | None:
+        """The stored result document of a ``done`` job (else ``None``)."""
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT status, result FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        if row is None or row["status"] != "done" or row["result"] is None:
+            return None
+        return json.loads(row["result"])
+
+    def delete(self, job_id: str) -> bool:
+        """Forget a *terminal* job; ``False`` when absent or still live."""
+        with self._transaction() as connection:
+            cursor = connection.execute(
+                "DELETE FROM jobs WHERE id = ? AND status IN ('done', 'failed')",
+                (job_id,),
+            )
+            return cursor.rowcount > 0
+
+    @staticmethod
+    def _row_payload(row: sqlite3.Row) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "id": row["id"],
+            "status": row["status"],
+            "attempts": row["attempts"],
+            "evaluated": row["evaluated"],
+        }
+        if row["worker"] is not None:
+            payload["worker"] = row["worker"]
+        if row["error"] is not None:
+            payload["error"] = row["error"]
+        if row["status"] == "leased" and (row["lease_deadline"] or 0) < time.time():
+            payload["stalled"] = True
+        return payload
+
+    # ------------------------------------------------------------------
+    # Consumer side (the worker fleet)
+    # ------------------------------------------------------------------
+
+    def lease(
+        self, worker_id: str, lease_timeout: float | None = None
+    ) -> LeasedJob | None:
+        """Claim the oldest available job for ``worker_id`` (or ``None``).
+
+        Available = ``queued``, or ``leased`` past its deadline (the
+        crashed-worker path: the dead worker's lease simply expires and
+        the job is claimed again, ``attempts`` + 1).  The claim happens
+        inside one immediate transaction, so two workers can never
+        lease the same job.
+        """
+        timeout = self.lease_timeout if lease_timeout is None else lease_timeout
+        now = time.time()
+        with self._transaction() as connection:
+            row = connection.execute(
+                "SELECT rowid, id, payload, attempts FROM jobs "
+                "WHERE status = 'queued' "
+                "   OR (status = 'leased' AND lease_deadline < ?) "
+                "ORDER BY rowid LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                self._touch_worker(connection, worker_id, now)
+                return None
+            deadline = now + timeout
+            connection.execute(
+                "UPDATE jobs SET status = 'leased', worker = ?, "
+                "lease_deadline = ?, attempts = attempts + 1 WHERE rowid = ?",
+                (worker_id, deadline, row["rowid"]),
+            )
+            self._touch_worker(connection, worker_id, now)
+            return LeasedJob(
+                job_id=row["id"],
+                payload=json.loads(row["payload"]),
+                attempts=row["attempts"] + 1,
+                lease_deadline=deadline,
+            )
+
+    def heartbeat(
+        self,
+        job_id: str,
+        worker_id: str,
+        evaluated: int | None = None,
+        lease_timeout: float | None = None,
+    ) -> bool:
+        """Extend a held lease (and record progress); ``False`` = lease lost.
+
+        A ``False`` return is the signal to *stop working on the job*:
+        either the lease expired and another worker claimed it, or the
+        job was deleted.  Continuing anyway is harmless -- the final
+        :meth:`ack` will be rejected for the same reason -- but wasted.
+        """
+        timeout = self.lease_timeout if lease_timeout is None else lease_timeout
+        now = time.time()
+        with self._transaction() as connection:
+            assignments = ["lease_deadline = ?"]
+            arguments: list[Any] = [now + timeout]
+            if evaluated is not None:
+                assignments.append("evaluated = ?")
+                arguments.append(evaluated)
+            arguments += [job_id, worker_id]
+            cursor = connection.execute(
+                f"UPDATE jobs SET {', '.join(assignments)} "
+                "WHERE id = ? AND status = 'leased' AND worker = ?",
+                arguments,
+            )
+            self._touch_worker(connection, worker_id, now)
+            return cursor.rowcount > 0
+
+    def ack(
+        self,
+        job_id: str,
+        worker_id: str,
+        status: str,
+        result: dict[str, Any] | None = None,
+        error: str | None = None,
+        evaluated: int | None = None,
+    ) -> bool:
+        """Record a terminal outcome; ``False`` = this worker lost the lease.
+
+        Only the worker currently recorded on the lease may ack -- the
+        guard that makes a crashed-and-re-leased job's *original*
+        worker (a zombie that woke up after its lease expired and was
+        reassigned) unable to write a second, conflicting result row.
+        An expired-but-not-yet-re-leased lease still acks fine: the
+        result beat the competition, nothing re-runs.
+        """
+        if status not in TERMINAL_STATES:
+            raise ValueError(
+                f"ack status must be terminal {TERMINAL_STATES}, got {status!r}"
+            )
+        now = time.time()
+        with self._transaction() as connection:
+            assignments = [
+                "status = ?",
+                "result = ?",
+                "error = ?",
+                "finished_at = ?",
+                "lease_deadline = NULL",
+            ]
+            arguments: list[Any] = [
+                status,
+                json.dumps(result) if result is not None else None,
+                error,
+                now,
+            ]
+            if evaluated is not None:
+                assignments.append("evaluated = ?")
+                arguments.append(evaluated)
+            arguments += [job_id, worker_id]
+            cursor = connection.execute(
+                f"UPDATE jobs SET {', '.join(assignments)} "
+                "WHERE id = ? AND status = 'leased' AND worker = ?",
+                arguments,
+            )
+            self._touch_worker(connection, worker_id, now)
+            return cursor.rowcount > 0
+
+    # ------------------------------------------------------------------
+    # Worker registry
+    # ------------------------------------------------------------------
+
+    def register_worker(self, worker_id: str, pid: int | None = None) -> None:
+        """Announce a worker (idempotent; a restart bumps ``restarts``)."""
+        now = time.time()
+        with self._transaction() as connection:
+            cursor = connection.execute(
+                "UPDATE workers SET pid = ?, restarts = restarts + 1, last_seen = ? "
+                "WHERE id = ?",
+                (pid, now, worker_id),
+            )
+            if cursor.rowcount == 0:
+                connection.execute(
+                    "INSERT INTO workers (id, pid, registered_at, last_seen) "
+                    "VALUES (?, ?, ?, ?)",
+                    (worker_id, pid, now, now),
+                )
+
+    @staticmethod
+    def _touch_worker(connection: sqlite3.Connection, worker_id: str, now: float) -> None:
+        connection.execute(
+            "UPDATE workers SET last_seen = ? WHERE id = ?", (now, worker_id)
+        )
+
+    def workers(self, active_within: float | None = None) -> list[dict[str, Any]]:
+        """Registered workers (optionally only those seen recently)."""
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT * FROM workers ORDER BY id"
+            ).fetchall()
+        cutoff = None if active_within is None else time.time() - active_within
+        return [
+            {
+                "id": row["id"],
+                "pid": row["pid"],
+                "restarts": row["restarts"],
+                "last_seen": row["last_seen"],
+            }
+            for row in rows
+            if cutoff is None or row["last_seen"] >= cutoff
+        ]
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Queue depth by state, plus how many leases are currently expired."""
+        now = time.time()
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT status, COUNT(*) AS n, "
+                "SUM(CASE WHEN status = 'leased' AND lease_deadline < ? "
+                "    THEN 1 ELSE 0 END) AS expired "
+                "FROM jobs GROUP BY status",
+                (now,),
+            ).fetchall()
+        counts = {"queued": 0, "leased": 0, "done": 0, "failed": 0, "expired": 0}
+        for row in rows:
+            counts[row["status"]] = row["n"]
+            counts["expired"] += row["expired"] or 0
+        counts["depth"] = counts["queued"] + counts["leased"]
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._connection.execute("SELECT COUNT(*) AS n FROM jobs").fetchone()
+        return row["n"]

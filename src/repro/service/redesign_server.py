@@ -39,7 +39,10 @@ import itertools
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # repro.fleet imports this module; annotation only
+    from repro.fleet.queue import JobQueue
 
 from repro.cache import CacheBackend, ProfileCache
 from repro.core.configuration import MeasureConstraint, ProcessingConfiguration
@@ -70,6 +73,8 @@ _RESERVED_FIELDS = frozenset(
         "cache_auth_token",
         "cache_recovery_interval",
         "cache_max_pending",
+        "cache_urls",
+        "fleet_ring_replicas",
     }
 )
 
@@ -243,15 +248,11 @@ class _RedesignHandler(JSONRequestHandler):
             return service.submit(body)
         if method == "GET":
             if path == "/health":
-                return {
-                    "status": "ok",
-                    "workers": service.workers,
-                    "jobs": len(service.jobs),
-                }
+                return service.health_payload()
             if path == "/stats":
                 return {"cache": service.cache.tier_stats()}
             if path == "/plans":
-                return {"plans": [job.status_payload() for job in service.jobs_snapshot()]}
+                return {"plans": service.plans_payload()}
             if path.startswith("/plans/"):
                 remainder = path[len("/plans/"):]
                 if remainder.endswith("/result"):
@@ -285,6 +286,18 @@ class RedesignServer(ServiceServer):
         running jobs are never evicted.  ``None`` retains everything;
         clients can also free a finished job eagerly with
         ``DELETE /plans/<id>``.
+    queue:
+        A :class:`repro.fleet.JobQueue` turning this server into the
+        *front-end of a worker fleet*: submissions are validated here
+        exactly as in-process (malformed flows and reserved
+        configuration fields still fail fast with a 400) but then
+        enqueued durably instead of run on the local pool, to be
+        drained by :class:`repro.fleet.FleetWorker` processes
+        (``tools/worker.py``).  Status/result/delete are served from
+        the queue; the HTTP API is unchanged, so
+        :class:`~repro.service.client.RedesignClient` works against
+        either mode.  The caller owns the queue's lifetime (it is not
+        closed by :meth:`stop`).  See ``docs/fleet.md``.
     host / port / max_request_bytes / auth_token:
         As in :class:`~repro.service.common.ServiceServer` (with
         ``auth_token`` set, clients authenticate with
@@ -303,6 +316,7 @@ class RedesignServer(ServiceServer):
         port: int = 0,
         max_request_bytes: int = MAX_REQUEST_BYTES,
         auth_token: str | None = None,
+        queue: "JobQueue | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -318,11 +332,15 @@ class RedesignServer(ServiceServer):
         self.workers = workers
         self.palette = palette
         self.max_retained_jobs = max_retained_jobs
+        self.queue = queue
         self.jobs: dict[str, RedesignJob] = {}
         self._jobs_lock = threading.Lock()
         self._ids = itertools.count(1)
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="redesign-worker"
+        # In queue mode the fleet plans; no local pool is started.
+        self._pool = (
+            None
+            if queue is not None
+            else ThreadPoolExecutor(max_workers=workers, thread_name_prefix="redesign-worker")
         )
 
     # ------------------------------------------------------------------
@@ -344,6 +362,14 @@ class RedesignServer(ServiceServer):
         except Exception as exc:
             raise ServiceError(400, f"malformed flow document: {exc}") from None
         configuration = configuration_from_request(body.get("configuration"))
+        if self.queue is not None:
+            # Fleet mode: validated above exactly as in-process (a bad
+            # request must fail the submitter, not a worker later), then
+            # persisted as the raw documents the workers re-decode.
+            job_id = self.queue.enqueue(
+                {"flow": flow_doc, "configuration": body.get("configuration") or {}}
+            )
+            return {"id": job_id, "status": "queued"}
         with self._jobs_lock:
             job = RedesignJob(job_id=f"plan-{next(self._ids)}")
             self.jobs[job.job_id] = job
@@ -407,12 +433,58 @@ class RedesignServer(ServiceServer):
         with self._jobs_lock:
             return list(self.jobs.values())
 
+    def plans_payload(self) -> list[dict]:
+        """The ``GET /plans`` listing, from whichever job store is live."""
+        if self.queue is not None:
+            return [self._queue_payload(entry) for entry in self.queue.jobs()]
+        return [job.status_payload() for job in self.jobs_snapshot()]
+
+    def health_payload(self) -> dict:
+        """The ``GET /health`` document (adds fleet shape in queue mode)."""
+        payload: dict[str, Any] = {"status": "ok", "workers": self.workers}
+        if self.queue is not None:
+            payload["mode"] = "fleet"
+            payload["queue"] = self.queue.stats()
+            payload["fleet_workers"] = self.queue.workers()
+        else:
+            payload["jobs"] = len(self.jobs)
+        return payload
+
+    @staticmethod
+    def _queue_payload(entry: dict) -> dict:
+        """A queue row as a status document API-compatible with in-process.
+
+        The queue's ``leased`` state is this API's ``running``; the
+        lease-protocol fields (attempts, worker, stalled) ride along for
+        observability.
+        """
+        payload = dict(entry)
+        if payload.get("status") == "leased":
+            payload["status"] = "running"
+        return payload
+
     def status(self, job_id: str) -> dict:
         """The ``GET /plans/<id>`` payload."""
+        if self.queue is not None:
+            entry = self.queue.status(job_id)
+            if entry is None:
+                raise ServiceError(404, f"unknown plan id: {job_id!r}")
+            return self._queue_payload(entry)
         return self._job(job_id).status_payload()
 
     def result(self, job_id: str) -> dict:
         """The ``GET /plans/<id>/result`` payload (409 until the job is done)."""
+        if self.queue is not None:
+            entry = self.queue.status(job_id)
+            if entry is None:
+                raise ServiceError(404, f"unknown plan id: {job_id!r}")
+            if entry["status"] == "failed":
+                raise ServiceError(409, f"plan {job_id} failed: {entry.get('error')}")
+            result_doc = self.queue.result(job_id) if entry["status"] == "done" else None
+            if result_doc is None:
+                status = self._queue_payload(entry)["status"]
+                raise ServiceError(409, f"plan {job_id} is still {status}")
+            return {"id": job_id, "result": result_doc}
         job = self._job(job_id)
         if job.status == "failed":
             raise ServiceError(409, f"plan {job_id} failed: {job.error}")
@@ -422,6 +494,14 @@ class RedesignServer(ServiceServer):
 
     def delete(self, job_id: str) -> dict:
         """Forget a finished job (``DELETE /plans/<id>``; 409 while it runs)."""
+        if self.queue is not None:
+            entry = self.queue.status(job_id)
+            if entry is None:
+                raise ServiceError(404, f"unknown plan id: {job_id!r}")
+            if not self.queue.delete(job_id):
+                status = self._queue_payload(entry)["status"]
+                raise ServiceError(409, f"plan {job_id} is still {status}")
+            return {"id": job_id, "deleted": True}
         with self._jobs_lock:
             job = self.jobs.get(job_id)
             if job is None:
@@ -434,8 +514,13 @@ class RedesignServer(ServiceServer):
     # ------------------------------------------------------------------
 
     def stop(self) -> None:
-        """Stop accepting requests and wait for running jobs to finish."""
+        """Stop accepting requests and wait for running jobs to finish.
+
+        In queue mode there is no local pool, and the queue itself is
+        caller-owned -- workers drain it independently of this front-end.
+        """
         super().stop()
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
         if self.cache is not None:
             self.cache.flush()

@@ -1,0 +1,182 @@
+"""The in-process fleet harness behind ``tests/fleet/``.
+
+:class:`FleetHarness` spins a complete scale-out topology inside the
+test process -- N shard :class:`~repro.service.CacheServer`\\ s, the
+durable :class:`~repro.fleet.JobQueue` in a tmp directory, M
+:class:`~repro.fleet.FleetWorker` threads each wired to its own
+:class:`~repro.fleet.ShardedProfileCache`, and the queue-backed
+:class:`~repro.service.RedesignServer` front-end -- and exposes the
+failure levers the storm tests drive:
+
+* :meth:`kill_shard` / :meth:`revive_shard` -- stop a shard server and
+  later bring a fresh (cold) one back *on the same port*, so the
+  per-shard recovery probes of the surviving clients find it.
+* :meth:`kill_worker` -- make a worker abandon its current job without
+  acking (the deterministic ``kill -9``) and stop; :meth:`add_worker`
+  brings capacity back, re-using a name to exercise re-registration.
+
+Timeouts are tuned for tests: leases expire in a couple of seconds and
+degraded shard clients probe on a 50 ms backoff base, so a full
+kill/recover round trips in well under a second of wall clock.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.cache import ProfileCache
+from repro.fleet import FleetWorker, JobQueue, ShardedProfileCache
+from repro.service import CacheServer, RedesignServer
+from repro.service.client import RedesignClient
+
+#: Fast-failure knobs shared by every harness cache client.
+PROBE_INTERVAL = 0.05
+CLIENT_TIMEOUT = 2.0
+LEASE_TIMEOUT = 3.0
+
+
+def make_sharded_cache(urls, **overrides) -> ShardedProfileCache:
+    """A shard-set client with the harness's fast probe/timeout knobs."""
+    kwargs = dict(timeout=CLIENT_TIMEOUT, recovery_interval=PROBE_INTERVAL)
+    kwargs.update(overrides)
+    return ShardedProfileCache(urls, **kwargs)
+
+
+@dataclass
+class FleetHarness:
+    """N shards + queue + M workers + front-end, with failure levers."""
+
+    tmp_path: object
+    n_shards: int = 2
+    n_workers: int = 2
+    lease_timeout: float = LEASE_TIMEOUT
+
+    shards: list[CacheServer | None] = field(default_factory=list)
+    shard_ports: list[int] = field(default_factory=list)
+    workers: dict[str, FleetWorker] = field(default_factory=dict)
+    caches: list[ShardedProfileCache] = field(default_factory=list)
+    queue: JobQueue | None = None
+    front: RedesignServer | None = None
+    _clients: list[RedesignClient] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "FleetHarness":
+        for _ in range(self.n_shards):
+            shard = CacheServer(ProfileCache())
+            shard.start()
+            self.shards.append(shard)
+            self.shard_ports.append(shard.port)
+        self.queue = JobQueue(
+            self.tmp_path / "jobs.sqlite", lease_timeout=self.lease_timeout
+        )
+        self.front = RedesignServer(queue=self.queue)
+        self.front.start()
+        for index in range(self.n_workers):
+            self.add_worker(f"w{index}")
+        return self
+
+    def stop(self) -> None:
+        for client in self._clients:
+            client.close()
+        for worker in self.workers.values():
+            worker.stop()
+        if self.front is not None:
+            self.front.stop()
+        for cache in self.caches:
+            cache.close()
+        for shard in self.shards:
+            if shard is not None:
+                shard.stop()
+        if self.queue is not None:
+            self.queue.close()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_urls(self) -> tuple[str, ...]:
+        """The configured shard addresses (stable across kill/revive)."""
+        return tuple(f"http://127.0.0.1:{port}" for port in self.shard_ports)
+
+    def client(self) -> RedesignClient:
+        client = RedesignClient(self.front.url)
+        self._clients.append(client)
+        return client
+
+    def add_worker(self, worker_id: str) -> FleetWorker:
+        """Start a worker (re-using a stopped worker's name restarts it)."""
+        previous = self.workers.get(worker_id)
+        if previous is not None and previous.running:
+            raise AssertionError(f"worker {worker_id} is already running")
+        cache = make_sharded_cache(self.shard_urls)
+        self.caches.append(cache)
+        worker = FleetWorker(
+            self.queue,
+            worker_id=worker_id,
+            cache=cache,
+            poll_interval=0.02,
+            lease_timeout=self.lease_timeout,
+        )
+        worker.start()
+        self.workers[worker_id] = worker
+        return worker
+
+    def kill_worker(self, worker_id: str) -> FleetWorker:
+        """Crash a worker: abandon its leased job un-acked, then stop."""
+        worker = self.workers[worker_id]
+        worker.kill()
+        return worker
+
+    # ------------------------------------------------------------------
+
+    def kill_shard(self, index: int) -> None:
+        """Stop one shard server; its port stays reserved for revival."""
+        shard = self.shards[index]
+        assert shard is not None, f"shard {index} is already down"
+        shard.stop()
+        self.shards[index] = None
+
+    def revive_shard(self, index: int) -> CacheServer:
+        """Bring a *cold* shard back on the original port.
+
+        The store is fresh -- exactly what a restarted server looks
+        like -- so whatever the degraded clients republish (plus new
+        traffic) rewarms it.
+        """
+        assert self.shards[index] is None, f"shard {index} is still up"
+        shard = CacheServer(ProfileCache(), port=self.shard_ports[index])
+        shard.start()
+        self.shards[index] = shard
+        return shard
+
+
+@pytest.fixture
+def make_fleet(tmp_path):
+    """Factory fixture: ``make_fleet(n_shards=4, n_workers=2)`` -> harness."""
+    harnesses: list[FleetHarness] = []
+    # The storm deliberately degrades shard clients; silence the
+    # (expected) once-per-degradation warnings to keep test output sane.
+    logger = logging.getLogger("repro.cache.http")
+    level = logger.level
+    logger.setLevel(logging.ERROR)
+
+    def make(**kwargs) -> FleetHarness:
+        harness = FleetHarness(tmp_path=tmp_path, **kwargs).start()
+        harnesses.append(harness)
+        return harness
+
+    try:
+        yield make
+    finally:
+        for harness in harnesses:
+            harness.stop()
+        logger.setLevel(level)
+
+
+@pytest.fixture
+def fleet(make_fleet) -> FleetHarness:
+    """The default two-shard, two-worker fleet."""
+    return make_fleet()

@@ -1,0 +1,178 @@
+"""Properties of the consistent-hash ring (ISSUE 8 satellite 1).
+
+The sharded tier's correctness rests on three ring properties --
+determinism, uniformity within 2x, minimal movement on membership
+change -- checked here over large seeded digest populations and
+hypothesis-generated node sets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import HashRing
+from repro.fleet.ring import DEFAULT_REPLICAS
+
+pytestmark = pytest.mark.fleet
+
+FOUR_SHARDS = tuple(f"http://shard{i}:8731" for i in range(4))
+
+
+def seeded_digests(count: int, seed: int = 7) -> list[str]:
+    """``count`` realistic cache-key digests from a seeded generator."""
+    rng = random.Random(seed)
+    return [
+        hashlib.sha256(rng.getrandbits(64).to_bytes(8, "big")).hexdigest()
+        for _ in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Determinism
+# ---------------------------------------------------------------------------
+
+
+def test_assignment_is_pure_function_of_node_set():
+    digests = seeded_digests(1_000)
+    ring = HashRing(FOUR_SHARDS)
+    again = HashRing(FOUR_SHARDS)
+    shuffled = HashRing(tuple(reversed(FOUR_SHARDS)))
+    for digest in digests:
+        owner = ring.node(digest)
+        assert again.node(digest) == owner
+        assert shuffled.node(digest) == owner
+
+
+def test_rings_compare_by_node_set_and_replicas():
+    assert HashRing(FOUR_SHARDS) == HashRing(tuple(reversed(FOUR_SHARDS)))
+    assert HashRing(FOUR_SHARDS) != HashRing(FOUR_SHARDS[:3])
+    assert HashRing(FOUR_SHARDS, replicas=8) != HashRing(FOUR_SHARDS, replicas=16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    nodes=st.lists(
+        st.integers(min_value=0, max_value=99).map(lambda i: f"http://node{i}:1"),
+        min_size=1,
+        max_size=8,
+        unique=True,
+    ),
+)
+def test_assignment_deterministic_for_any_node_set(seed, nodes):
+    digests = seeded_digests(50, seed=seed)
+    forward = HashRing(nodes)
+    backward = HashRing(list(reversed(nodes)))
+    for digest in digests:
+        owner = forward.node(digest)
+        assert owner in nodes
+        assert backward.node(digest) == owner
+
+
+def test_ring_constructor_validation():
+    with pytest.raises(ValueError, match="at least one node"):
+        HashRing([])
+    with pytest.raises(ValueError, match="duplicate"):
+        HashRing(["http://a:1", "http://a:1"])
+    with pytest.raises(ValueError, match="replicas"):
+        HashRing(["http://a:1"], replicas=0)
+
+
+# ---------------------------------------------------------------------------
+# Uniformity
+# ---------------------------------------------------------------------------
+
+
+def test_four_shards_uniform_within_2x_over_10k_digests():
+    digests = seeded_digests(10_000)
+    counts = HashRing(FOUR_SHARDS).counts(digests)
+    ideal = len(digests) / len(FOUR_SHARDS)
+    assert sum(counts.values()) == len(digests)
+    for shard, count in counts.items():
+        assert ideal / 2 <= count <= ideal * 2, (
+            f"{shard} carries {count} of {len(digests)} digests "
+            f"(ideal {ideal:.0f}, allowed within 2x)"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_uniformity_holds_across_digest_populations(seed):
+    digests = seeded_digests(4_000, seed=seed)
+    counts = HashRing(FOUR_SHARDS).counts(digests)
+    ideal = len(digests) / len(FOUR_SHARDS)
+    for count in counts.values():
+        assert ideal / 2 <= count <= ideal * 2
+
+
+def test_more_replicas_smooth_the_partition():
+    digests = seeded_digests(10_000)
+
+    def spread(replicas: int) -> float:
+        counts = HashRing(FOUR_SHARDS, replicas=replicas).counts(digests)
+        return max(counts.values()) - min(counts.values())
+
+    assert spread(DEFAULT_REPLICAS) < spread(1)
+
+
+# ---------------------------------------------------------------------------
+# Minimal movement on membership change
+# ---------------------------------------------------------------------------
+
+
+def test_adding_a_shard_moves_only_keys_the_new_shard_claims():
+    digests = seeded_digests(10_000)
+    before = HashRing(FOUR_SHARDS).assignments(digests)
+    grown = HashRing(FOUR_SHARDS + ("http://shard4:8731",))
+    moved = 0
+    for digest, old_owner in before.items():
+        new_owner = grown.node(digest)
+        if new_owner != old_owner:
+            # The only legal move is *to* the added shard.
+            assert new_owner == "http://shard4:8731"
+            moved += 1
+    # The new shard should claim roughly 1/5 of the space -- and far
+    # less than the ~4/5 a modulo rehash would move.
+    expected = len(digests) / 5
+    assert expected * 0.5 <= moved <= expected * 2
+
+
+def test_removing_a_shard_moves_only_its_own_keys():
+    digests = seeded_digests(10_000)
+    full = HashRing(FOUR_SHARDS)
+    before = full.assignments(digests)
+    removed = FOUR_SHARDS[2]
+    shrunk = HashRing(tuple(u for u in FOUR_SHARDS if u != removed))
+    moved = 0
+    for digest, old_owner in before.items():
+        new_owner = shrunk.node(digest)
+        if old_owner == removed:
+            # Orphaned keys must land on a surviving shard.
+            assert new_owner != removed
+            moved += 1
+        else:
+            # Keys of surviving shards never move at all.
+            assert new_owner == old_owner
+    assert moved == sum(1 for owner in before.values() if owner == removed)
+    expected = len(digests) / 4
+    assert expected * 0.5 <= moved <= expected * 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    index=st.integers(min_value=0, max_value=3),
+)
+def test_removal_never_reassigns_surviving_shards_keys(seed, index):
+    digests = seeded_digests(500, seed=seed)
+    full = HashRing(FOUR_SHARDS)
+    removed = FOUR_SHARDS[index]
+    shrunk = HashRing(tuple(u for u in FOUR_SHARDS if u != removed))
+    for digest in digests:
+        old_owner = full.node(digest)
+        if old_owner != removed:
+            assert shrunk.node(digest) == old_owner

@@ -151,6 +151,34 @@ def test_wire_bench_smoke_tiny_flow():
     assert "pooled vs per-request" in rendered
 
 
+def test_fleet_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_fleet.py")
+    report = bench.run_fleet_bench(
+        scale=0.01,
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=15,
+        shard_counts=(1, 2),
+        client_counts=(1, 2),
+    )
+    assert report["identical_results"]
+    assert report["shard_counts"] == [1, 2]
+    assert report["client_counts"] == [1, 2]
+    # one cell per (shards, clients) pair, each timed and fully warm
+    assert len(report["grid"]) == 4
+    for cell in report["grid"]:
+        assert cell["wall_seconds"] > 0
+        assert len(cell["client_seconds"]) == cell["clients"]
+        assert all(rate == 1.0 for rate in cell["client_hit_rates"])
+    # every shard channel actually carried traffic
+    for counts in report["shard_bytes"].values():
+        assert all(count > 0 for count in counts)
+    assert report["speedup_sharded_vs_single"] > 0
+    rendered = bench._render_report(report)
+    assert "sharded vs single" in rendered
+
+
 def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     run_all = _load_module(_BENCH_DIR / "run_all.py")
     output = tmp_path / "BENCH_generation.json"
@@ -184,3 +212,9 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     assert wire["pooled_wire"]["connections_opened"] == 1
     assert wire["per_request_wire"]["connections_opened"] > 1
     assert wire["warm_hit_rate"] == 1.0
+    fleet = record["fleet"]
+    assert fleet["identical_results"]
+    assert fleet["shard_counts"] == [1, 2]
+    assert fleet["busiest_clients"] == 2
+    assert fleet["speedup_sharded_vs_single"] > 0
+    assert len(fleet["raw"]["grid"]) == 4

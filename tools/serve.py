@@ -15,7 +15,25 @@ Two subcommands, one per server (see ``docs/service.md``):
 
         PYTHONPATH=src python tools/serve.py redesign --workers 4 --cache-dir .cache/profiles
 
-Both bind ``127.0.0.1`` by default and run until interrupted.  ``--host``
+    With ``--queue PATH`` the server plans nothing itself: submissions
+    are validated, then enqueued into the durable SQLite job queue for
+    external ``tools/worker.py`` processes to drain (the fleet
+    front-end role, without the bundled shards and workers of
+    ``fleet``).
+
+``fleet``
+    Launch a whole scale-out topology in one process (see
+    ``docs/fleet.md``): N shard cache servers, the durable job queue, M
+    pull-based planner workers wired to the sharded tier, and the
+    queue-backed redesign front-end::
+
+        PYTHONPATH=src python tools/serve.py fleet --shards 4 --fleet-workers 4 \
+            --queue .fleet/jobs.sqlite
+
+    Extra capacity can join from other processes: ``tools/worker.py
+    --queue <same file> --cache-urls <printed shard URLs>``.
+
+All bind ``127.0.0.1`` by default and run until interrupted.  ``--host``
 sets the *bind* address: ``0.0.0.0`` listens on every interface (the
 printed URL substitutes a connectable address -- the wildcard is a
 binding, not a destination).  ``--auth-token TOKEN`` requires clients to
@@ -82,6 +100,83 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """The ``fleet`` subcommand: shards + queue + workers + front-end."""
+    from repro.cache import build_profile_cache
+    from repro.fleet import FleetWorker, JobQueue
+
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.fleet_workers < 1:
+        parser.error("--fleet-workers must be at least 1")
+
+    def shard_backend(index: int):
+        if args.cache_dir is None:
+            return ProfileCache()
+        # One store per shard: the ring partitions the key space, so
+        # shards must not share a directory.
+        shard_args = argparse.Namespace(**vars(args))
+        shard_args.cache_dir = str(Path(args.cache_dir) / f"shard{index}")
+        return _backend(shard_args)
+
+    shards = []
+    for index in range(args.shards):
+        port = 0 if args.shard_port_base == 0 else args.shard_port_base + index
+        shard = CacheServer(
+            shard_backend(index),
+            host=args.host,
+            port=port,
+            auth_token=args.auth_token,
+        )
+        shard.start()
+        shards.append(shard)
+    shard_urls = tuple(shard.url for shard in shards)
+
+    queue_path = Path(args.queue)
+    queue_path.parent.mkdir(parents=True, exist_ok=True)
+    queue = JobQueue(queue_path)
+    workers = []
+    for index in range(args.fleet_workers):
+        cache = build_profile_cache(
+            tier="sharded",
+            urls=shard_urls,
+            ring_replicas=args.ring_replicas,
+            auth_token=args.auth_token,
+        )
+        worker = FleetWorker(queue, worker_id=f"worker-{index}", cache=cache)
+        worker.start()
+        workers.append(worker)
+
+    front = RedesignServer(
+        queue=queue, host=args.host, port=args.port, auth_token=args.auth_token
+    )
+
+    print(f"fleet front-end listening on {front.url}")
+    for index, url in enumerate(shard_urls):
+        print(f"  shard {index}: {url}")
+    print(f"  queue: {queue_path} ({args.fleet_workers} in-process workers)")
+    print(f'  try: RedesignClient("{front.url}").plan(flow)')
+    print(
+        f"  scale out: PYTHONPATH=src python tools/worker.py --queue {queue_path} "
+        f"--cache-urls {' '.join(shard_urls)}"
+    )
+    try:
+        front.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down fleet")
+    finally:
+        front.stop()
+        for worker in workers:
+            worker.stop()
+        for worker in workers:
+            if worker.cache is not None:
+                worker.cache.close()
+        for shard in shards:
+            shard.stop()
+        queue.close()
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-v", "--verbose", action="store_true", help="log every request")
@@ -110,7 +205,41 @@ def main(argv=None) -> int:
     redesign.add_argument(
         "--workers", type=int, default=2, help="concurrent planning sessions"
     )
+    redesign.add_argument(
+        "--queue",
+        default=None,
+        help="serve as a queue-backed fleet front-end: enqueue plans into this "
+        "durable SQLite job queue for external tools/worker.py processes "
+        "instead of planning in-process (--workers is then unused)",
+    )
     _add_backend_arguments(redesign)
+
+    fleet = commands.add_parser(
+        "fleet", help="launch shards + job queue + workers + front-end in one process"
+    )
+    fleet.add_argument("--port", type=int, default=8732, help="front-end TCP port (0 = ephemeral)")
+    fleet.add_argument("--shards", type=int, default=2, help="number of shard cache servers")
+    fleet.add_argument(
+        "--shard-port-base",
+        type=int,
+        default=8741,
+        help="shard i binds port base+i (0 = all ephemeral)",
+    )
+    fleet.add_argument(
+        "--fleet-workers", type=int, default=2, help="number of in-process planner workers"
+    )
+    fleet.add_argument(
+        "--queue",
+        default=".fleet/jobs.sqlite",
+        help="path of the durable SQLite job queue (created if missing)",
+    )
+    fleet.add_argument(
+        "--ring-replicas",
+        type=int,
+        default=None,
+        help="virtual ring points per shard (default: the library default)",
+    )
+    _add_backend_arguments(fleet)
 
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -129,12 +258,15 @@ def main(argv=None) -> int:
             args.host or '""',
         )
 
-    backend = _backend(args)
+    if args.command == "fleet":
+        return _run_fleet(args, parser)
+
+    queue = None
     if args.command == "cache":
         if args.eviction_interval is not None and args.max_bytes is None:
             parser.error("--eviction-interval requires --max-bytes")
         server = CacheServer(
-            backend,
+            _backend(args),
             host=args.host,
             port=args.port,
             auth_token=args.auth_token,
@@ -143,9 +275,28 @@ def main(argv=None) -> int:
         )
         role = "profile-cache"
         hint = f'ProcessingConfiguration(cache_tier="http", cache_url="{server.url}")'
+    elif args.queue is not None:
+        from repro.fleet import JobQueue
+
+        if args.cache_dir is not None:
+            parser.error(
+                "--queue and --cache-dir are mutually exclusive: a queue-backed "
+                "front-end plans nothing, its workers own their cache tier "
+                "(see tools/worker.py)"
+            )
+        queue_path = Path(args.queue)
+        queue_path.parent.mkdir(parents=True, exist_ok=True)
+        queue = JobQueue(queue_path)
+        server = RedesignServer(
+            queue=queue, host=args.host, port=args.port, auth_token=args.auth_token
+        )
+        role = "fleet front-end"
+        hint = (
+            f"drain with: PYTHONPATH=src python tools/worker.py --queue {queue_path}"
+        )
     else:
         server = RedesignServer(
-            cache=backend,
+            cache=_backend(args),
             workers=args.workers,
             host=args.host,
             port=args.port,
@@ -162,6 +313,9 @@ def main(argv=None) -> int:
     except KeyboardInterrupt:
         print("shutting down")
         server.stop()
+    finally:
+        if queue is not None:
+            queue.close()
     return 0
 
 
