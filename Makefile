@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-fleet bench bench-tiny bench-cache bench-service bench-wire bench-fleet serve serve-fleet worker docs-check examples check
+.PHONY: test test-fast test-fleet test-exec bench bench-tiny bench-cache bench-service bench-wire bench-fleet bench-exec serve serve-fleet worker docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -18,6 +18,10 @@ test-fast:
 ## (FLEET_SLOW=1 includes the `slow`-marked storm scenarios)
 test-fleet:
 	$(PYTHON) -m pytest -x -q tests/fleet $(if $(FLEET_SLOW),,-m "not slow")
+
+## execution layer only: backend conformance, executor, recovery, YAML DSL
+test-exec:
+	$(PYTHON) -m pytest -x -q tests/exec tests/io/test_yamlflow.py tests/property/test_exec_properties.py
 
 ## regenerate BENCH_generation.json at full scale (idle machine!)
 bench:
@@ -42,6 +46,10 @@ bench-wire:
 ## fleet benchmark only: C clients vs 1..4 cache shards (near-linear scaling)
 bench-fleet:
 	$(PYTHON) benchmarks/bench_fleet.py
+
+## execution benchmark only: measured top-k calibration (spearman >= 0.6 gate)
+bench-exec:
+	$(PYTHON) -m pytest benchmarks/bench_execution.py -s -q
 
 ## run the redesign service (persistent shared cache under .cache/profiles)
 serve:

@@ -7,9 +7,11 @@ profile-cache benchmark (``bench_profile_cache``: cold vs. warm-disk
 vs. in-memory planning), the service benchmark (``bench_service``:
 concurrent clients sharing one cache server vs. cold solo runs), the
 wire benchmark (``bench_wire``: pooled keep-alive + compressed wire vs.
-the per-request wire through a latency-injecting proxy) and the fleet
+the per-request wire through a latency-injecting proxy), the fleet
 benchmark (``bench_fleet``: concurrent clients against 1 vs. 4 cache
-shards, each shard a shared-capacity channel) and
+shards, each shard a shared-capacity channel) and the execution
+benchmark (``bench_execution``: measured top-k calibration of the
+simulator's ranking against real wall time) and
 writes one JSON document --
 ``BENCH_generation.json`` by default -- with candidates/sec, the
 measured speedups, the application/validation time split and the
@@ -82,6 +84,7 @@ def run_all(tiny: bool = False) -> dict:
     bench_generation = _load("bench_generation")
     bench_streaming = _load("bench_streaming_pipeline")
     bench_cache = _load("bench_profile_cache")
+    bench_execution = _load("bench_execution")
 
     if tiny:
         generation_kwargs = dict(
@@ -113,6 +116,7 @@ def run_all(tiny: bool = False) -> dict:
             "--max-alternatives", "15", "--shards", "1", "2",
             "--clients", "1", "2",
         ]
+        execution_kwargs = dict(scale=0.02, k=3, repeats=1)
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
@@ -120,6 +124,7 @@ def run_all(tiny: bool = False) -> dict:
         service_arguments = []
         wire_arguments = []
         fleet_arguments = []
+        execution_kwargs = {}
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
@@ -127,6 +132,7 @@ def run_all(tiny: bool = False) -> dict:
     service = _run_bench_isolated("bench_service.py", service_arguments)
     wire = _run_bench_isolated("bench_wire.py", wire_arguments)
     fleet = _run_bench_isolated("bench_fleet.py", fleet_arguments)
+    execution = bench_execution.run_execution_bench(**execution_kwargs)
 
     return {
         "schema_version": 1,
@@ -211,6 +217,16 @@ def run_all(tiny: bool = False) -> dict:
             "identical_results": fleet["identical_results"],
             "raw": fleet,
         },
+        "execution": {
+            "workload": execution["workload"],
+            "backend": execution["calibration"]["backend"],
+            "alternatives": execution["alternatives"],
+            "skyline_size": execution["skyline_size"],
+            "executed": len(execution["calibration"]["runs"]),
+            "spearman": execution["spearman"],
+            "identical_plans": execution["identical_plans"],
+            "raw": execution,
+        },
         "peak_rss_kb": _peak_rss_kb(),
     }
 
@@ -267,6 +283,13 @@ def main(argv=None) -> int:
         f"shards {fleet['speedup_sharded_vs_single']:.2f}x vs "
         f"{min(fleet['shard_counts'])} shard(s), "
         f"identical={fleet['identical_results']}"
+    )
+    execution = report["execution"]
+    print(
+        f"execution: top-{execution['executed']} of {execution['alternatives']} "
+        f"alternatives measured on {execution['backend']!r}, "
+        f"spearman {execution['spearman']:.3f}, "
+        f"identical_plans={execution['identical_plans']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

@@ -83,6 +83,12 @@ seed behaviour; turning them on changes wall-clock, never results (except
     store, and the ring's virtual points per shard.  Each shard is a
     full ``"http"`` client, so every wire knob above applies per shard.
     See ``docs/fleet.md``.
+``executor_backend``
+    Which dataframe backend runs planned flows when execution is
+    requested (``Planner.execute_top_k`` / measured calibration): the
+    pure-Python ``"local"`` reference backend, or the optional native
+    ``"pandas"`` / ``"polars"`` backends.  Execution only -- planning
+    output is byte-identical across backends.  See ``docs/execution.md``.
 """
 
 from __future__ import annotations
@@ -97,6 +103,12 @@ from repro.cache import CACHE_TIERS
 #: (not imported: ``repro.fleet`` imports the planner, which imports
 #: this module -- a cycle at import time).
 DEFAULT_RING_REPLICAS = 96
+
+#: Names accepted by ``executor_backend``.  Kept in sync with
+#: :data:`repro.exec.backends.EXECUTOR_BACKENDS` (not imported:
+#: ``repro.exec`` is only needed when flows actually execute, and this
+#: module must stay import-light).
+EXECUTOR_BACKENDS = ("local", "pandas", "polars")
 from repro.quality.composite import QualityProfile
 from repro.quality.framework import QualityCharacteristic
 
@@ -292,6 +304,15 @@ class ProcessingConfiguration:
         Worker pool flavour of the parallel evaluator: ``"thread"``
         (default) or ``"process"`` (GIL-free overlap of generation and
         simulation; flows are pickled to the workers).
+    executor_backend:
+        Dataframe backend used when planned flows are *executed*
+        (:meth:`~repro.core.planner.Planner.execute_top_k`): the
+        dependency-free ``"local"`` reference backend (default), or the
+        optional native ``"pandas"`` / ``"polars"`` backends (a
+        :class:`~repro.exec.backends.BackendUnavailableError` is raised
+        at execution time when the library is not installed).  Planning
+        itself never touches this knob -- plans are byte-identical
+        whichever backend later runs them.  See ``docs/execution.md``.
     """
 
     pattern_names: tuple[str, ...] = ()
@@ -326,12 +347,18 @@ class ProcessingConfiguration:
     copy_mode: str = "deep"
     prefix_cache: bool = True
     backend: str = "thread"
+    executor_backend: str = "local"
 
     def __post_init__(self) -> None:
         if self.copy_mode not in ("deep", "cow"):
             raise ValueError(f"unknown copy_mode: {self.copy_mode!r} (use 'deep' or 'cow')")
         if self.backend not in ("thread", "process"):
             raise ValueError(f"unknown backend: {self.backend!r} (use 'thread' or 'process')")
+        if self.executor_backend not in EXECUTOR_BACKENDS:
+            raise ValueError(
+                f"unknown executor_backend: {self.executor_backend!r} "
+                f"(use one of {EXECUTOR_BACKENDS})"
+            )
         if self.pattern_budget < 1:
             raise ValueError("pattern_budget must be at least 1")
         if self.max_points_per_pattern < 1:

@@ -322,6 +322,41 @@ class Planner:
             discarded_by_constraints=discarded,
         )
 
+    def execute_top_k(
+        self,
+        flow: ETLGraph,
+        k: int = 5,
+        repeats: int = 2,
+        data_seed: int = 7,
+        planning_result: "PlanningResult | None" = None,
+    ) -> tuple["PlanningResult", "object"]:
+        """Plan a flow, then *execute* its top-k alternatives (calibration).
+
+        Runs the ordinary planning pipeline (or reuses an existing
+        ``planning_result`` for the same flow), compiles the planner's
+        top-k designs for the configuration's ``executor_backend``, runs
+        them on sampled workload data, and returns
+        ``(planning_result, calibration_report)`` where the report
+        carries measured wall times and the simulated-vs-measured
+        Spearman rank correlation
+        (:class:`repro.exec.measured.CalibrationReport`).
+
+        Execution is strictly read-only with respect to planning: the
+        returned planning result is byte-identical (fingerprint-equal)
+        to what :meth:`plan` alone produces.
+        """
+        from repro.exec.measured import execute_top_k as _execute_top_k
+
+        result = planning_result if planning_result is not None else self.plan(flow)
+        report = _execute_top_k(
+            result,
+            backend=self.configuration.executor_backend,
+            k=k,
+            repeats=repeats,
+            data_seed=data_seed,
+        )
+        return result, report
+
     def _screen(self, candidates: Iterable[AlternativeFlow]) -> list[AlternativeFlow]:
         """Two-phase beam screening: keep the statically best candidates.
 

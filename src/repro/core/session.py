@@ -160,6 +160,31 @@ class RedesignSession:
         self.iterations.append(iteration)
         return iteration
 
+    def execute_top_k(self, k: int = 5, repeats: int = 2, data_seed: int = 7):
+        """Measured calibration on the current flow (see Planner.execute_top_k).
+
+        Reuses the latest iteration's planning result when it was
+        computed for the current flow (no re-plan, no re-simulation);
+        otherwise plans first.  Returns the
+        :class:`~repro.exec.measured.CalibrationReport` -- the planning
+        side is recorded in :attr:`iterations` as usual.
+        """
+        reusable = None
+        if self.iterations and self.iterations[-1].result.initial_flow is self.current_flow:
+            reusable = self.iterations[-1].result
+        result, report = self.planner.execute_top_k(
+            self.current_flow,
+            k=k,
+            repeats=repeats,
+            data_seed=data_seed,
+            planning_result=reusable,
+        )
+        if reusable is None:
+            self.iterations.append(
+                SessionIteration(index=len(self.iterations) + 1, result=result)
+            )
+        return report
+
     def select(self, alternative: AlternativeFlow) -> ETLGraph:
         """Adopt one alternative: merge its patterns into the current flow.
 

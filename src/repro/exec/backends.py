@@ -1,0 +1,1134 @@
+"""Interchangeable dataframe backends for ETL flow execution.
+
+An :class:`ETLBackend` turns one operation at a time into data: it holds
+a *dispatch table* mapping :class:`~repro.etl.operations.OperationKind`
+to a handler, and the executor walks the compiled DAG calling
+:meth:`ETLBackend.run_node` on each node with the frames produced by its
+predecessors.  Three backends implement the protocol:
+
+* :class:`LocalBackend` -- the dependency-free reference implementation
+  over plain Python rows (:class:`repro.exec.frame.Frame`).  Always
+  available; the conformance suite treats it as ground truth.
+* :class:`PandasBackend` -- native :mod:`pandas` DataFrames.  Optional:
+  constructing it without pandas installed raises
+  :class:`BackendUnavailableError`, and its test arm auto-skips.
+* :class:`PolarsBackend` -- native :mod:`polars` DataFrames, gated the
+  same way.
+
+All backends share one expression interpreter (:mod:`repro.exec.expr`)
+for predicate and derivation text, so the differential suite compares
+their *structural* operators (joins, group-bys, sorts, dedup), not three
+expression dialects.  Row-level semantics are normalized at the frame
+boundary (:func:`repro.exec.frame.normalize_value`).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import zlib
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.etl.operations import Operation, OperationKind
+from repro.exec import data as datagen
+from repro.exec.expr import CompiledPredicate, compile_expression, evaluate
+from repro.exec.frame import Frame, _sort_token, normalize_value
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "BackendUnavailableError",
+    "UnsupportedOperationError",
+    "ETLBackend",
+    "LocalBackend",
+    "PandasBackend",
+    "PolarsBackend",
+    "available_backends",
+    "create_backend",
+]
+
+#: Names accepted by the ``executor_backend`` configuration knob, in
+#: preference order.  Kept in sync with
+#: ``repro.core.configuration.EXECUTOR_BACKENDS`` (not imported there:
+#: the configuration module must stay import-light).
+EXECUTOR_BACKENDS: tuple[str, ...] = ("local", "pandas", "polars")
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when constructing a backend whose library is not installed."""
+
+
+class UnsupportedOperationError(ValueError):
+    """Raised when a backend has no handler for an operation kind."""
+
+
+#: Control kinds that move data through unchanged on every backend.
+PASSTHROUGH_KINDS: tuple[OperationKind, ...] = (
+    OperationKind.RECOVERY_BRANCH,
+    OperationKind.ENCRYPT,
+    OperationKind.DECRYPT,
+    OperationKind.ACCESS_CONTROL,
+    OperationKind.SCHEDULE,
+    OperationKind.NOOP,
+)
+
+
+def _partition_index(value: Any, partitions: int) -> int:
+    """Deterministic hash partition of one key value (backend-agnostic)."""
+    digest = zlib.crc32(repr(normalize_value(value)).encode("utf-8"))
+    return digest % max(1, partitions)
+
+
+def _join_pairs(
+    on: Sequence[str], left_names: Sequence[str], right_names: Sequence[str]
+) -> list[tuple[str, str]]:
+    """Resolve ``on`` entries into ``(left column, right column)`` pairs.
+
+    The builders express joins either as a shared column name present on
+    both sides (``on=["id"]``) or as a left/right pair
+    (``on=["o_custkey", "c_custkey"]``); this resolves both spellings.
+
+    Returns an empty list when no key resolves against either side --
+    generated and heavily projected flows may join on a column an
+    upstream operation dropped; the join then degrades to passing the
+    probe side through unchanged (the total-function behaviour the
+    simulator's abstract cost model implies) instead of failing the run.
+    """
+    left_set, right_set = set(left_names), set(right_names)
+    pairs: list[tuple[str, str]] = []
+    pending_left: list[str] = []
+    pending_right: list[str] = []
+    for column in on:
+        in_left, in_right = column in left_set, column in right_set
+        if in_left and in_right:
+            pairs.append((column, column))
+        elif in_left:
+            if pending_right:
+                pairs.append((column, pending_right.pop(0)))
+            else:
+                pending_left.append(column)
+        elif in_right:
+            if pending_left:
+                pairs.append((pending_left.pop(0), column))
+            else:
+                pending_right.append(column)
+    return pairs
+
+
+def _lookup_pairs(
+    on: Sequence[str],
+    reference_operation: Operation | None,
+    right_names: Sequence[str],
+) -> list[tuple[str, str]]:
+    """Key pairs for a lookup: probe columns vs. the reference's keys."""
+    right_set = set(right_names)
+    key_names = []
+    if reference_operation is not None:
+        key_names = [
+            f.name for f in reference_operation.output_schema.key_fields if f.name in right_set
+        ]
+    pairs: list[tuple[str, str]] = []
+    for index, column in enumerate(on):
+        if column in right_set:
+            pairs.append((column, column))
+        elif index < len(key_names):
+            pairs.append((column, key_names[index]))
+        elif right_names:
+            pairs.append((column, right_names[0]))
+    return pairs
+
+
+def _collision_renames(
+    left_names: Sequence[str], right_names: Sequence[str], exclude: set[str]
+) -> dict[str, str]:
+    """Rename colliding right-side columns the way ``Schema.merge`` does."""
+    taken = set(left_names)
+    renames: dict[str, str] = {}
+    for name in right_names:
+        if name in exclude:
+            continue
+        target = name
+        while target in taken:
+            target = "r_" + target
+        if target != name:
+            renames[name] = target
+        taken.add(target)
+    return renames
+
+
+class ETLBackend:
+    """Base class of the executable backends (the dispatch-table protocol).
+
+    Subclasses implement ``_op_<kind>`` methods; :meth:`_build_dispatch`
+    collects them into :attr:`dispatch` keyed by
+    :class:`~repro.etl.operations.OperationKind`.  Handlers receive the
+    operation, the list of input frames (predecessor order) and the
+    execution context, and return either one frame or -- for routers -- a
+    list of frames, one per outgoing edge.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.dispatch: dict[OperationKind, Callable] = self._build_dispatch()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether the backend's library is importable here."""
+        return True
+
+    def _build_dispatch(self) -> dict[OperationKind, Callable]:
+        table: dict[OperationKind, Callable] = {}
+        for kind in OperationKind:
+            handler = getattr(self, f"_op_{kind.value}", None)
+            if handler is not None:
+                table[kind] = handler
+        for kind in PASSTHROUGH_KINDS:
+            table.setdefault(kind, self._op_passthrough)
+        return table
+
+    def supports(self, kind: OperationKind) -> bool:
+        """Whether this backend has a handler for ``kind``."""
+        return kind in self.dispatch
+
+    def run_node(self, operation: Operation, inputs: list, context) -> Any:
+        """Execute one operation over its input frames."""
+        handler = self.dispatch.get(operation.kind)
+        if handler is None:
+            raise UnsupportedOperationError(
+                f"backend {self.name!r} does not implement operation kind "
+                f"{operation.kind.value!r} (operation {operation.op_id!r})"
+            )
+        return handler(operation, inputs, context)
+
+    # -- frame boundary (must be overridden) ----------------------------
+
+    def from_columns(self, columns: Mapping[str, list]):
+        raise NotImplementedError
+
+    def to_columns(self, frame) -> dict[str, list]:
+        raise NotImplementedError
+
+    def row_count(self, frame) -> int:
+        raise NotImplementedError
+
+    def column_names(self, frame) -> list[str]:
+        raise NotImplementedError
+
+    def _orient(self, operation: Operation, inputs: list) -> tuple[int, int]:
+        """Resolve which input is the probe (left) side of a join/lookup.
+
+        Edge insertion order is not stable across graph copies (pattern
+        application may enumerate predecessors differently), so the role
+        of each input is recovered from the data: the side that carries
+        the first ``on`` column is the probe.  Falls back to the given
+        order when the column appears on both sides or neither.
+        """
+        on = operation.config.get("on", [])
+        if len(inputs) < 2 or not on:
+            return (0, 1)
+        first = on[0]
+        in_first = first in set(self.column_names(inputs[0]))
+        in_second = first in set(self.column_names(inputs[1]))
+        if in_second and not in_first:
+            return (1, 0)
+        return (0, 1)
+
+    def _op_passthrough(self, operation: Operation, inputs: list, context):
+        return inputs[0] if inputs else self.from_columns({})
+
+
+# ----------------------------------------------------------------------
+# Local reference backend (pure Python rows)
+# ----------------------------------------------------------------------
+
+
+class LocalBackend(ETLBackend):
+    """The dependency-free reference backend over plain Python rows."""
+
+    name = "local"
+
+    # -- frame boundary -------------------------------------------------
+
+    def from_columns(self, columns: Mapping[str, list]) -> Frame:
+        return Frame.from_columns(columns)
+
+    def to_columns(self, frame: Frame) -> dict[str, list]:
+        return frame.to_columns()
+
+    def row_count(self, frame: Frame) -> int:
+        return frame.row_count
+
+    def column_names(self, frame: Frame) -> list[str]:
+        return list(frame.columns)
+
+    # -- extraction -----------------------------------------------------
+
+    def _op_extract_table(self, operation, inputs, context) -> Frame:
+        return self.from_columns(context.source_columns(operation))
+
+    _op_extract_file = _op_extract_table
+
+    def _op_extract_savepoint(self, operation, inputs, context) -> Frame:
+        saved = context.load_savepoint(operation.config.get("savepoint", "savepoint"))
+        return self.from_columns(saved or {})
+
+    # -- row-level transformations --------------------------------------
+
+    def _op_filter(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        text = operation.config.get("predicate", "")
+        if not text:
+            return frame
+        predicate = CompiledPredicate.compile(text)
+        params = context.params
+        return frame.replace_rows([r for r in frame.rows if predicate(r, params)])
+
+    def _op_project(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        keep = [c for c in operation.config.get("keep", []) if c in frame.columns]
+        if not keep:
+            return frame
+        return Frame(columns=keep, rows=[{c: r.get(c) for c in keep} for r in frame.rows])
+
+    def _op_derive(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        expressions = operation.config.get("expressions", {})
+        if not expressions:
+            return frame
+        compiled = [(name, compile_expression(text)) for name, text in expressions.items()]
+        params = context.params
+        rows = []
+        for row in frame.rows:
+            env = dict(row)
+            for name, node in compiled:
+                env[name] = evaluate(node, env, params)
+            rows.append(env)
+        columns = list(frame.columns) + [n for n, _ in compiled if n not in frame.columns]
+        return Frame(columns=columns, rows=rows)
+
+    def _op_rename(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        renames = operation.config.get("renames", {})
+        if not renames:
+            return frame
+        columns = [renames.get(c, c) for c in frame.columns]
+        rows = [{renames.get(k, k): v for k, v in r.items()} for r in frame.rows]
+        return Frame(columns=columns, rows=rows)
+
+    def _op_convert(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        conversions = operation.config.get("conversions", {})
+        if not conversions:
+            return frame
+        rows = [dict(r) for r in frame.rows]
+        for column, target in conversions.items():
+            if column not in frame.columns:
+                continue
+            caster = _make_caster(str(target))
+            for row in rows:
+                row[column] = caster(row.get(column))
+        return frame.replace_rows(rows)
+
+    def _op_surrogate_key(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        key_field = operation.config.get("key_field", "surrogate_key")
+        rows = [dict(r, **{key_field: i + 1}) for i, r in enumerate(frame.rows)]
+        columns = list(frame.columns)
+        if key_field not in columns:
+            columns.append(key_field)
+        return Frame(columns=columns, rows=rows)
+
+    def _op_lookup(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        if len(inputs) < 2:
+            reference = operation.config.get("reference", "reference")
+            flag = f"{reference}_matched"
+            columns = list(frame.columns) + ([flag] if flag not in frame.columns else [])
+            return Frame(columns=columns, rows=[dict(r, **{flag: True}) for r in frame.rows])
+        probe_index, reference_index = self._orient(operation, inputs)
+        probe, reference = inputs[probe_index], inputs[reference_index]
+        pairs = _lookup_pairs(
+            operation.config.get("on", []),
+            context.input_operation(operation, reference_index),
+            reference.columns,
+        )
+        return self._hash_join(probe, reference, pairs, how="left")
+
+    def _op_slowly_changing_dim(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        if "scd_current" in frame.columns:
+            return frame
+        return Frame(
+            columns=list(frame.columns) + ["scd_current"],
+            rows=[dict(r, scd_current=True) for r in frame.rows],
+        )
+
+    def _op_aggregate(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        group_by = [c for c in operation.config.get("group_by", []) if c in frame.columns]
+        aggregations = dict(operation.config.get("aggregations", {})) or {"row_count": "count"}
+        groups: dict[tuple, list[dict]] = {}
+        order: list[tuple] = []
+        for row in frame.rows:
+            key = tuple(normalize_value(row.get(c)) for c in group_by)
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = bucket = []
+                order.append(key)
+            bucket.append(row)
+        out_rows = []
+        for key in order:
+            bucket = groups[key]
+            out = {c: v for c, v in zip(group_by, key)}
+            for column, function in aggregations.items():
+                out[column] = _aggregate_bucket(bucket, column, str(function))
+            out_rows.append(out)
+        columns = group_by + [c for c in aggregations if c not in group_by]
+        return Frame(columns=columns, rows=out_rows)
+
+    def _op_sort(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        by = [c for c in operation.config.get("by", []) if c in frame.columns]
+        if not by:
+            return frame
+        rows = sorted(
+            frame.rows, key=lambda r: tuple(_sort_token(normalize_value(r.get(c))) for c in by)
+        )
+        return frame.replace_rows(rows)
+
+    # -- binary / n-ary --------------------------------------------------
+
+    def _op_join(self, operation, inputs, context) -> Frame:
+        left_index, right_index = self._orient(operation, inputs)
+        left, right = inputs[left_index], inputs[right_index]
+        pairs = _join_pairs(operation.config.get("on", []), left.columns, right.columns)
+        if not pairs:
+            return left
+        return self._hash_join(left, right, pairs, how="inner")
+
+    def _op_union(self, operation, inputs, context) -> Frame:
+        columns: list[str] = []
+        for frame in inputs:
+            columns.extend(c for c in frame.columns if c not in columns)
+        rows = [{c: r.get(c) for c in columns} for frame in inputs for r in frame.rows]
+        return Frame(columns=columns, rows=rows)
+
+    _op_merge = _op_union
+
+    def _op_diff(self, operation, inputs, context) -> Frame:
+        left = inputs[0]
+        if len(inputs) < 2:
+            return left
+        right = inputs[1]
+        shared = [c for c in left.columns if c in set(right.columns)]
+        seen = {tuple(normalize_value(r.get(c)) for c in shared) for r in right.rows}
+        rows = [
+            r for r in left.rows
+            if tuple(normalize_value(r.get(c)) for c in shared) not in seen
+        ]
+        return left.replace_rows(rows)
+
+    def _hash_join(
+        self, left: Frame, right: Frame, pairs: list[tuple[str, str]], how: str
+    ) -> Frame:
+        right_keys = [p[1] for p in pairs]
+        renames = _collision_renames(left.columns, right.columns, set(right_keys))
+        table: dict[tuple, list[dict]] = {}
+        for row in right.rows:
+            key = tuple(normalize_value(row.get(c)) for c in right_keys)
+            table.setdefault(key, []).append(row)
+        right_out = [renames.get(c, c) for c in right.columns if c not in set(right_keys)]
+        columns = list(left.columns) + [c for c in right_out if c not in set(left.columns)]
+        rows: list[dict] = []
+        for row in left.rows:
+            key = tuple(normalize_value(row.get(p[0])) for p in pairs)
+            matches = table.get(key)
+            if matches:
+                for match in matches:
+                    merged = dict(row)
+                    for name, value in match.items():
+                        if name in right_keys:
+                            continue
+                        merged[renames.get(name, name)] = value
+                    rows.append(merged)
+            elif how == "left":
+                merged = dict(row)
+                for name in right_out:
+                    merged.setdefault(name, None)
+                rows.append(merged)
+        return Frame(columns=columns, rows=rows)
+
+    # -- routing ---------------------------------------------------------
+
+    def _op_split(self, operation, inputs, context) -> list[Frame]:
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        buckets: list[list[dict]] = [[] for _ in range(fanout)]
+        for index, row in enumerate(frame.rows):
+            buckets[index % fanout].append(row)
+        return [frame.replace_rows(bucket) for bucket in buckets]
+
+    _op_router = _op_split
+
+    def _op_partition(self, operation, inputs, context) -> list[Frame]:
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        key = operation.config.get("key", "")
+        buckets: list[list[dict]] = [[] for _ in range(fanout)]
+        for row in frame.rows:
+            buckets[_partition_index(row.get(key), fanout)].append(row)
+        return [frame.replace_rows(bucket) for bucket in buckets]
+
+    def _op_replicate(self, operation, inputs, context) -> list[Frame]:
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        return [frame.copy() for _ in range(fanout)]
+
+    # -- data quality ----------------------------------------------------
+
+    def _op_deduplicate(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        keys = [c for c in operation.config.get("keys", []) if c in frame.columns]
+        if not keys:
+            keys = list(frame.columns)
+        seen: set[tuple] = set()
+        rows = []
+        for row in frame.rows:
+            key = tuple(normalize_value(row.get(c)) for c in keys)
+            if key in seen:
+                continue
+            seen.add(key)
+            rows.append(row)
+        return frame.replace_rows(rows)
+
+    def _op_filter_nulls(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        columns = frame.columns
+        rows = [r for r in frame.rows if all(r.get(c) is not None for c in columns)]
+        return frame.replace_rows(rows)
+
+    def _op_crosscheck(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        columns = frame.columns
+        rows = [
+            r for r in frame.rows
+            if not any(datagen.is_error_value(r.get(c)) for c in columns)
+        ]
+        return frame.replace_rows(rows)
+
+    _op_validate = _op_crosscheck
+
+    def _op_cleanse(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        rows = [
+            {k: datagen.repair_error_value(v) for k, v in row.items()} for row in frame.rows
+        ]
+        return frame.replace_rows(rows)
+
+    # -- loading / control ----------------------------------------------
+
+    def _op_load_table(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        context.record_output(operation, self.to_columns(frame))
+        return frame
+
+    _op_load_file = _op_load_table
+
+    def _op_checkpoint(self, operation, inputs, context) -> Frame:
+        frame = inputs[0]
+        context.record_savepoint(operation, self.to_columns(frame))
+        return frame
+
+
+def _make_caster(target: str) -> Callable[[Any], Any]:
+    """A tolerant cast for ``CONVERT`` targets like ``"decimal(12,2)"``."""
+    base, _, argument = target.lower().partition("(")
+    base = base.strip()
+    scale = None
+    if argument:
+        parts = argument.rstrip(")").split(",")
+        if len(parts) == 2:
+            try:
+                scale = int(parts[1])
+            except ValueError:
+                scale = None
+
+    def cast(value: Any) -> Any:
+        if value is None:
+            return None
+        try:
+            if base in ("decimal", "numeric", "float", "double", "real", "number"):
+                result = float(value)
+                return round(result, scale) if scale is not None else result
+            if base in ("int", "integer", "bigint", "smallint"):
+                return int(float(value))
+            if base in ("string", "varchar", "char", "text"):
+                return str(value)
+        except (TypeError, ValueError):
+            return value
+        return value
+
+    return cast
+
+
+def _aggregate_bucket(bucket: list[dict], column: str, function: str) -> Any:
+    values = [normalize_value(r.get(column)) for r in bucket]
+    numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    function = function.lower()
+    if function == "count":
+        return len(bucket)
+    if function == "sum":
+        return sum(numeric) if numeric else None
+    if function in ("avg", "mean"):
+        return sum(numeric) / len(numeric) if numeric else None
+    present = [v for v in values if v is not None]
+    if function == "min":
+        return min(present, key=_sort_token) if present else None
+    if function == "max":
+        return max(present, key=_sort_token) if present else None
+    raise UnsupportedOperationError(f"unknown aggregation function {function!r}")
+
+
+# ----------------------------------------------------------------------
+# Optional native backends (import-gated)
+# ----------------------------------------------------------------------
+
+
+class PandasBackend(LocalBackend):
+    """Execute flows over native :mod:`pandas` DataFrames.
+
+    Structural operators (joins, group-bys, sorts, dedup, concat) run on
+    pandas; row-level predicate and derivation text still goes through
+    the shared interpreter for identical semantics.  Constructing the
+    backend without pandas installed raises
+    :class:`BackendUnavailableError`.
+    """
+
+    name = "pandas"
+
+    def __init__(self) -> None:
+        if not self.is_available():
+            raise BackendUnavailableError(
+                "the 'pandas' backend requires the pandas package "
+                "(pip install poiesis-repro[pandas])"
+            )
+        import pandas  # noqa: PLC0415 - import-gated optional dependency
+
+        self._pd = pandas
+        super().__init__()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("pandas") is not None
+
+    # -- frame boundary -------------------------------------------------
+
+    def from_columns(self, columns: Mapping[str, list]):
+        return self._pd.DataFrame({name: list(values) for name, values in columns.items()})
+
+    def to_columns(self, frame) -> dict[str, list]:
+        return {
+            str(name): [normalize_value(v) for v in frame[name].tolist()]
+            for name in frame.columns
+        }
+
+    def row_count(self, frame) -> int:
+        return int(len(frame.index))
+
+    def column_names(self, frame) -> list[str]:
+        return [str(c) for c in frame.columns]
+
+    # -- row-level handlers reuse the shared interpreter ----------------
+
+    def _rows(self, frame) -> list[dict]:
+        return [
+            {k: normalize_value(v) for k, v in record.items()}
+            for record in frame.to_dict("records")
+        ]
+
+    def _op_filter(self, operation, inputs, context):
+        frame = inputs[0]
+        text = operation.config.get("predicate", "")
+        if not text or not len(frame.index):
+            return frame
+        predicate = CompiledPredicate.compile(text)
+        params = context.params
+        mask = [predicate(row, params) for row in self._rows(frame)]
+        return frame[self._pd.Series(mask, index=frame.index)].reset_index(drop=True)
+
+    def _op_project(self, operation, inputs, context):
+        frame = inputs[0]
+        keep = [c for c in operation.config.get("keep", []) if c in frame.columns]
+        return frame[keep] if keep else frame
+
+    def _op_derive(self, operation, inputs, context):
+        frame = inputs[0]
+        expressions = operation.config.get("expressions", {})
+        if not expressions:
+            return frame
+        compiled = [(name, compile_expression(text)) for name, text in expressions.items()]
+        params = context.params
+        derived: dict[str, list] = {name: [] for name, _ in compiled}
+        for row in self._rows(frame):
+            env = dict(row)
+            for name, node in compiled:
+                env[name] = evaluate(node, env, params)
+                derived[name].append(env[name])
+        out = frame.copy()
+        for name, values in derived.items():
+            out[name] = values
+        return out
+
+    def _op_rename(self, operation, inputs, context):
+        renames = operation.config.get("renames", {})
+        return inputs[0].rename(columns=renames) if renames else inputs[0]
+
+    def _op_convert(self, operation, inputs, context):
+        frame = inputs[0]
+        conversions = operation.config.get("conversions", {})
+        out = frame.copy()
+        for column, target in conversions.items():
+            if column in out.columns:
+                caster = _make_caster(str(target))
+                out[column] = [caster(v) for v in (normalize_value(x) for x in out[column])]
+        return out
+
+    def _op_surrogate_key(self, operation, inputs, context):
+        frame = inputs[0].copy()
+        frame[operation.config.get("key_field", "surrogate_key")] = range(
+            1, len(frame.index) + 1
+        )
+        return frame
+
+    def _op_lookup(self, operation, inputs, context):
+        if len(inputs) < 2:
+            frame = inputs[0].copy()
+            frame[f"{operation.config.get('reference', 'reference')}_matched"] = True
+            return frame
+        probe_index, reference_index = self._orient(operation, inputs)
+        left, right = inputs[probe_index], inputs[reference_index]
+        pairs = _lookup_pairs(
+            operation.config.get("on", []),
+            context.input_operation(operation, reference_index),
+            self.column_names(right),
+        )
+        return self._merge(left, right, pairs, how="left")
+
+    def _op_join(self, operation, inputs, context):
+        left_index, right_index = self._orient(operation, inputs)
+        left, right = inputs[left_index], inputs[right_index]
+        pairs = _join_pairs(
+            operation.config.get("on", []),
+            self.column_names(left),
+            self.column_names(right),
+        )
+        if not pairs:
+            return left
+        return self._merge(left, right, pairs, how="inner")
+
+    def _merge(self, left, right, pairs: list[tuple[str, str]], how: str):
+        right_keys = [p[1] for p in pairs]
+        renames = _collision_renames(
+            [str(c) for c in left.columns], [str(c) for c in right.columns], set(right_keys)
+        )
+        prepared = right.rename(columns=renames) if renames else right
+        merged = left.merge(
+            prepared,
+            how=how,
+            left_on=[p[0] for p in pairs],
+            right_on=right_keys,
+            suffixes=("", "__dup"),
+        )
+        drop = [k for k in right_keys if k not in {p[0] for p in pairs} and k in merged.columns]
+        return merged.drop(columns=drop) if drop else merged
+
+    def _op_aggregate(self, operation, inputs, context):
+        frame = inputs[0]
+        group_by = [c for c in operation.config.get("group_by", []) if c in frame.columns]
+        aggregations = dict(operation.config.get("aggregations", {})) or {"row_count": "count"}
+        spec = {}
+        out = frame.copy()
+        for column, function in aggregations.items():
+            function = str(function).lower()
+            if function in ("avg", "mean"):
+                function = "mean"
+            if column not in out.columns:
+                out[column] = None
+            spec[column] = "size" if function == "count" else function
+        if not group_by:
+            result = {c: [_aggregate_bucket(self._rows(out), c, f)] for c, f in aggregations.items()}
+            return self._pd.DataFrame(result)
+        grouped = out.groupby(group_by, sort=False, dropna=False).agg(spec).reset_index()
+        return grouped
+
+    def _op_sort(self, operation, inputs, context):
+        frame = inputs[0]
+        by = [c for c in operation.config.get("by", []) if c in frame.columns]
+        if not by:
+            return frame
+        return frame.sort_values(by, kind="mergesort", na_position="first").reset_index(
+            drop=True
+        )
+
+    def _op_union(self, operation, inputs, context):
+        return self._pd.concat(list(inputs), ignore_index=True, sort=False)
+
+    _op_merge_frames = _op_union
+    _op_merge = _op_union
+
+    def _op_diff(self, operation, inputs, context):
+        left = inputs[0]
+        if len(inputs) < 2:
+            return left
+        right = inputs[1]
+        shared = [c for c in left.columns if c in set(right.columns)]
+        seen = {
+            tuple(normalize_value(v) for v in row)
+            for row in right[shared].itertuples(index=False, name=None)
+        }
+        mask = [
+            tuple(normalize_value(v) for v in row) not in seen
+            for row in left[shared].itertuples(index=False, name=None)
+        ]
+        return left[self._pd.Series(mask, index=left.index)].reset_index(drop=True)
+
+    def _op_deduplicate(self, operation, inputs, context):
+        frame = inputs[0]
+        keys = [c for c in operation.config.get("keys", []) if c in frame.columns]
+        subset = keys or None
+        return frame.drop_duplicates(subset=subset, keep="first").reset_index(drop=True)
+
+    def _op_filter_nulls(self, operation, inputs, context):
+        return inputs[0].dropna().reset_index(drop=True)
+
+    def _op_crosscheck(self, operation, inputs, context):
+        frame = inputs[0]
+        mask = [
+            not any(datagen.is_error_value(v) for v in row.values())
+            for row in self._rows(frame)
+        ]
+        return frame[self._pd.Series(mask, index=frame.index)].reset_index(drop=True)
+
+    _op_validate = _op_crosscheck
+
+    def _op_cleanse(self, operation, inputs, context):
+        frame = inputs[0]
+        rows = [
+            {k: datagen.repair_error_value(v) for k, v in row.items()}
+            for row in self._rows(frame)
+        ]
+        return self._pd.DataFrame(rows, columns=list(frame.columns))
+
+    def _op_slowly_changing_dim(self, operation, inputs, context):
+        frame = inputs[0]
+        if "scd_current" in frame.columns:
+            return frame
+        out = frame.copy()
+        out["scd_current"] = True
+        return out
+
+    def _op_split(self, operation, inputs, context):
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        return [frame.iloc[offset::fanout].reset_index(drop=True) for offset in range(fanout)]
+
+    _op_router = _op_split
+
+    def _op_partition(self, operation, inputs, context):
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        key = operation.config.get("key", "")
+        if key not in frame.columns:
+            return [frame] + [frame.iloc[0:0] for _ in range(fanout - 1)]
+        assignment = [
+            _partition_index(v, fanout) for v in (normalize_value(x) for x in frame[key])
+        ]
+        series = self._pd.Series(assignment, index=frame.index)
+        return [frame[series == g].reset_index(drop=True) for g in range(fanout)]
+
+    def _op_replicate(self, operation, inputs, context):
+        frame = inputs[0]
+        return [frame.copy() for _ in range(max(1, context.fanout(operation)))]
+
+
+class PolarsBackend(LocalBackend):
+    """Execute flows over native :mod:`polars` DataFrames (import-gated)."""
+
+    name = "polars"
+
+    def __init__(self) -> None:
+        if not self.is_available():
+            raise BackendUnavailableError(
+                "the 'polars' backend requires the polars package "
+                "(pip install poiesis-repro[polars])"
+            )
+        import polars  # noqa: PLC0415 - import-gated optional dependency
+
+        self._pl = polars
+        super().__init__()
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("polars") is not None
+
+    # -- frame boundary -------------------------------------------------
+
+    def from_columns(self, columns: Mapping[str, list]):
+        return self._pl.DataFrame(
+            {name: list(values) for name, values in columns.items()}, strict=False
+        )
+
+    def to_columns(self, frame) -> dict[str, list]:
+        return {
+            name: [normalize_value(v) for v in frame.get_column(name).to_list()]
+            for name in frame.columns
+        }
+
+    def row_count(self, frame) -> int:
+        return int(frame.height)
+
+    def _rows(self, frame) -> list[dict]:
+        return [
+            {k: normalize_value(v) for k, v in record.items()} for record in frame.to_dicts()
+        ]
+
+    def _op_filter(self, operation, inputs, context):
+        frame = inputs[0]
+        text = operation.config.get("predicate", "")
+        if not text or not frame.height:
+            return frame
+        predicate = CompiledPredicate.compile(text)
+        params = context.params
+        mask = self._pl.Series([predicate(row, params) for row in self._rows(frame)])
+        return frame.filter(mask)
+
+    def _op_project(self, operation, inputs, context):
+        frame = inputs[0]
+        keep = [c for c in operation.config.get("keep", []) if c in frame.columns]
+        return frame.select(keep) if keep else frame
+
+    def _op_derive(self, operation, inputs, context):
+        frame = inputs[0]
+        expressions = operation.config.get("expressions", {})
+        if not expressions:
+            return frame
+        compiled = [(name, compile_expression(text)) for name, text in expressions.items()]
+        params = context.params
+        derived: dict[str, list] = {name: [] for name, _ in compiled}
+        for row in self._rows(frame):
+            env = dict(row)
+            for name, node in compiled:
+                env[name] = evaluate(node, env, params)
+                derived[name].append(env[name])
+        out = frame
+        for name, values in derived.items():
+            series = self._pl.Series(name, values, strict=False)
+            out = out.with_columns(series)
+        return out
+
+    def _op_rename(self, operation, inputs, context):
+        renames = {
+            old: new
+            for old, new in operation.config.get("renames", {}).items()
+            if old in inputs[0].columns
+        }
+        return inputs[0].rename(renames) if renames else inputs[0]
+
+    def _op_convert(self, operation, inputs, context):
+        frame = inputs[0]
+        for column, target in operation.config.get("conversions", {}).items():
+            if column not in frame.columns:
+                continue
+            caster = _make_caster(str(target))
+            values = [caster(normalize_value(v)) for v in frame.get_column(column).to_list()]
+            frame = frame.with_columns(self._pl.Series(column, values, strict=False))
+        return frame
+
+    def _op_surrogate_key(self, operation, inputs, context):
+        frame = inputs[0]
+        key_field = operation.config.get("key_field", "surrogate_key")
+        return frame.with_columns(
+            self._pl.Series(key_field, list(range(1, frame.height + 1)))
+        )
+
+    def _op_lookup(self, operation, inputs, context):
+        if len(inputs) < 2:
+            frame = inputs[0]
+            flag = f"{operation.config.get('reference', 'reference')}_matched"
+            return frame.with_columns(self._pl.Series(flag, [True] * frame.height))
+        probe_index, reference_index = self._orient(operation, inputs)
+        left, right = inputs[probe_index], inputs[reference_index]
+        pairs = _lookup_pairs(
+            operation.config.get("on", []),
+            context.input_operation(operation, reference_index),
+            right.columns,
+        )
+        return self._join_frames(left, right, pairs, how="left")
+
+    def _op_join(self, operation, inputs, context):
+        left_index, right_index = self._orient(operation, inputs)
+        left, right = inputs[left_index], inputs[right_index]
+        pairs = _join_pairs(operation.config.get("on", []), left.columns, right.columns)
+        if not pairs:
+            return left
+        return self._join_frames(left, right, pairs, how="inner")
+
+    def _join_frames(self, left, right, pairs: list[tuple[str, str]], how: str):
+        right_keys = [p[1] for p in pairs]
+        renames = _collision_renames(left.columns, right.columns, set(right_keys))
+        prepared = right.rename(renames) if renames else right
+        joined = left.join(
+            prepared,
+            how=how,
+            left_on=[p[0] for p in pairs],
+            right_on=right_keys,
+            coalesce=True,
+        )
+        return joined
+
+    def _op_aggregate(self, operation, inputs, context):
+        frame = inputs[0]
+        group_by = [c for c in operation.config.get("group_by", []) if c in frame.columns]
+        aggregations = dict(operation.config.get("aggregations", {})) or {"row_count": "count"}
+        pl = self._pl
+        expressions = []
+        for column, function in aggregations.items():
+            function = str(function).lower()
+            source = pl.col(column) if column in frame.columns else pl.lit(None)
+            if function == "count":
+                expressions.append(pl.len().alias(column))
+            elif function == "sum":
+                expressions.append(source.sum().alias(column))
+            elif function in ("avg", "mean"):
+                expressions.append(source.mean().alias(column))
+            elif function == "min":
+                expressions.append(source.min().alias(column))
+            elif function == "max":
+                expressions.append(source.max().alias(column))
+            else:
+                raise UnsupportedOperationError(f"unknown aggregation function {function!r}")
+        if not group_by:
+            return frame.select(expressions)
+        return frame.group_by(group_by, maintain_order=True).agg(expressions)
+
+    def _op_sort(self, operation, inputs, context):
+        frame = inputs[0]
+        by = [c for c in operation.config.get("by", []) if c in frame.columns]
+        return frame.sort(by, nulls_last=False) if by else frame
+
+    def _op_union(self, operation, inputs, context):
+        return self._pl.concat(list(inputs), how="diagonal")
+
+    _op_merge = _op_union
+
+    def _op_diff(self, operation, inputs, context):
+        left = inputs[0]
+        if len(inputs) < 2:
+            return left
+        right = inputs[1]
+        shared = [c for c in left.columns if c in set(right.columns)]
+        seen = {
+            tuple(normalize_value(row.get(c)) for c in shared) for row in right.to_dicts()
+        }
+        mask = self._pl.Series(
+            [
+                tuple(normalize_value(row.get(c)) for c in shared) not in seen
+                for row in left.to_dicts()
+            ]
+        )
+        return left.filter(mask)
+
+    def _op_deduplicate(self, operation, inputs, context):
+        frame = inputs[0]
+        keys = [c for c in operation.config.get("keys", []) if c in frame.columns]
+        return frame.unique(subset=keys or None, keep="first", maintain_order=True)
+
+    def _op_filter_nulls(self, operation, inputs, context):
+        return inputs[0].drop_nulls()
+
+    def _op_crosscheck(self, operation, inputs, context):
+        frame = inputs[0]
+        mask = self._pl.Series(
+            [
+                not any(datagen.is_error_value(v) for v in row.values())
+                for row in self._rows(frame)
+            ]
+        )
+        return frame.filter(mask)
+
+    _op_validate = _op_crosscheck
+
+    def _op_cleanse(self, operation, inputs, context):
+        frame = inputs[0]
+        rows = [
+            {k: datagen.repair_error_value(v) for k, v in row.items()}
+            for row in self._rows(frame)
+        ]
+        return self._pl.DataFrame(rows, schema=frame.columns, strict=False)
+
+    def _op_slowly_changing_dim(self, operation, inputs, context):
+        frame = inputs[0]
+        if "scd_current" in frame.columns:
+            return frame
+        return frame.with_columns(self._pl.Series("scd_current", [True] * frame.height))
+
+    def _op_split(self, operation, inputs, context):
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        masks = [
+            self._pl.Series([i % fanout == offset for i in range(frame.height)])
+            for offset in range(fanout)
+        ]
+        return [frame.filter(mask) for mask in masks]
+
+    _op_router = _op_split
+
+    def _op_partition(self, operation, inputs, context):
+        frame = inputs[0]
+        fanout = max(1, context.fanout(operation))
+        key = operation.config.get("key", "")
+        if key not in frame.columns:
+            return [frame] + [frame.head(0) for _ in range(fanout - 1)]
+        assignment = [
+            _partition_index(normalize_value(v), fanout)
+            for v in frame.get_column(key).to_list()
+        ]
+        return [
+            frame.filter(self._pl.Series([a == g for a in assignment]))
+            for g in range(fanout)
+        ]
+
+    def _op_replicate(self, operation, inputs, context):
+        frame = inputs[0]
+        return [frame.clone() for _ in range(max(1, context.fanout(operation)))]
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+_BACKEND_TYPES: dict[str, type[ETLBackend]] = {
+    "local": LocalBackend,
+    "pandas": PandasBackend,
+    "polars": PolarsBackend,
+}
+
+
+def available_backends() -> dict[str, bool]:
+    """Backend name -> whether it can be constructed in this environment."""
+    return {name: cls.is_available() for name, cls in _BACKEND_TYPES.items()}
+
+
+def create_backend(name: str) -> ETLBackend:
+    """Instantiate a backend by its ``executor_backend`` name.
+
+    Raises :class:`ValueError` for unknown names and
+    :class:`BackendUnavailableError` when the backing library is not
+    installed (optional backends are never silently substituted).
+    """
+    try:
+        backend_type = _BACKEND_TYPES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor backend: {name!r} (use one of {EXECUTOR_BACKENDS})"
+        ) from None
+    return backend_type()

@@ -1,0 +1,162 @@
+"""Materialize sampled source data for executable flows.
+
+The simulator only propagates *statistics* (row counts, defect counts)
+through a flow; execution needs actual rows.  This module turns an
+extraction operation into concrete columns: volumes and defect counts are
+sampled through :class:`repro.simulator.datagen.SyntheticDataGenerator`
+(the same source model the simulator uses, so measured runs see the data
+the estimates were made about), and cell values are drawn from a seeded
+numpy generator keyed on the operation identifier -- every alternative
+flow grafted from the same base extracts *identical* data, which is what
+makes measured wall-time differences attributable to the redesign rather
+than to the inputs.
+
+Defects are physical, not just counted: nulls blank a nullable field,
+duplicates repeat an earlier row (keys included, so deduplication has
+real work to do), and error rows carry recognizably broken values (the
+``ERR!`` marker / far-out-of-range numbers) that the crosscheck, validate
+and cleanse operators act on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.etl.operations import Operation
+from repro.etl.schema import DataType, Schema
+from repro.simulator.datagen import SourceProfile, SyntheticDataGenerator
+
+#: Error rows carry this prefix on one string field (or a far-out-of-range
+#: numeric); the data-quality operators recognise it.
+ERROR_MARKER = "ERR!"
+
+#: Numeric error sentinel offset: far outside any generated value range.
+ERROR_NUMERIC = -1_000_000.0
+
+
+def stable_seed(*parts: object) -> int:
+    """A deterministic 32-bit seed from arbitrary hashable parts."""
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def is_error_value(value: object) -> bool:
+    """Whether a cell carries the generator's injected-error marker."""
+    if isinstance(value, str):
+        return value.startswith(ERROR_MARKER)
+    if isinstance(value, bool):
+        return False
+    if isinstance(value, (int, float)):
+        return value <= ERROR_NUMERIC
+    return False
+
+
+def repair_error_value(value: object) -> object:
+    """The cleansed form of an injected-error cell (identity otherwise)."""
+    if isinstance(value, str) and value.startswith(ERROR_MARKER):
+        return value[len(ERROR_MARKER):]
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)) and value <= ERROR_NUMERIC:
+        repaired = value - ERROR_NUMERIC  # the original value, shifted back
+        return type(value)(repaired)
+    return value
+
+
+def _column_values(
+    field_name: str, dtype: DataType, key: bool, rows: int, rng: np.random.Generator
+) -> list:
+    """Generate one column of plain Python scalars."""
+    if rows == 0:
+        return []
+    if key and dtype is DataType.INTEGER:
+        # Key columns count up from 0 so that branches extracted from
+        # related tables (orders/lineitem, nation lookups) overlap on
+        # their join keys instead of missing each other entirely.
+        return [int(i) for i in range(rows)]
+    if dtype is DataType.INTEGER:
+        # Small domain: lookup/join keys drawn here must frequently hit
+        # the 0..rows-1 key range of the reference branch.
+        high = max(25, rows // 2)
+        return [int(v) for v in rng.integers(0, high, size=rows)]
+    if dtype is DataType.DECIMAL:
+        return [round(float(v), 2) for v in rng.uniform(1.0, 1000.0, size=rows)]
+    if dtype is DataType.DATE:
+        days = rng.integers(0, 364, size=rows)
+        return [f"2024-{1 + int(d) // 31:02d}-{1 + int(d) % 28:02d}" for d in days]
+    if dtype is DataType.TIMESTAMP:
+        seconds = rng.integers(0, 86_400, size=rows)
+        return [
+            f"2024-06-01T{int(s) // 3600:02d}:{int(s) % 3600 // 60:02d}:{int(s) % 60:02d}"
+            for s in seconds
+        ]
+    if dtype is DataType.BOOLEAN:
+        return [bool(v) for v in rng.integers(0, 2, size=rows)]
+    if dtype is DataType.BINARY:
+        return [f"{int(v):08x}" for v in rng.integers(0, 2**31, size=rows)]
+    # STRING (and anything unmodelled): a small label domain.
+    labels = rng.integers(0, 97, size=rows)
+    return [f"{field_name}_{int(v)}" for v in labels]
+
+
+def generate_source_columns(operation: Operation, seed: int = 7) -> dict[str, list]:
+    """Concrete columns for one extraction operation.
+
+    Deterministic in ``(seed, operation.op_id)``: the flow an operation
+    is part of does not matter, so the same extract grafted into many
+    alternatives produces byte-identical data.
+    """
+    schema: Schema = operation.output_schema
+    profile = SourceProfile.from_operation(operation)
+    sampler = SyntheticDataGenerator(seed=stable_seed(seed, operation.op_id, "volume"))
+    sample = sampler.sample(profile)
+    rows = int(sample["rows"])
+    rng = np.random.default_rng(stable_seed(seed, operation.op_id, "values"))
+
+    columns: dict[str, list] = {
+        f.name: _column_values(f.name, f.dtype, f.key, rows, rng) for f in schema
+    }
+    if not columns:
+        columns = {"value": [int(v) for v in rng.integers(0, 100, size=rows)]}
+    if rows == 0:
+        return columns
+
+    names = list(columns)
+    # Duplicates first: trailing rows become copies of earlier rows, keys
+    # included, so key-based deduplication genuinely removes them.
+    duplicate_rows = min(int(sample["duplicate_rows"]), rows - 1)
+    if duplicate_rows > 0:
+        originals = rng.integers(0, rows - duplicate_rows, size=duplicate_rows)
+        for offset, original in enumerate(originals):
+            target = rows - duplicate_rows + offset
+            for name in names:
+                columns[name][target] = columns[name][int(original)]
+
+    # Nulls: blank one nullable field per affected row.
+    nullable = [f.name for f in schema if f.nullable]
+    null_rows = min(int(sample["null_rows"]), rows)
+    if nullable and null_rows > 0:
+        affected = rng.choice(rows, size=null_rows, replace=False)
+        for index, row in enumerate(affected):
+            field_name = nullable[index % len(nullable)]
+            columns[field_name][int(row)] = None
+
+    # Errors: one recognizably broken value per affected row.
+    breakable = [
+        f for f in schema if f.dtype is DataType.STRING or (f.dtype.is_numeric and not f.key)
+    ]
+    error_rows = min(int(sample["error_rows"]), rows)
+    if breakable and error_rows > 0:
+        affected = rng.choice(rows, size=error_rows, replace=False)
+        for index, row in enumerate(affected):
+            target = breakable[index % len(breakable)]
+            value = columns[target.name][int(row)]
+            if value is None:
+                continue
+            if target.dtype is DataType.STRING:
+                columns[target.name][int(row)] = ERROR_MARKER + str(value)
+            else:
+                columns[target.name][int(row)] = ERROR_NUMERIC + float(value)
+    return columns

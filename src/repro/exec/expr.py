@@ -1,0 +1,346 @@
+"""A small expression interpreter for predicate and derivation text.
+
+The flow model carries its row-level logic as SQL-ish text: filter
+predicates like ``"c_acctbal >= 0"`` or
+``"item_record_end_date = null AND purchase_line_item_id = item_id"``,
+and derive expressions like ``"l_extendedprice * (1 - l_discount)"``.
+Every backend executes that text with *this* interpreter -- sharing one
+set of semantics is what makes the differential conformance suite a test
+of the backends' structural operators (joins, group-bys, sorts) rather
+than of three independent expression dialects.
+
+Semantics, chosen to keep builder-produced flows executable end to end:
+
+* ``x = null`` / ``x != null`` are null tests; any other comparison
+  against ``None`` is false (SQL-style).
+* Arithmetic over ``None`` yields ``None``.
+* ``:parameter`` placeholders without a binding make the *enclosing
+  comparison* true -- an unbound refresh-window predicate passes rows
+  through instead of silently emptying the flow.
+* Unknown functions (``discount(item_id)`` and friends in the paper's
+  flows) evaluate to a deterministic pseudo-random value derived from
+  the function name and its arguments, so flows referencing business
+  functions the reproduction does not have still execute reproducibly.
+"""
+
+from __future__ import annotations
+
+import re
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+__all__ = ["ExpressionError", "compile_expression", "evaluate", "truthy"]
+
+
+class ExpressionError(ValueError):
+    """Raised for unparseable predicate / derivation text."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>\d+\.\d*|\.\d+|\d+)"
+    r"|(?P<string>'[^']*')"
+    r"|(?P<param>:[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|==|!=|<>|[-+*/()<>=,])"
+    r")"
+)
+
+_KEYWORDS = {"and", "or", "not", "null", "true", "false"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise ExpressionError(
+                f"cannot tokenize expression at {remainder[:20]!r} (in {text!r})"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.lower() in _KEYWORDS:
+            tokens.append((value.lower(), value.lower()))
+        else:
+            tokens.append((kind, value))
+    tokens.append(("end", ""))
+    return tokens
+
+
+# -- AST nodes (plain tuples: (tag, *payload)) ---------------------------
+
+
+class _Parser:
+    """Recursive-descent parser producing a tuple-shaped AST."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.index]
+
+    def advance(self) -> tuple[str, str]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str]:
+        token = self.advance()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise ExpressionError(
+                f"expected {value or kind!r}, found {token[1]!r} (in {self.text!r})"
+            )
+        return token
+
+    def parse(self) -> tuple:
+        node = self.parse_or()
+        if self.peek()[0] != "end":
+            raise ExpressionError(
+                f"trailing input {self.peek()[1]!r} in expression {self.text!r}"
+            )
+        return node
+
+    def parse_or(self) -> tuple:
+        node = self.parse_and()
+        while self.peek() == ("or", "or"):
+            self.advance()
+            node = ("or", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> tuple:
+        node = self.parse_not()
+        while self.peek() == ("and", "and"):
+            self.advance()
+            node = ("and", node, self.parse_not())
+        return node
+
+    def parse_not(self) -> tuple:
+        if self.peek() == ("not", "not"):
+            self.advance()
+            return ("not", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> tuple:
+        node = self.parse_additive()
+        kind, value = self.peek()
+        if kind == "op" and value in ("=", "==", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            right = self.parse_additive()
+            return ("cmp", value, node, right)
+        return node
+
+    def parse_additive(self) -> tuple:
+        node = self.parse_multiplicative()
+        while self.peek()[0] == "op" and self.peek()[1] in ("+", "-"):
+            op = self.advance()[1]
+            node = ("arith", op, node, self.parse_multiplicative())
+        return node
+
+    def parse_multiplicative(self) -> tuple:
+        node = self.parse_unary()
+        while self.peek()[0] == "op" and self.peek()[1] in ("*", "/"):
+            op = self.advance()[1]
+            node = ("arith", op, node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> tuple:
+        if self.peek() == ("op", "-"):
+            self.advance()
+            return ("neg", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> tuple:
+        kind, value = self.advance()
+        if kind == "number":
+            return ("const", float(value) if "." in value else int(value))
+        if kind == "string":
+            return ("const", value[1:-1])
+        if kind == "null":
+            return ("const", None)
+        if kind == "true":
+            return ("const", True)
+        if kind == "false":
+            return ("const", False)
+        if kind == "param":
+            return ("param", value[1:])
+        if kind == "name":
+            if self.peek() == ("op", "("):
+                self.advance()
+                args = []
+                if self.peek() != ("op", ")"):
+                    args.append(self.parse_or())
+                    while self.peek() == ("op", ","):
+                        self.advance()
+                        args.append(self.parse_or())
+                self.expect("op", ")")
+                return ("call", value, tuple(args))
+            return ("ident", value)
+        if kind == "op" and value == "(":
+            node = self.parse_or()
+            self.expect("op", ")")
+            return node
+        raise ExpressionError(f"unexpected token {value!r} in expression {self.text!r}")
+
+
+_PARSE_MEMO: dict[str, tuple] = {}
+
+
+def compile_expression(text: str) -> tuple:
+    """Parse expression text into an AST (memoized; raises ExpressionError)."""
+    node = _PARSE_MEMO.get(text)
+    if node is None:
+        node = _Parser(text).parse()
+        if len(_PARSE_MEMO) > 4096:  # trivially recomputable; bound the memo
+            _PARSE_MEMO.clear()
+        _PARSE_MEMO[text] = node
+    return node
+
+
+# -- evaluation ----------------------------------------------------------
+
+
+class _Unbound:
+    """Sentinel for a ``:parameter`` without a binding."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unbound parameter>"
+
+
+UNBOUND = _Unbound()
+
+
+def _pseudo(name: str, args: tuple) -> float:
+    """Deterministic stand-in value for an unknown business function."""
+    digest = zlib.crc32(repr((name, args)).encode("utf-8"))
+    return (digest % 100_000) / 100_000.0
+
+
+def _builtin_functions() -> dict[str, Callable[..., Any]]:
+    return {
+        "abs": lambda x: None if x is None else abs(x),
+        "round": lambda x, n=0: None if x is None else round(x, int(n)),
+        "min": lambda *xs: min((x for x in xs if x is not None), default=None),
+        "max": lambda *xs: max((x for x in xs if x is not None), default=None),
+        "coalesce": lambda *xs: next((x for x in xs if x is not None), None),
+        # Business functions referenced by the paper's flows: deterministic
+        # models rather than real reference data.
+        "discount": lambda x: 0.3 * _pseudo("discount", (x,)),
+        "cost": lambda x: 1.0 + 49.0 * _pseudo("cost", (x,)),
+    }
+
+
+_FUNCTIONS = _builtin_functions()
+
+
+def _compare(op: str, left: Any, right: Any) -> bool:
+    if left is UNBOUND or right is UNBOUND:
+        return True  # unbound parameter: the predicate is advisory
+    if op in ("=", "=="):
+        return left == right
+    if op in ("!=", "<>"):
+        return left != right
+    if left is None or right is None:
+        return False
+    if isinstance(left, bool) or isinstance(right, bool):
+        left, right = bool(left), bool(right)
+    elif isinstance(left, (int, float)) != isinstance(right, (int, float)):
+        left, right = str(left), str(right)  # total order for mixed types
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def evaluate(
+    node: tuple,
+    env: Mapping[str, Any],
+    params: Mapping[str, Any] | None = None,
+) -> Any:
+    """Evaluate a compiled expression against one row environment."""
+    tag = node[0]
+    if tag == "const":
+        return node[1]
+    if tag == "ident":
+        return env.get(node[1])
+    if tag == "param":
+        if params and node[1] in params:
+            return params[node[1]]
+        return UNBOUND
+    if tag == "cmp":
+        _, op, left, right = node
+        return _compare(op, evaluate(left, env, params), evaluate(right, env, params))
+    if tag == "and":
+        return truthy(evaluate(node[1], env, params)) and truthy(
+            evaluate(node[2], env, params)
+        )
+    if tag == "or":
+        return truthy(evaluate(node[1], env, params)) or truthy(
+            evaluate(node[2], env, params)
+        )
+    if tag == "not":
+        return not truthy(evaluate(node[1], env, params))
+    if tag == "neg":
+        value = evaluate(node[1], env, params)
+        return None if value is None or value is UNBOUND else -value
+    if tag == "arith":
+        _, op, left, right = node
+        lval = evaluate(left, env, params)
+        rval = evaluate(right, env, params)
+        if lval is None or rval is None or lval is UNBOUND or rval is UNBOUND:
+            return None
+        if isinstance(lval, str) or isinstance(rval, str):
+            if op == "+":
+                return str(lval) + str(rval)
+            return None  # no -, *, / over strings
+        if op == "+":
+            return lval + rval
+        if op == "-":
+            return lval - rval
+        if op == "*":
+            return lval * rval
+        return None if rval == 0 else lval / rval
+    if tag == "call":
+        _, name, arg_nodes = node
+        args = tuple(evaluate(arg, env, params) for arg in arg_nodes)
+        function = _FUNCTIONS.get(name.lower())
+        if function is None:
+            return _pseudo(name.lower(), args)
+        return function(*args)
+    raise ExpressionError(f"unknown AST node {tag!r}")  # pragma: no cover
+
+
+def truthy(value: Any) -> bool:
+    """Predicate truth of an evaluated value (None and UNBOUND are false)."""
+    if value is None:
+        return False
+    if value is UNBOUND:
+        return True  # a bare unbound parameter keeps the row
+    return bool(value)
+
+
+@dataclass(frozen=True)
+class CompiledPredicate:
+    """A predicate compiled once and applied per row."""
+
+    text: str
+    node: tuple
+
+    @classmethod
+    def compile(cls, text: str) -> "CompiledPredicate":
+        return cls(text=text, node=compile_expression(text))
+
+    def __call__(self, row: Mapping[str, Any], params: Mapping[str, Any] | None = None) -> bool:
+        return truthy(evaluate(self.node, row, params))

@@ -3,11 +3,12 @@
 The first step of a POIESIS session is to import an initial ETL model;
 the paper currently supports the loading of xLM and PDI (Pentaho Data
 Integration) documents.  This package provides readers and writers for
-both formats, a native JSON interchange format, and a Graphviz DOT export
-used for inspection.
+both formats, a native JSON interchange format, a compact YAML authoring
+DSL, and a Graphviz DOT export used for inspection.
 """
 
 from repro.io.jsonflow import flow_from_json, flow_to_json, load_flow_json, save_flow_json
+from repro.io.yamlflow import flow_from_yaml, flow_to_yaml, load_flow_yaml, save_flow_yaml
 from repro.io.xlm import flow_from_xlm, flow_to_xlm, load_flow_xlm, save_flow_xlm
 from repro.io.pdi import flow_from_pdi, flow_to_pdi, load_flow_pdi, save_flow_pdi
 from repro.io.dot import flow_to_dot
@@ -17,6 +18,10 @@ __all__ = [
     "flow_to_json",
     "load_flow_json",
     "save_flow_json",
+    "flow_from_yaml",
+    "flow_to_yaml",
+    "load_flow_yaml",
+    "save_flow_yaml",
     "flow_from_xlm",
     "flow_to_xlm",
     "load_flow_xlm",

@@ -9,12 +9,20 @@ re-creations of those flows, together with a parameterised random flow
 generator used by the scalability benchmarks.
 """
 
+from repro.workloads.executable import (
+    CALIBRATION_PATTERNS,
+    calibration_configuration,
+    calibration_flow,
+)
 from repro.workloads.purchases import purchases_flow
 from repro.workloads.tpch import tpch_refresh_flow, tpch_schemas
 from repro.workloads.tpcds import tpcds_sales_flow, tpcds_schemas
 from repro.workloads.generator import RandomFlowConfig, random_flow
 
 __all__ = [
+    "CALIBRATION_PATTERNS",
+    "calibration_configuration",
+    "calibration_flow",
     "purchases_flow",
     "tpch_refresh_flow",
     "tpch_schemas",

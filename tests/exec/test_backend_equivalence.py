@@ -1,0 +1,219 @@
+"""Differential conformance: every operator, pandas/polars vs. local.
+
+The ``local`` pure-Python backend is the executable semantics reference;
+the optional native backends must be drop-in replacements.  For every
+supported operator kind this module builds a seeded micro-flow, executes
+it on ``local`` and on each optional backend, and asserts the loaded
+frames are value-identical after canonicalisation (row order and dtype
+representation are not semantics: rows are compared sorted, numpy
+scalars unwrapped, NaN treated as null, floats within 1e-9 relative).
+
+The pandas and polars arms auto-skip with an explicit reason when the
+library is not installed (``pip install poiesis-repro[pandas]`` /
+``[polars]`` enables them); the matrix itself runs everywhere because
+the local arm doubles as a self-check that each micro-flow executes and
+loads rows at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.etl.builder import FlowBuilder
+from repro.etl.operations import OperationKind
+from repro.etl.schema import DataType, Field, Schema
+from repro.exec import (
+    FlowExecutor,
+    available_backends,
+    canonical_rows,
+    rows_approximately_equal,
+)
+
+_AVAILABLE = available_backends()
+
+requires_pandas = pytest.mark.skipif(
+    not _AVAILABLE.get("pandas", False),
+    reason="pandas is not installed (pip install poiesis-repro[pandas])",
+)
+requires_polars = pytest.mark.skipif(
+    not _AVAILABLE.get("polars", False),
+    reason="polars is not installed (pip install poiesis-repro[polars])",
+)
+
+OPTIONAL_BACKENDS = [
+    pytest.param("pandas", marks=[requires_pandas, pytest.mark.requires_pandas]),
+    pytest.param("polars", marks=[requires_polars, pytest.mark.requires_polars]),
+]
+
+
+def _schema() -> Schema:
+    return Schema.of(
+        Field("id", DataType.INTEGER, nullable=False, key=True),
+        Field("value", DataType.INTEGER, nullable=True),
+        Field("label", DataType.STRING, nullable=True),
+    )
+
+
+def _source(builder: FlowBuilder, name: str = "src", rows: int = 120):
+    """A dirty seeded source: nulls, duplicates and error-marked cells."""
+    return builder.extract_table(
+        name,
+        schema=_schema(),
+        rows=rows,
+        null_rate=0.1,
+        duplicate_rate=0.08,
+        error_rate=0.05,
+    )
+
+
+def _unary(kind: OperationKind, config: dict):
+    def build() -> object:
+        builder = FlowBuilder(f"eq_{kind.value}")
+        src = _source(builder)
+        op = builder.add(kind, kind.value, config=config, after=src)
+        builder.load_table("sink", after=op)
+        return builder.build()
+
+    return build
+
+
+def _binary(kind: OperationKind, config: dict):
+    def build() -> object:
+        builder = FlowBuilder(f"eq_{kind.value}")
+        left = _source(builder, "left_src", rows=90)
+        right = _source(builder, "right_src", rows=70)
+        op = builder.add(kind, kind.value, config=config, after=[left, right])
+        builder.load_table("sink", after=op)
+        return builder.build()
+
+    return build
+
+
+def _router(kind: OperationKind, config: dict):
+    def build() -> object:
+        builder = FlowBuilder(f"eq_{kind.value}")
+        src = _source(builder)
+        op = builder.add(kind, kind.value, config=config, after=src)
+        builder.load_table("sink_a", after=op)
+        builder.load_table("sink_b", after=op)
+        return builder.build()
+
+    return build
+
+
+def _lookup_flow() -> object:
+    builder = FlowBuilder("eq_lookup")
+    src = _source(builder, "facts", rows=90)
+    reference = builder.extract_table(
+        "dim_labels",
+        schema=Schema.of(
+            Field("value", DataType.INTEGER, nullable=False, key=True),
+            Field("category", DataType.STRING, nullable=True),
+        ),
+        rows=40,
+    )
+    lookup = builder.lookup(
+        "enrich", reference="dim_labels", on=["value"], after=[src, reference]
+    )
+    builder.load_table("sink", after=lookup)
+    return builder.build()
+
+
+def _checkpoint_flow() -> object:
+    builder = FlowBuilder("eq_checkpoint")
+    src = _source(builder)
+    checkpoint = builder.add(
+        OperationKind.CHECKPOINT, "persist", config={"savepoint": "eq_sp"}, after=src
+    )
+    builder.load_table("sink", after=checkpoint)
+    return builder.build()
+
+
+#: Operator kind -> zero-argument micro-flow factory.  Together these
+#: cover every executable operator of the backend dispatch table (PIVOT
+#: is deliberately unsupported and covered by the compiler tests).
+OPERATOR_FLOWS = {
+    "filter": _unary(OperationKind.FILTER, {"predicate": "value > 8"}),
+    "filter_null_compare": _unary(OperationKind.FILTER, {"predicate": "label != null"}),
+    "project": _unary(OperationKind.PROJECT, {"keep": ["id", "value"]}),
+    "derive": _unary(
+        OperationKind.DERIVE,
+        {"expressions": {"total": "value * 2 + 1", "big": "value > 10"}},
+    ),
+    "rename": _unary(OperationKind.RENAME, {"renames": {"value": "amount"}}),
+    "convert": _unary(OperationKind.CONVERT, {"conversions": {"value": "decimal(12,2)"}}),
+    "surrogate_key": _unary(OperationKind.SURROGATE_KEY, {"key_field": "sk"}),
+    "slowly_changing_dim": _unary(OperationKind.SLOWLY_CHANGING_DIM, {}),
+    "aggregate": _unary(
+        OperationKind.AGGREGATE,
+        {"group_by": ["label"], "aggregations": {"value": "sum", "id": "count"}},
+    ),
+    "aggregate_default": _unary(OperationKind.AGGREGATE, {"group_by": ["label"]}),
+    "sort": _unary(OperationKind.SORT, {"by": ["value", "id"]}),
+    "deduplicate": _unary(OperationKind.DEDUPLICATE, {"keys": ["id"]}),
+    "filter_nulls": _unary(OperationKind.FILTER_NULLS, {}),
+    "crosscheck": _unary(OperationKind.CROSSCHECK, {}),
+    "validate": _unary(OperationKind.VALIDATE, {}),
+    "cleanse": _unary(OperationKind.CLEANSE, {}),
+    "join": _binary(OperationKind.JOIN, {"on": ["id"]}),
+    "union": _binary(OperationKind.UNION, {}),
+    "merge": _binary(OperationKind.MERGE, {}),
+    "diff": _binary(OperationKind.DIFF, {}),
+    "lookup": _lookup_flow,
+    "split": _router(OperationKind.SPLIT, {"outputs": 2}),
+    "router": _router(OperationKind.ROUTER, {"outputs": 2}),
+    "partition": _router(OperationKind.PARTITION, {"key": "id", "partitions": 2}),
+    "replicate": _router(OperationKind.REPLICATE, {}),
+    "checkpoint": _checkpoint_flow,
+    "passthrough": _unary(OperationKind.ENCRYPT, {}),
+}
+
+
+def _outputs(flow, backend: str) -> dict[str, dict[str, list]]:
+    return FlowExecutor(backend=backend, data_seed=13).execute(flow).outputs
+
+
+@pytest.mark.parametrize("operator", sorted(OPERATOR_FLOWS))
+def test_operator_executes_on_local(operator: str):
+    """Each micro-flow must execute and load rows on the reference backend."""
+    outputs = _outputs(OPERATOR_FLOWS[operator](), "local")
+    assert outputs, f"{operator}: no sink output captured"
+    total = sum(
+        max((len(v) for v in columns.values()), default=0)
+        for columns in outputs.values()
+    )
+    assert total > 0, f"{operator}: sinks received no rows"
+
+
+@pytest.mark.parametrize("backend", OPTIONAL_BACKENDS)
+@pytest.mark.parametrize("operator", sorted(OPERATOR_FLOWS))
+def test_operator_matches_local(operator: str, backend: str):
+    """Native backends must be value-identical to the local reference."""
+    flow = OPERATOR_FLOWS[operator]()
+    reference = _outputs(flow, "local")
+    candidate = _outputs(flow, backend)
+    assert sorted(candidate) == sorted(reference)
+    for sink, columns in reference.items():
+        expected = canonical_rows(columns)
+        actual = canonical_rows(candidate[sink])
+        assert sorted(candidate[sink]) == sorted(columns), (
+            f"{operator}/{sink}: column sets differ on {backend}"
+        )
+        assert rows_approximately_equal(actual, expected), (
+            f"{operator}/{sink}: values differ between local and {backend}"
+        )
+
+
+@pytest.mark.parametrize("backend", OPTIONAL_BACKENDS)
+def test_builtin_workloads_match_local(backend: str):
+    """The shipped TPC-H and purchases flows agree across backends."""
+    from repro.workloads import purchases_flow, tpch_refresh_flow
+
+    for flow in (tpch_refresh_flow(scale=0.02), purchases_flow(rows_per_source=500)):
+        reference = _outputs(flow, "local")
+        candidate = _outputs(flow, backend)
+        assert sorted(candidate) == sorted(reference)
+        for sink, columns in reference.items():
+            assert rows_approximately_equal(
+                canonical_rows(candidate[sink]), canonical_rows(columns)
+            ), f"{flow.name}/{sink}: values differ between local and {backend}"

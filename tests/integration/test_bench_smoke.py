@@ -179,6 +179,27 @@ def test_fleet_bench_smoke_tiny_flow():
     assert "sharded vs single" in rendered
 
 
+def test_execution_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_execution.py")
+    report = bench.run_execution_bench(scale=0.02, k=3, repeats=1)
+    assert report["identical_plans"], "executing the top-k mutated the plans"
+    assert report["alternatives"] > 0
+    assert report["skyline_size"] > 0
+    calibration = report["calibration"]
+    assert calibration["backend"] == "local"
+    assert calibration["pool"] == "skyline"
+    assert len(calibration["runs"]) == 3
+    for run in calibration["runs"]:
+        assert run["measured_ms"] > 0
+        assert run["rows_loaded"] > 0
+    # spearman is only asserted at benchmark scale; tiny runs just need
+    # a defined value in range
+    assert -1.0 <= report["spearman"] <= 1.0
+    rendered = bench._render_report(report)
+    assert "spearman" in rendered
+    assert "measured ranking" in rendered
+
+
 def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     run_all = _load_module(_BENCH_DIR / "run_all.py")
     output = tmp_path / "BENCH_generation.json"
@@ -218,3 +239,9 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     assert fleet["busiest_clients"] == 2
     assert fleet["speedup_sharded_vs_single"] > 0
     assert len(fleet["raw"]["grid"]) == 4
+    execution = record["execution"]
+    assert execution["identical_plans"]
+    assert execution["backend"] == "local"
+    assert execution["executed"] == 3
+    assert -1.0 <= execution["spearman"] <= 1.0
+    assert execution["raw"]["calibration"]["runs"]

@@ -1,0 +1,152 @@
+"""The YAML authoring DSL: round-trips, fixpoint, clean diagnostics."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.etl.operations import OperationKind
+from repro.exec import FlowExecutor
+from repro.io import flow_from_yaml, flow_to_yaml, load_flow_yaml, save_flow_yaml
+from repro.workloads import purchases_flow, tpch_refresh_flow
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "flow.yaml"
+
+DOC = """
+flow:
+  name: orders
+  nodes:
+    extract_orders:
+      kind: extract_table
+      schema: [o_id:integer!, o_total:decimal, o_note:string]
+      config: {rows: 200}
+      properties: {null_rate: 0.1}
+    drop_nulls: {kind: filter_nulls}
+    split: {kind: split, config: {outputs: 2}}
+    sink_a: {kind: load_table}
+    sink_b: {kind: load_table}
+  edges:
+    - extract_orders >> drop_nulls >> split
+    - {source: split, target: sink_a, label: even}
+    - {source: split, target: sink_b, label: odd}
+"""
+
+
+def test_load_basic_document():
+    flow = flow_from_yaml(DOC)
+    assert flow.name == "orders"
+    assert flow.node_count == 5
+    assert flow.edge_count == 4
+    extract = flow.operation("extract_orders")
+    assert extract.kind is OperationKind.EXTRACT_TABLE
+    assert extract.config["rows"] == 200
+    assert extract.properties.null_rate == pytest.approx(0.1)
+    schema = extract.output_schema
+    assert [f.name for f in schema] == ["o_id", "o_total", "o_note"]
+    assert schema.key_fields[0].name == "o_id"
+    labels = {(e.source, e.target): e.label for e in flow.edges()}
+    assert labels[("split", "sink_a")] == "even"
+    assert labels[("split", "sink_b")] == "odd"
+
+
+def test_dump_load_fixpoint():
+    first = flow_to_yaml(flow_from_yaml(DOC))
+    second = flow_to_yaml(flow_from_yaml(first))
+    assert first == second
+
+
+def test_builder_flows_round_trip_exactly():
+    for flow in (tpch_refresh_flow(scale=0.02), purchases_flow(rows_per_source=300)):
+        text = flow_to_yaml(flow)
+        loaded = flow_from_yaml(text)
+        assert loaded.to_dict()["operations"] == flow.to_dict()["operations"]
+        assert loaded.to_dict()["edges"] == flow.to_dict()["edges"]
+        assert flow_to_yaml(loaded) == text
+
+
+def test_loaded_flow_executes():
+    report = FlowExecutor(data_seed=7).execute(flow_from_yaml(DOC))
+    assert set(report.statuses.values()) == {"ok"}
+    assert report.rows_loaded > 0
+
+
+def test_example_document_loads_and_executes():
+    flow = load_flow_yaml(EXAMPLE)
+    assert flow.name == "yaml_purchases"
+    report = FlowExecutor(data_seed=7).execute(flow)
+    assert report.rows_loaded > 0
+
+
+def test_save_and_load_files(tmp_path):
+    flow = flow_from_yaml(DOC)
+    path = save_flow_yaml(flow, tmp_path / "orders.yaml")
+    assert path.exists()
+    assert flow_to_yaml(load_flow_yaml(path)) == flow_to_yaml(flow)
+
+
+# ----------------------------------------------------------------------
+# Diagnostics: ValueErrors with the document vocabulary, not tracebacks
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("document", "fragment"),
+    [
+        ("nodes: {}", "top-level 'flow' mapping"),
+        ("flow: []", "'flow' entry must be a mapping"),
+        ("flow:\n  nodes: {}", "at least one node"),
+        ("flow:\n  nodes:\n    a: {kind: frobnicate}", "unknown operation kind"),
+        ("flow:\n  nodes:\n    a: {kind: frobnicate}", "valid kinds"),
+        ("flow:\n  nodes:\n    a: {kind: noop, shape: round}", "unknown entries"),
+        ("flow:\n  nodes:\n    a: noop", "must be a mapping"),
+        ("flow:\n  nodes:\n    a: {name: x}", "missing the required 'kind'"),
+        (
+            "flow:\n  nodes:\n    a: {kind: noop, properties: {speed: 9}}",
+            "unknown properties",
+        ),
+        (
+            "flow:\n  nodes:\n    a: {kind: extract_table, schema: [broken]}",
+            "malformed schema field",
+        ),
+        (
+            "flow:\n  nodes:\n    a: {kind: extract_table, schema: ['x:blorb']}",
+            "unknown data type",
+        ),
+        ("flow:\n  nodes:\n    a: {kind: noop}\n  edges: [a >> b]", "undeclared"),
+        ("flow:\n  nodes:\n    a: {kind: noop}\n  edges: [a >>]", "malformed edge"),
+        ("flow:\n  nodes:\n    a: {kind: noop}\n  edges: [{source: a}]", "malformed edge"),
+        (
+            "flow:\n  nodes:\n    a: {kind: noop}\n    b: {kind: noop}\n"
+            "  edges: [a >> b, b >> a]",
+            "cycle",
+        ),
+        (
+            "flow:\n  nodes:\n    a: {kind: noop}\n  edges: [a >> a]",
+            "self-loop",
+        ),
+        ("flow:\n  nodes:\n    a: {kind: noop}\n  extras: {}", "unknown entries"),
+        ("flow: {nodes: {a: {kind: noop}}, edges: 7}", "must be a list"),
+        (":\n  - not yaml: [", "invalid YAML"),
+    ],
+)
+def test_malformed_documents_raise_value_errors(document: str, fragment: str):
+    with pytest.raises(ValueError, match="(?s)" + fragment.replace("'", ".")):
+        flow_from_yaml(document)
+
+
+def test_chain_edges_expand_pairwise():
+    flow = flow_from_yaml(
+        "flow:\n"
+        "  nodes:\n"
+        "    a: {kind: extract_table}\n"
+        "    b: {kind: filter_nulls}\n"
+        "    c: {kind: deduplicate}\n"
+        "    d: {kind: load_table}\n"
+        "  edges: [a >> b >> c >> d]\n"
+    )
+    assert [(e.source, e.target) for e in flow.edges()] == [
+        ("a", "b"),
+        ("b", "c"),
+        ("c", "d"),
+    ]
