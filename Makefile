@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-fleet test-exec bench bench-tiny bench-cache bench-service bench-wire bench-fleet bench-exec serve serve-fleet worker docs-check examples check
+.PHONY: test test-fast test-fleet test-exec bench bench-tiny bench-cache bench-service bench-wire bench-fleet bench-exec bench-obs obs serve serve-fleet worker docs-check examples check
 
 ## tier-1 test suite (the gate every change must keep green)
 test:
@@ -50,6 +50,14 @@ bench-fleet:
 ## execution benchmark only: measured top-k calibration (spearman >= 0.6 gate)
 bench-exec:
 	$(PYTHON) -m pytest benchmarks/bench_execution.py -s -q
+
+## observability benchmark only: metrics on vs off (<= 3% overhead gate)
+bench-obs:
+	$(PYTHON) -m pytest benchmarks/bench_obs.py -s -q
+
+## fleet dashboard: scrape /metrics of running servers (OBS_URLS="http://...")
+obs:
+	$(PYTHON) tools/obs.py $(OBS_URLS)
 
 ## run the redesign service (persistent shared cache under .cache/profiles)
 serve:

@@ -1,0 +1,196 @@
+"""Instrumentation overhead: metrics on vs. metrics off, warm campaign.
+
+The observability layer's contract is that it is effectively free when
+disabled (``metrics_enabled=False`` costs one attribute check per
+instrumentation site) and *cheap* when enabled -- the planner, the
+evaluator and the cache tiers record counters and histogram samples on
+their hot paths, and none of that may change what gets planned or
+meaningfully slow it down.
+
+This benchmark runs the same warm TPC-H re-planning campaign through
+two planners -- one with metrics off (the default), one recording into
+a live :class:`repro.obs.MetricsRegistry` -- interleaving the timed
+runs so machine drift hits both arms equally, and reports:
+
+* the best (min) warm re-plan time per arm and the overhead fraction
+  ``(on - off) / off``;
+* proof the instrumented arm actually recorded (plan-span counts in the
+  registry match the number of plans);
+* byte-identical plan fingerprints across both arms: observability
+  must never change planning results.
+
+The headline gate (asserted at benchmark scale): overhead <= 3%.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+
+or through pytest (``pytest benchmarks/bench_obs.py -s``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
+    sys.path.insert(0, str(_SRC))
+
+from repro.core import Planner, ProcessingConfiguration  # noqa: E402
+from repro.obs import MetricsRegistry  # noqa: E402
+from repro.workloads import tpch_refresh_flow  # noqa: E402
+
+#: The acceptance bar: enabling metrics may cost at most this fraction
+#: of warm re-plan time.
+MAX_OVERHEAD_FRACTION = 0.03
+
+
+def run_obs_bench(
+    flow=None,
+    *,
+    scale: float = 0.05,
+    pattern_budget: int = 2,
+    max_points_per_pattern: int = 2,
+    simulation_runs: int = 5,
+    max_alternatives: int = 80,
+    repeats: int = 5,
+) -> dict:
+    """Time warm re-plans with metrics off vs. on; return the comparison.
+
+    Both planners first pay one untimed cold campaign (fills the profile
+    cache), then ``repeats`` warm re-plans are timed per arm, strictly
+    interleaved (off, on, off, on, ...) so drift cancels.  The headline
+    overhead compares the *best* time per arm -- the steady-state cost,
+    with scheduler noise suppressed.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if flow is None:
+        flow = tpch_refresh_flow(scale=scale)
+    base = dict(
+        pattern_budget=pattern_budget,
+        max_points_per_pattern=max_points_per_pattern,
+        simulation_runs=simulation_runs,
+        max_alternatives=max_alternatives,
+    )
+    registry = MetricsRegistry()
+    arms = {
+        "off": Planner(configuration=ProcessingConfiguration(**base)),
+        "on": Planner(
+            configuration=ProcessingConfiguration(
+                **base, metrics_enabled=True, metrics_registry=registry
+            )
+        ),
+    }
+
+    fingerprints: set = set()
+    plans = {name: 0 for name in arms}
+
+    def plan_once(name: str) -> float:
+        t0 = time.perf_counter()
+        result = arms[name].plan(flow)
+        seconds = time.perf_counter() - t0
+        fingerprints.add(result.fingerprint())
+        plans[name] += 1
+        return seconds
+
+    cold_seconds = {name: plan_once(name) for name in arms}
+    timed: dict[str, list[float]] = {name: [] for name in arms}
+    for _ in range(repeats):
+        for name in arms:
+            timed[name].append(plan_once(name))
+
+    off_best = min(timed["off"])
+    on_best = min(timed["on"])
+    snapshot = registry.snapshot()
+    plan_spans = snapshot["histograms"].get("planner.plan_seconds", {})
+    return {
+        "workload": flow.name,
+        "pattern_budget": pattern_budget,
+        "simulation_runs": simulation_runs,
+        "repeats": repeats,
+        "cold_seconds": cold_seconds,
+        "off_seconds": timed["off"],
+        "on_seconds": timed["on"],
+        "off_best_seconds": off_best,
+        "on_best_seconds": on_best,
+        "overhead_fraction": (on_best - off_best) / off_best,
+        "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+        "identical_results": len(fingerprints) == 1,
+        "plans_per_arm": plans["on"],
+        "plan_spans_recorded": plan_spans.get("count", 0),
+        "metric_points": {
+            "counters": len(snapshot["counters"]),
+            "gauges": len(snapshot["gauges"]),
+            "histograms": len(snapshot["histograms"]),
+        },
+    }
+
+
+def _render_report(report: dict) -> str:
+    lines = [
+        f"workload: {report['workload']}  "
+        f"(budget {report['pattern_budget']}, "
+        f"{report['simulation_runs']} simulation runs, "
+        f"{report['repeats']} warm re-plans per arm, interleaved)",
+        f"metrics off: best {report['off_best_seconds'] * 1000.0:8.1f} ms warm re-plan",
+        f"metrics on:  best {report['on_best_seconds'] * 1000.0:8.1f} ms warm re-plan  "
+        f"({report['plan_spans_recorded']} plan spans, "
+        f"{report['metric_points']['histograms']} histograms, "
+        f"{report['metric_points']['counters']} counters recorded)",
+        f"instrumentation overhead: {report['overhead_fraction'] * 100.0:+.2f}% "
+        f"(gate: <= {report['max_overhead_fraction'] * 100.0:.0f}%)   "
+        f"identical results: {report['identical_results']}",
+    ]
+    return "\n".join(lines)
+
+
+def test_metrics_overhead_within_gate():
+    """Metrics-on must stay within 3% of metrics-off, byte-identically."""
+    report = run_obs_bench()
+    print()
+    print("=" * 78)
+    print("ARTIFACT: observability overhead, metrics on vs off (TPC-H, warm)")
+    print("=" * 78)
+    print(_render_report(report))
+    assert report["identical_results"], "enabling metrics changed the planning results"
+    assert report["plan_spans_recorded"] == report["plans_per_arm"], (
+        "the instrumented arm did not record one plan span per plan"
+    )
+    assert report["overhead_fraction"] <= MAX_OVERHEAD_FRACTION, (
+        f"instrumentation overhead {report['overhead_fraction'] * 100.0:.2f}% "
+        f"exceeds the {MAX_OVERHEAD_FRACTION * 100.0:.0f}% gate"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05)
+    parser.add_argument("--pattern-budget", type=int, default=2)
+    parser.add_argument("--max-points-per-pattern", type=int, default=2)
+    parser.add_argument("--simulation-runs", type=int, default=5)
+    parser.add_argument("--max-alternatives", type=int, default=80)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--json", action="store_true", help="emit the raw report as JSON")
+    args = parser.parse_args(argv)
+    report = run_obs_bench(
+        scale=args.scale,
+        pattern_budget=args.pattern_budget,
+        max_points_per_pattern=args.max_points_per_pattern,
+        simulation_runs=args.simulation_runs,
+        max_alternatives=args.max_alternatives,
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(_render_report(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

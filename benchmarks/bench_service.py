@@ -21,6 +21,11 @@ per-client times (the aggregate *compute* saved) is reported alongside.
 Every arm must produce byte-identical alternatives, profiles and
 skylines -- the tier-equivalence guarantee extends over the network.
 
+Hit rates and request latency are read from the server's own ``GET
+/metrics`` endpoint (the same snapshot ``tools/obs.py`` renders), not
+from client-side objects: the benchmark observes the fleet exactly the
+way an operator's dashboard does.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_service.py
@@ -47,11 +52,34 @@ if str(_SRC) not in sys.path:  # pragma: no cover - environment guard
 from repro.cache import DiskProfileCache  # noqa: E402
 from repro.core import Planner, ProcessingConfiguration  # noqa: E402
 from repro.service import CacheServer  # noqa: E402
+from repro.wire import PooledJSONClient  # noqa: E402
 from repro.workloads import tpch_refresh_flow  # noqa: E402
 
 
+def scrape_metrics(url: str, timeout: float = 10.0) -> dict:
+    """One ``GET /metrics`` payload from a live server."""
+    client = PooledJSONClient(url, timeout, keep_alive=False)
+    try:
+        return client.request_json("GET", "/metrics")
+    finally:
+        client.close()
+
+
+def hit_counts(payload: dict) -> tuple[int, int]:
+    """``(cache.hits, cache.misses)`` counters of one ``/metrics`` payload."""
+    counters = payload.get("metrics", {}).get("counters", {})
+    return counters.get("cache.hits", 0), counters.get("cache.misses", 0)
+
+
+def hit_rate_between(before: dict, after: dict) -> float:
+    """The server-observed hit rate of the lookups between two scrapes."""
+    hits = hit_counts(after)[0] - hit_counts(before)[0]
+    misses = hit_counts(after)[1] - hit_counts(before)[1]
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
 def _run_fleet_client(index: int, flow, configuration, queue) -> None:
-    """One fleet member: plan once, report (index, seconds, fingerprint, stats).
+    """One fleet member: plan once, report (index, seconds, fingerprint).
 
     Runs in a forked child process so the fleet members genuinely
     execute in parallel (separate interpreters, like separate machines);
@@ -61,10 +89,7 @@ def _run_fleet_client(index: int, flow, configuration, queue) -> None:
     t0 = time.perf_counter()
     result = planner.plan(flow)
     seconds = time.perf_counter() - t0
-    stats = (
-        planner.profile_cache.stats.as_dict() if planner.profile_cache is not None else {}
-    )
-    queue.put((index, seconds, result.fingerprint(), stats))
+    queue.put((index, seconds, result.fingerprint()))
 
 
 def _run_fleet(flow, configuration, clients: int) -> dict:
@@ -93,9 +118,8 @@ def _run_fleet(flow, configuration, clients: int) -> dict:
     collected.sort()
     return {
         "wall_seconds": wall,
-        "client_seconds": [seconds for _, seconds, _, _ in collected],
-        "fingerprints": [fingerprint for _, _, fingerprint, _ in collected],
-        "client_stats": [stats for _, _, _, stats in collected],
+        "client_seconds": [seconds for _, seconds, _ in collected],
+        "fingerprints": [fingerprint for _, _, fingerprint in collected],
     }
 
 
@@ -142,10 +166,17 @@ def run_service_bench(
             warm_seconds = time.perf_counter() - t0
             fingerprints.add(warm_result.fingerprint())
 
+            # Hit rate and latency come from the server's own /metrics
+            # (what an operator's dashboard sees), not client internals.
+            before = scrape_metrics(server.url)
             service = _run_fleet(flow, http, clients)
+            after = scrape_metrics(server.url)
             fingerprints.update(service["fingerprints"])
-            server_stats = server.stats.as_dict()
-            server_entries = len(server.backend)
+            fleet_hit_rate = hit_rate_between(before, after)
+            histograms = after.get("metrics", {}).get("histograms", {})
+            request_seconds = histograms.get("service.request_seconds", {})
+            server_golden = after.get("golden", {})
+            server_entries = after.get("entries", 0)
 
         return {
             "workload": flow.name,
@@ -163,10 +194,9 @@ def run_service_bench(
             "speedup_service_vs_solo": solo["wall_seconds"] / service["wall_seconds"],
             "compute_saved_vs_solo": sum(solo["client_seconds"])
             / max(sum(service["client_seconds"]), 1e-9),
-            "client_hit_rates": [
-                stats.get("hit_rate", 0.0) for stats in service["client_stats"]
-            ],
-            "server_stats": server_stats,
+            "fleet_hit_rate": fleet_hit_rate,
+            "server_golden": server_golden,
+            "request_seconds": request_seconds,
             "server_entries": server_entries,
             "identical_results": len(fingerprints) == 1,
         }
@@ -188,10 +218,11 @@ def _render_report(report: dict) -> str:
         f"aggregate speedup service vs solo: {report['speedup_service_vs_solo']:.2f}x wall, "
         f"{report['compute_saved_vs_solo']:.2f}x compute   "
         f"identical results: {report['identical_results']}",
-        f"client hit rates: "
-        + ", ".join(f"{rate * 100.0:.0f}%" for rate in report["client_hit_rates"])
-        + f"   server: {report['server_entries']} entries, "
-        f"{report['server_stats']['lookups']} lookups",
+        f"from /metrics: fleet hit rate {report['fleet_hit_rate'] * 100.0:.0f}%   "
+        f"server: {report['server_entries']} entries, request latency "
+        f"p50 {report['request_seconds'].get('p50', 0.0) * 1000.0:.1f} ms / "
+        f"p99 {report['request_seconds'].get('p99', 0.0) * 1000.0:.1f} ms "
+        f"over {report['request_seconds'].get('count', 0)} requests",
     ]
     return "\n".join(lines)
 
@@ -208,6 +239,9 @@ def test_shared_cache_server_beats_cold_solo_runs():
     assert report["speedup_service_vs_solo"] >= 1.5, (
         f"service speedup {report['speedup_service_vs_solo']:.2f}x below the 1.5x bar"
     )
+    # the warm fleet is served entirely by the server (observed via /metrics)
+    assert report["fleet_hit_rate"] == 1.0
+    assert report["request_seconds"].get("count", 0) > 0
 
 
 def main(argv=None) -> int:

@@ -9,9 +9,11 @@ concurrent clients sharing one cache server vs. cold solo runs), the
 wire benchmark (``bench_wire``: pooled keep-alive + compressed wire vs.
 the per-request wire through a latency-injecting proxy), the fleet
 benchmark (``bench_fleet``: concurrent clients against 1 vs. 4 cache
-shards, each shard a shared-capacity channel) and the execution
+shards, each shard a shared-capacity channel), the execution
 benchmark (``bench_execution``: measured top-k calibration of the
-simulator's ranking against real wall time) and
+simulator's ranking against real wall time) and the observability
+benchmark (``bench_obs``: warm re-planning with metrics on vs. off,
+gating the instrumentation overhead) and
 writes one JSON document --
 ``BENCH_generation.json`` by default -- with candidates/sec, the
 measured speedups, the application/validation time split and the
@@ -85,6 +87,7 @@ def run_all(tiny: bool = False) -> dict:
     bench_streaming = _load("bench_streaming_pipeline")
     bench_cache = _load("bench_profile_cache")
     bench_execution = _load("bench_execution")
+    bench_obs = _load("bench_obs")
 
     if tiny:
         generation_kwargs = dict(
@@ -117,6 +120,10 @@ def run_all(tiny: bool = False) -> dict:
             "--clients", "1", "2",
         ]
         execution_kwargs = dict(scale=0.02, k=3, repeats=1)
+        obs_kwargs = dict(
+            scale=0.01, pattern_budget=1, max_points_per_pattern=2,
+            simulation_runs=1, max_alternatives=15, repeats=1,
+        )
     else:
         generation_kwargs = {}
         streaming_kwargs = {}
@@ -125,6 +132,7 @@ def run_all(tiny: bool = False) -> dict:
         wire_arguments = []
         fleet_arguments = []
         execution_kwargs = {}
+        obs_kwargs = {}
 
     generation = bench_generation.run_generation_bench(**generation_kwargs)
     streaming = bench_streaming.run_comparison(**streaming_kwargs)
@@ -133,6 +141,7 @@ def run_all(tiny: bool = False) -> dict:
     wire = _run_bench_isolated("bench_wire.py", wire_arguments)
     fleet = _run_bench_isolated("bench_fleet.py", fleet_arguments)
     execution = bench_execution.run_execution_bench(**execution_kwargs)
+    observability = bench_obs.run_obs_bench(**obs_kwargs)
 
     return {
         "schema_version": 1,
@@ -194,7 +203,8 @@ def run_all(tiny: bool = False) -> dict:
             "speedup_service_vs_solo": service["speedup_service_vs_solo"],
             "identical_results": service["identical_results"],
             "server_entries": service["server_entries"],
-            "client_hit_rates": service["client_hit_rates"],
+            "fleet_hit_rate": service["fleet_hit_rate"],
+            "request_seconds": service["request_seconds"],
             "raw": service,
         },
         "wire": {
@@ -226,6 +236,17 @@ def run_all(tiny: bool = False) -> dict:
             "spearman": execution["spearman"],
             "identical_plans": execution["identical_plans"],
             "raw": execution,
+        },
+        "observability": {
+            "workload": observability["workload"],
+            "overhead_fraction": observability["overhead_fraction"],
+            "max_overhead_fraction": observability["max_overhead_fraction"],
+            "off_best_seconds": observability["off_best_seconds"],
+            "on_best_seconds": observability["on_best_seconds"],
+            "plan_spans_recorded": observability["plan_spans_recorded"],
+            "metric_points": observability["metric_points"],
+            "identical_results": observability["identical_results"],
+            "raw": observability,
         },
         "peak_rss_kb": _peak_rss_kb(),
     }
@@ -290,6 +311,14 @@ def main(argv=None) -> int:
         f"alternatives measured on {execution['backend']!r}, "
         f"spearman {execution['spearman']:.3f}, "
         f"identical_plans={execution['identical_plans']}"
+    )
+    observability = report["observability"]
+    print(
+        f"observability: {observability['overhead_fraction'] * 100.0:+.2f}% overhead "
+        f"metrics-on vs off (gate <= "
+        f"{observability['max_overhead_fraction'] * 100.0:.0f}%), "
+        f"{observability['plan_spans_recorded']} plan spans recorded, "
+        f"identical={observability['identical_results']}"
     )
     print(f"peak RSS: {report['peak_rss_kb']} kB")
     print(f"wrote {args.output}")

@@ -36,8 +36,9 @@ tier's wire protocol.
 from __future__ import annotations
 
 import os
+from typing import TYPE_CHECKING
 
-from repro.cache.backend import CacheBackend, CacheStats
+from repro.cache.backend import CacheBackend, CacheStats, cache_stats_dict
 from repro.cache.disk import CACHE_SCHEMA_VERSION, DiskProfileCache, key_digest
 from repro.cache.memory import ProfileCache
 from repro.cache.tiered import TieredProfileCache
@@ -49,6 +50,9 @@ from repro.cache.http import (  # noqa: E402  (after siblings)
     DEFAULT_RECOVERY_INTERVAL,
     HTTPProfileCache,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
 
 #: The valid values of ``ProcessingConfiguration.cache_tier``.
 CACHE_TIERS = ("memory", "disk", "tiered", "http", "sharded")
@@ -69,6 +73,7 @@ def build_profile_cache(
     max_pending: int = DEFAULT_MAX_PENDING,
     urls: tuple[str, ...] | None = None,
     ring_replicas: int | None = None,
+    registry: "MetricsRegistry | None" = None,
 ) -> CacheBackend:
     """Build the cache backend selected by the configuration knobs.
 
@@ -82,10 +87,14 @@ def build_profile_cache(
     ``ring_replicas``); the configuration validates the combination up
     front and the planner calls this when ``cache_profiles`` is
     enabled.  ``tier="memory"`` ignores the other arguments and
-    reproduces the original in-process behaviour.
+    reproduces the original in-process behaviour.  ``registry``
+    (``metrics_enabled`` -> :func:`repro.obs.enabled_registry`) hangs a
+    metrics registry on the built tier so its batched lookups report
+    ``cache.<tier>.*`` instruments; ``None`` (the default) keeps every
+    tier observation-free.
     """
     if tier == "memory":
-        return ProfileCache()
+        return ProfileCache(registry=registry)
     if tier not in CACHE_TIERS:
         raise ValueError(f"unknown cache tier: {tier!r} (use one of {CACHE_TIERS})")
     if tier == "sharded":
@@ -103,7 +112,7 @@ def build_profile_cache(
         )
         if ring_replicas is not None:
             kwargs["ring_replicas"] = ring_replicas
-        return ShardedProfileCache(urls, **kwargs)
+        return ShardedProfileCache(urls, registry=registry, **kwargs)
     if tier == "http":
         if url is None:
             raise ValueError('cache_tier="http" requires a cache_url')
@@ -114,13 +123,14 @@ def build_profile_cache(
             auth_token=auth_token,
             recovery_interval=recovery_interval,
             max_pending=max_pending,
+            registry=registry,
         )
     if cache_dir is None:
         raise ValueError(f"cache_tier={tier!r} requires a cache_dir")
-    disk = DiskProfileCache(cache_dir, max_bytes=max_bytes)
+    disk = DiskProfileCache(cache_dir, max_bytes=max_bytes, registry=registry)
     if tier == "disk":
         return disk
-    return TieredProfileCache(ProfileCache(), disk)
+    return TieredProfileCache(ProfileCache(registry=registry), disk, registry=registry)
 
 
 __all__ = [
@@ -134,5 +144,6 @@ __all__ = [
     "ProfileCache",
     "TieredProfileCache",
     "build_profile_cache",
+    "cache_stats_dict",
     "key_digest",
 ]

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol, Sequence, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 
@@ -67,6 +68,47 @@ class CacheStats:
             "lookups": self.lookups,
             "hit_rate": self.hit_rate,
         }
+
+
+def cache_stats_dict(cache: "CacheBackend") -> dict[str, object]:
+    """The one stats serialization every cache consumer shares.
+
+    Logical counters (:meth:`CacheStats.as_dict`) at the top level plus
+    the per-tier breakdown under ``"tiers"`` -- the shape
+    ``RedesignSession.cache_stats``, the ``/stats`` routes and the
+    ``/metrics`` exporters all return.  Keep conversions here; call
+    sites must not re-assemble the dict by hand.
+    """
+    stats: dict[str, object] = dict(cache.stats.as_dict())
+    stats["tiers"] = cache.tier_stats()
+    return stats
+
+
+def observe_get_many(
+    registry: "MetricsRegistry | None",
+    tier: str,
+    elapsed_seconds: float,
+    results: "Sequence[QualityProfile | None]",
+) -> None:
+    """Record one batched lookup into a metrics registry (if any).
+
+    Shared by every tier's ``get_many``: one observation on
+    ``cache.<tier>.get_many_seconds`` plus result-derived
+    ``cache.<tier>.hits`` / ``.misses`` counter bumps.  Deriving the
+    counts from the *results* (instead of diffing :attr:`stats`) keeps
+    them exact under concurrent lookups on a shared backend.  ``invalid``
+    is not derivable from results; the disk tier mirrors it at the site
+    that detects the damage.
+    """
+    if registry is None:
+        return
+    registry.histogram(f"cache.{tier}.get_many_seconds").observe(elapsed_seconds)
+    hits = sum(1 for result in results if result is not None)
+    misses = len(results) - hits
+    if hits:
+        registry.counter(f"cache.{tier}.hits").inc(hits)
+    if misses:
+        registry.counter(f"cache.{tier}.misses").inc(misses)
 
 
 @runtime_checkable

@@ -44,12 +44,14 @@ import os
 import pickle
 import re
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.backend import CacheStats
+from repro.cache.backend import CacheStats, observe_get_many
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 #: Version of the on-disk entry layout.  Folded into the hashed file name
@@ -104,6 +106,7 @@ class DiskProfileCache:
         cache_dir: str | os.PathLike,
         max_bytes: int | None = None,
         batch_writes: bool = False,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError("max_bytes must be at least 1 (or None for unbounded)")
@@ -112,6 +115,9 @@ class DiskProfileCache:
         self.max_bytes = max_bytes
         self.batch_writes = batch_writes
         self.stats = CacheStats()
+        # Observability only; not pickled -- the handle clone re-attaches
+        # its own registry (or none).
+        self.metrics_registry = registry
         self._pending: dict[tuple, QualityProfile] = {}
         self._lock = threading.Lock()
         # Write-batch refcount (begin/end_write_batch): how many streams
@@ -159,6 +165,12 @@ class DiskProfileCache:
             self.stats.hits += 1
             return profile
 
+    def _count_invalid(self) -> None:
+        """One damaged entry: counted in stats and mirrored to metrics."""
+        self.stats.invalid += 1
+        if self.metrics_registry is not None:
+            self.metrics_registry.counter("cache.disk.invalid").inc()
+
     def _read(self, key: tuple) -> QualityProfile | None:
         """Read and verify one entry; invalid entries are dropped, not raised."""
         path = self._path(key)
@@ -174,11 +186,11 @@ class DiskProfileCache:
         except Exception:
             # Truncated write, garbage bytes, unpicklable class, wrong
             # payload shape: degrade to a miss and drop the entry.
-            self.stats.invalid += 1
+            self._count_invalid()
             self._discard(path)
             return None
         if version != CACHE_SCHEMA_VERSION or stored_key != key:
-            self.stats.invalid += 1
+            self._count_invalid()
             self._discard(path)
             return None
         try:
@@ -189,6 +201,7 @@ class DiskProfileCache:
 
     def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
         """Batched lookup: one locked pass over pending buffer and files."""
+        start = time.perf_counter()
         with self._lock:
             results: list[QualityProfile | None] = []
             for key in keys:
@@ -203,7 +216,10 @@ class DiskProfileCache:
                 else:
                     self.stats.hits += 1
                 results.append(profile)
-            return results
+        observe_get_many(
+            self.metrics_registry, "disk", time.perf_counter() - start, results
+        )
+        return results
 
     def get_by_digest(self, digest: str) -> "tuple[tuple, QualityProfile] | None":
         """Look up one entry by its :func:`key_digest` (the service fast path).
@@ -238,12 +254,12 @@ class DiskProfileCache:
                 stored_key = payload["key"]
                 profile = payload["profile"]
             except Exception:
-                self.stats.invalid += 1
+                self._count_invalid()
                 self.stats.misses += 1
                 self._discard(path)
                 return None
             if version != CACHE_SCHEMA_VERSION:
-                self.stats.invalid += 1
+                self._count_invalid()
                 self.stats.misses += 1
                 self._discard(path)
                 return None

@@ -67,14 +67,16 @@ from __future__ import annotations
 import http.client
 import logging
 import threading
+import time
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.backend import CacheStats
+from repro.cache.backend import CacheStats, observe_get_many
 from repro.cache.disk import key_digest
 from repro.cache.memory import ProfileCache
 from repro.wire import COMPRESS_MIN_BYTES, PooledJSONClient, WireError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 logger = logging.getLogger("repro.cache.http")
@@ -153,6 +155,7 @@ class HTTPProfileCache:
         recovery_interval: float | None = DEFAULT_RECOVERY_INTERVAL,
         max_pending: int = DEFAULT_MAX_PENDING,
         pool: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if timeout <= 0:
             raise ValueError("timeout must be positive (seconds)")
@@ -163,6 +166,9 @@ class HTTPProfileCache:
         self.url = url.rstrip("/")
         self.timeout = timeout
         self.stats = CacheStats()
+        # Observability only (client-side view of the network tier); not
+        # pickled -- handle clones come back with ``registry=None``.
+        self.metrics_registry = registry
         self.fallback = ProfileCache(max_entries=fallback_max_entries)
         self._fallback_max_entries = fallback_max_entries
         self.recovery_interval = recovery_interval
@@ -175,6 +181,9 @@ class HTTPProfileCache:
             auth_token=auth_token,
             keep_alive=pool,
         )
+        # The transport mirrors wire.* byte counters into the same
+        # registry (compression ratio = raw_bytes / bytes on the wire).
+        self._client.metrics_registry = registry
         self._pending: dict[tuple, QualityProfile] = {}
         self._degraded = False
         self._closed = False
@@ -352,6 +361,10 @@ class HTTPProfileCache:
             "reconnects": client.reconnects,
             "compressed_requests": client.compressed_requests,
             "compressed_responses": client.compressed_responses,
+            "bytes_sent": client.bytes_sent,
+            "bytes_received": client.bytes_received,
+            "raw_bytes_sent": client.raw_bytes_sent,
+            "raw_bytes_received": client.raw_bytes_received,
             "recoveries": self._recoveries,
         }
 
@@ -386,6 +399,7 @@ class HTTPProfileCache:
         """
         from repro.io.jsonflow import profile_from_dict
 
+        start = time.perf_counter()
         results: list[QualityProfile | None] = [None] * len(keys)
         remote: list[int] = []
         with self._lock:
@@ -444,6 +458,9 @@ class HTTPProfileCache:
                     self.stats.misses += 1
                 else:
                     self.stats.hits += 1
+        observe_get_many(
+            self.metrics_registry, "http", time.perf_counter() - start, results
+        )
         return results
 
     def put(self, key: tuple, profile: QualityProfile) -> None:

@@ -9,12 +9,14 @@ old import path still works (the estimator module re-exports it).
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.backend import CacheStats
+from repro.cache.backend import CacheStats, observe_get_many
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 
@@ -38,11 +40,19 @@ class ProfileCache:
     transfer.
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = None,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError("max_entries must be at least 1 (or None for unbounded)")
         self.max_entries = max_entries
         self.stats = CacheStats()
+        # Observability only; dropped on pickling like the lock (the
+        # registry itself travels as a handle, but an entry-less worker
+        # copy should not double-report the memory tier).
+        self.metrics_registry = registry
         self._entries: OrderedDict[tuple, QualityProfile] = OrderedDict()
         self._lock = threading.Lock()
 
@@ -61,6 +71,7 @@ class ProfileCache:
 
     def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
         """Batched lookup under a single lock acquisition."""
+        start = time.perf_counter()
         with self._lock:
             results: list[QualityProfile | None] = []
             for key in keys:
@@ -71,7 +82,10 @@ class ProfileCache:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                 results.append(profile)
-            return results
+        observe_get_many(
+            self.metrics_registry, "memory", time.perf_counter() - start, results
+        )
+        return results
 
     def put(self, key: tuple, profile: QualityProfile) -> None:
         """Insert (or refresh) a profile; does not affect hit/miss counts."""

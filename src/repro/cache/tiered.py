@@ -16,23 +16,33 @@ per-tier breakdown, including promotions counted as memory puts.
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.backend import CacheStats
+from repro.cache.backend import CacheStats, observe_get_many
 from repro.cache.disk import DiskProfileCache
 from repro.cache.memory import ProfileCache
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 
 class TieredProfileCache:
     """Two-level profile cache: an in-memory LRU in front of a disk store."""
 
-    def __init__(self, memory: ProfileCache, disk: DiskProfileCache) -> None:
+    def __init__(
+        self,
+        memory: ProfileCache,
+        disk: DiskProfileCache,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
         self.memory = memory
         self.disk = disk
         self.stats = CacheStats()
+        # Observability only (logical hits/misses under "cache.tiered");
+        # the sub-tiers carry their own registries.  Not pickled.
+        self.metrics_registry = registry
         self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -53,6 +63,7 @@ class TieredProfileCache:
 
     def get_many(self, keys: Sequence[tuple]) -> list["QualityProfile | None"]:
         """Batched lookup: memory first, then one disk pass for the misses."""
+        start = time.perf_counter()
         results: list[QualityProfile | None] = self.memory.get_many(keys)
         missing = [index for index, profile in enumerate(results) if profile is None]
         if missing:
@@ -67,6 +78,9 @@ class TieredProfileCache:
                     self.stats.misses += 1
                 else:
                     self.stats.hits += 1
+        observe_get_many(
+            self.metrics_registry, "tiered", time.perf_counter() - start, results
+        )
         return results
 
     def put(self, key: tuple, profile: QualityProfile) -> None:
@@ -113,4 +127,5 @@ class TieredProfileCache:
         self.memory = state["memory"]  # type: ignore[assignment]
         self.disk = state["disk"]  # type: ignore[assignment]
         self.stats = state["stats"]  # type: ignore[assignment]
+        self.metrics_registry = None
         self._stats_lock = threading.Lock()

@@ -89,6 +89,15 @@ seed behaviour; turning them on changes wall-clock, never results (except
     pure-Python ``"local"`` reference backend, or the optional native
     ``"pandas"`` / ``"polars"`` backends.  Execution only -- planning
     output is byte-identical across backends.  See ``docs/execution.md``.
+``metrics_enabled`` / ``metrics_registry``
+    Observability of one planning campaign: when on, the planner, the
+    parallel evaluator and every cache tier record phase spans, latency
+    histograms and hit/miss counters into a
+    :class:`repro.obs.MetricsRegistry` (the process-wide default, or an
+    explicit one via ``metrics_registry``).  Results are byte-identical
+    with metrics on or off; the measured overhead budget is <= 3% of a
+    warm campaign (``benchmarks/bench_obs.py``).  See
+    ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -313,6 +322,21 @@ class ProcessingConfiguration:
         at execution time when the library is not installed).  Planning
         itself never touches this knob -- plans are byte-identical
         whichever backend later runs them.  See ``docs/execution.md``.
+    metrics_enabled:
+        When true, the planner and everything it drives (evaluator,
+        cache tiers, wire client) record latency histograms, phase
+        spans and hit/miss counters into a metrics registry; the
+        ``GET /metrics`` endpoints and ``tools/obs.py`` dashboard read
+        them back.  Off by default -- the disabled path costs one
+        ``None`` check per instrumentation site, and results are
+        byte-identical either way.  See ``docs/observability.md``.
+    metrics_registry:
+        The :class:`repro.obs.MetricsRegistry` to record into when
+        ``metrics_enabled`` is set; ``None`` (the default) uses the
+        process-wide default registry
+        (:func:`repro.obs.default_registry`).  Not part of the service
+        request schema -- servers inject their own registry, a client
+        cannot pick one over the wire.
     """
 
     pattern_names: tuple[str, ...] = ()
@@ -348,8 +372,19 @@ class ProcessingConfiguration:
     prefix_cache: bool = True
     backend: str = "thread"
     executor_backend: str = "local"
+    metrics_enabled: bool = False
+    metrics_registry: object | None = None
 
     def __post_init__(self) -> None:
+        if self.metrics_registry is not None:
+            if not self.metrics_enabled:
+                raise ValueError("metrics_registry requires metrics_enabled=True")
+            for required in ("counter", "histogram", "snapshot"):
+                if not callable(getattr(self.metrics_registry, required, None)):
+                    raise ValueError(
+                        "metrics_registry must be a repro.obs.MetricsRegistry "
+                        f"(missing {required!r})"
+                    )
         if self.copy_mode not in ("deep", "cow"):
             raise ValueError(f"unknown copy_mode: {self.copy_mode!r} (use 'deep' or 'cow')")
         if self.backend not in ("thread", "process"):

@@ -34,6 +34,7 @@ reproduction substitutes a local worker pool (threads or processes from
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, Iterator, Literal, Sequence
@@ -41,6 +42,7 @@ from typing import Iterable, Iterator, Literal, Sequence
 from repro.cache import CacheBackend, DiskProfileCache, TieredProfileCache
 from repro.cache.http import HTTPProfileCache
 from repro.core.alternatives import AlternativeFlow
+from repro.obs.metrics import MetricsRegistry, maybe_timer
 from repro.quality.composite import QualityProfile
 from repro.quality.estimator import QualityEstimator
 
@@ -77,18 +79,35 @@ def _evaluate_one(estimator: QualityEstimator, alternative: AlternativeFlow) -> 
 
 
 def _evaluate_chunk(
-    estimator: QualityEstimator, alternatives: Sequence[AlternativeFlow]
+    estimator: QualityEstimator,
+    alternatives: Sequence[AlternativeFlow],
+    registry: MetricsRegistry | None = None,
 ) -> list[QualityProfile]:
-    """Evaluate a chunk of alternatives in one task (thread backend)."""
-    return [estimator.evaluate_uncached(alternative.flow) for alternative in alternatives]
+    """Evaluate a chunk of alternatives in one task (thread backend).
+
+    Worker threads share the caller's registry (it is thread-safe), so
+    per-profile estimation latency is observed right here.
+    """
+    profiles: list[QualityProfile] = []
+    for alternative in alternatives:
+        with maybe_timer(registry, "evaluator.estimate_seconds"):
+            profiles.append(estimator.evaluate_uncached(alternative.flow))
+    return profiles
 
 
 #: Estimator of the current process-pool worker, installed once per
 #: worker process by :func:`_init_worker`.
 _WORKER_ESTIMATOR: QualityEstimator | None = None
 
+#: Worker-local metrics registry (process backend).  Workers accumulate
+#: into this private registry and each task returns the drained delta,
+#: which the parent folds into its own registry -- registries cross the
+#: process boundary as *handles* (see :mod:`repro.obs.metrics`), so
+#: counts are never duplicated.
+_WORKER_REGISTRY: MetricsRegistry | None = None
 
-def _init_worker(estimator: QualityEstimator) -> None:
+
+def _init_worker(estimator: QualityEstimator, metrics_enabled: bool = False) -> None:
     """Process-pool initializer: receive the estimator once per worker.
 
     Amortizes estimator pickling (registry, settings, resource model)
@@ -109,9 +128,10 @@ def _init_worker(estimator: QualityEstimator) -> None:
     teardown), which keeps the statistics single-counted and avoids N
     processes racing to publish the same entries.
     """
-    global _WORKER_ESTIMATOR
+    global _WORKER_ESTIMATOR, _WORKER_REGISTRY
     estimator.cache = _persistent_component(estimator.cache)
     _WORKER_ESTIMATOR = estimator
+    _WORKER_REGISTRY = MetricsRegistry() if metrics_enabled else None
 
 
 def _evaluate_chunk_pooled(alternatives: Sequence[AlternativeFlow]) -> list[QualityProfile]:
@@ -140,11 +160,27 @@ def _evaluate_chunk_pooled(alternatives: Sequence[AlternativeFlow]) -> list[Qual
         if hit is not None:
             profiles.append(_relabel(hit, alternative.flow.name))
         else:
-            profile = estimator.evaluate_uncached(alternative.flow)
+            with maybe_timer(_WORKER_REGISTRY, "evaluator.estimate_seconds"):
+                profile = estimator.evaluate_uncached(alternative.flow)
             if key is not None:
                 fresh[key] = profile
             profiles.append(profile)
     return profiles
+
+
+def _evaluate_chunk_pooled_metered(
+    alternatives: Sequence[AlternativeFlow],
+) -> tuple[list[QualityProfile], dict]:
+    """Metered task body: profiles plus the worker's drained metric delta.
+
+    Used instead of :func:`_evaluate_chunk_pooled` when the parent has
+    metrics enabled; the parent merges each returned delta into its own
+    registry, which is how worker-local accumulation flushes back across
+    the process boundary.
+    """
+    profiles = _evaluate_chunk_pooled(alternatives)
+    delta = _WORKER_REGISTRY.drain() if _WORKER_REGISTRY is not None else {}
+    return profiles, delta
 
 
 def _evaluate_one_pooled(alternative: AlternativeFlow) -> QualityProfile:
@@ -167,6 +203,10 @@ class ParallelEvaluator:
         batches are small; processes avoid the GIL for large campaigns.
         The process pool ships the estimator once per worker via its
         initializer and batches disk-cache write-back until teardown.
+    registry:
+        Optional :class:`repro.obs.MetricsRegistry` recording window
+        fill/drain timings and per-profile estimation latency; ``None``
+        (the default) disables the instrumentation.
     """
 
     def __init__(
@@ -174,6 +214,7 @@ class ParallelEvaluator:
         estimator: QualityEstimator | None = None,
         workers: int = 1,
         backend: Literal["thread", "process"] = "thread",
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -182,6 +223,7 @@ class ParallelEvaluator:
         self.estimator = estimator or QualityEstimator()
         self.workers = workers
         self.backend = backend
+        self.registry = registry
 
     # ------------------------------------------------------------------
 
@@ -249,6 +291,8 @@ class ParallelEvaluator:
             keys = [estimator.cache_key(alternative.flow) for alternative in window]
             return keys, estimator.cache.get_many(keys)
 
+        registry = self.registry
+
         if self.workers == 1:
             try:
                 # Windows of max_inflight keep the sequential path's
@@ -256,26 +300,38 @@ class ParallelEvaluator:
                 # a single round-trip on the network tier) while staying
                 # within the documented in-flight bound.
                 while True:
-                    window = list(itertools.islice(iterator, max_inflight))
+                    with maybe_timer(registry, "evaluator.window_fill_seconds"):
+                        window = list(itertools.islice(iterator, max_inflight))
+                        keys, hits = lookup_window(window) if window else ([], [])
                     if not window:
                         break
-                    keys, hits = lookup_window(window)
                     # Window-local memo: candidates sharing a fingerprint
                     # within one window (both looked up before either was
                     # computed) are still simulated only once.
                     fresh: dict[tuple, QualityProfile] = {}
+                    drain_seconds = 0.0
                     for alternative, key, hit in zip(window, keys, hits):
                         if hit is None and key is not None:
                             hit = fresh.get(key)
                         if hit is not None:
                             alternative.profile = _relabel(hit, alternative.flow.name)
                         else:
-                            profile = estimator.evaluate_uncached(alternative.flow)
+                            # Timed per profile, accumulated per window;
+                            # the yield below suspends the generator, so
+                            # a wall-clock bracket around the loop would
+                            # bill the *consumer's* time to the drain.
+                            with maybe_timer(registry, "evaluator.estimate_seconds") as span:
+                                profile = estimator.evaluate_uncached(alternative.flow)
+                            drain_seconds += span.elapsed
                             estimator.store_profile(alternative.flow, profile, key)
                             if key is not None:
                                 fresh[key] = profile
                             alternative.profile = profile
                         yield alternative
+                    if registry is not None:
+                        registry.histogram("evaluator.window_drain_seconds").observe(
+                            drain_seconds
+                        )
             finally:
                 if batching:
                     persistent.end_write_batch()
@@ -312,7 +368,7 @@ class ParallelEvaluator:
                 executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(estimator,),
+                    initargs=(estimator, registry is not None),
                 )
             else:
                 executor = ThreadPoolExecutor(max_workers=self.workers)
@@ -325,16 +381,23 @@ class ParallelEvaluator:
                     group, keys = list(chunk), list(chunk_keys)
                     chunk.clear()
                     chunk_keys.clear()
-                    if pooled:
+                    if pooled and registry is not None:
+                        future = executor.submit(_evaluate_chunk_pooled_metered, group)
+                    elif pooled:
                         future = executor.submit(_evaluate_chunk_pooled, group)
                     else:
-                        future = executor.submit(_evaluate_chunk, estimator, group)
+                        future = executor.submit(_evaluate_chunk, estimator, group, registry)
                     pending.append((group, keys, future))
 
                 def refill() -> None:
                     # Top the window up in batches so the parent-side
                     # cache pass is one get_many per refill, not one
-                    # lookup per candidate.
+                    # lookup per candidate.  The fill span covers pulling
+                    # candidates out of the generator plus the batched
+                    # cache pass -- everything needed to keep the window
+                    # full.
+                    fill = maybe_timer(registry, "evaluator.window_fill_seconds")
+                    fill.__enter__()
                     while True:
                         want = max_inflight - inflight()
                         if want <= 0:
@@ -359,12 +422,19 @@ class ParallelEvaluator:
                     # Whatever is buffered must make progress now; the
                     # steady-state refill is one whole chunk anyway.
                     flush_chunk()
+                    fill.__exit__(None, None, None)
 
                 refill()
                 while pending:
                     group, keys, future = pending.popleft()
                     if future is not None:
-                        profiles = future.result()
+                        with maybe_timer(registry, "evaluator.window_drain_seconds"):
+                            result = future.result()
+                        if pooled and registry is not None:
+                            profiles, delta = result
+                            registry.merge(delta)
+                        else:
+                            profiles = result
                         for alternative, key, profile in zip(group, keys, profiles):
                             estimator.store_profile(alternative.flow, profile, key)
                             alternative.profile = profile

@@ -20,10 +20,13 @@ identical to the original eager generate-then-evaluate pipeline.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.cache import CacheBackend, build_profile_cache
+from repro.obs.metrics import enabled_registry, maybe_timer
 from repro.core.alternatives import AlternativeFlow, AlternativeGenerator
 from repro.core.comparison import FlowComparison, compare_profiles
 from repro.core.configuration import ProcessingConfiguration
@@ -36,6 +39,8 @@ from repro.patterns.registry import PatternRegistry, default_palette
 from repro.quality.composite import QualityProfile
 from repro.quality.estimator import EstimationSettings, QualityEstimator
 from repro.quality.framework import MeasureRegistry, QualityCharacteristic, default_registry
+
+logger = logging.getLogger("repro.core.planner")
 
 
 @dataclass
@@ -170,6 +175,10 @@ class Planner:
             seed=self.configuration.seed,
         )
         self.measures = measures or default_registry()
+        # The metrics registry every component of this planner records
+        # into; ``None`` (the default) keeps all instrumentation sites on
+        # their free fast path.
+        self.metrics = enabled_registry(self.configuration)
         # The cache tier is selected by the configuration -- the default
         # in-process LRU, a persistent disk store, memory-over-disk, or
         # a network cache service -- unless the caller injected a shared
@@ -193,6 +202,7 @@ class Planner:
                 max_pending=self.configuration.cache_max_pending,
                 urls=self.configuration.cache_urls,
                 ring_replicas=self.configuration.fleet_ring_replicas,
+                registry=self.metrics,
             )
         estimator_settings = EstimationSettings(
             simulation_runs=self.configuration.simulation_runs,
@@ -205,6 +215,7 @@ class Planner:
             estimator=self.estimator,
             workers=self.configuration.parallel_workers,
             backend=self.configuration.backend,
+            registry=self.metrics,
         )
         # Static-only twin used by the beam-screening first phase; shares
         # the registry and the profile cache (settings fingerprints keep
@@ -221,6 +232,7 @@ class Planner:
             estimator=self.screening_estimator,
             workers=self.configuration.parallel_workers,
             backend=self.configuration.backend,
+            registry=self.metrics,
         )
         self.generator = AlternativeGenerator(
             palette=self.palette, policy=self.policy, configuration=self.configuration
@@ -291,28 +303,48 @@ class Planner:
           profiles get computed.
         """
         config = self.configuration
+        registry = self.metrics
+        campaign = maybe_timer(registry, "planner.plan_seconds")
+        campaign.__enter__()
         baseline_profile = self.evaluate_flow(flow)
         candidates: Iterable[AlternativeFlow] = self.stream_alternatives(flow)
+        if registry is not None:
+            candidates = self._timed_generation(candidates, registry)
         if config.screening_beam is not None:
-            candidates = self._screen(candidates)
+            with maybe_timer(registry, "planner.phase.screen_seconds"):
+                candidates = self._screen(candidates)
 
         kept: list[AlternativeFlow] = []
         discarded = 0
-        for alternative in self.evaluator.evaluate_stream(
-            candidates, batch_size=config.eval_batch_size
-        ):
-            assert alternative.profile is not None
-            if on_evaluated is not None:
-                on_evaluated(alternative)
-            if config.satisfies_constraints(alternative.profile):
-                kept.append(alternative)
-            else:
-                discarded += 1
+        with maybe_timer(registry, "planner.phase.estimate_seconds"):
+            for alternative in self.evaluator.evaluate_stream(
+                candidates, batch_size=config.eval_batch_size
+            ):
+                assert alternative.profile is not None
+                if on_evaluated is not None:
+                    on_evaluated(alternative)
+                if config.satisfies_constraints(alternative.profile):
+                    kept.append(alternative)
+                else:
+                    discarded += 1
 
-        characteristics = tuple(config.skyline_characteristics)
-        profiles = [alt.profile for alt in kept if alt.profile is not None]
-        skyline = pareto_front_profiles(profiles, characteristics) if profiles else []
+        with maybe_timer(registry, "planner.phase.rank_seconds"):
+            characteristics = tuple(config.skyline_characteristics)
+            profiles = [alt.profile for alt in kept if alt.profile is not None]
+            skyline = pareto_front_profiles(profiles, characteristics) if profiles else []
 
+        campaign.__exit__(None, None, None)
+        if registry is not None:
+            registry.counter("planner.plans").inc()
+            registry.counter("planner.alternatives_evaluated").inc(len(kept) + discarded)
+        logger.info(
+            "planned %s: %d alternatives (%d skyline, %d discarded) in %.3fs",
+            flow.name,
+            len(kept),
+            len(skyline),
+            discarded,
+            campaign.elapsed,
+        )
         return PlanningResult(
             initial_flow=flow,
             baseline_profile=baseline_profile,
@@ -356,6 +388,30 @@ class Planner:
             data_seed=data_seed,
         )
         return result, report
+
+    def _timed_generation(
+        self, candidates: Iterable[AlternativeFlow], registry
+    ) -> Iterator[AlternativeFlow]:
+        """Meter the time spent *inside* the lazy generator.
+
+        Generation and estimation overlap in the streaming pipeline, so
+        the generate phase cannot be a wall-clock bracket around the
+        loop; instead the time spent pulling each candidate out of the
+        generator is accumulated and observed once per campaign as
+        ``planner.phase.generate_seconds``.
+        """
+        total = 0.0
+        iterator = iter(candidates)
+        while True:
+            start = time.perf_counter()
+            try:
+                candidate = next(iterator)
+            except StopIteration:
+                total += time.perf_counter() - start
+                break
+            total += time.perf_counter() - start
+            yield candidate
+        registry.histogram("planner.phase.generate_seconds").observe(total)
 
     def _screen(self, candidates: Iterable[AlternativeFlow]) -> list[AlternativeFlow]:
         """Two-phase beam screening: keep the statically best candidates.

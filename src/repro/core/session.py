@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.cache.backend import cache_stats_dict
 from repro.core.alternatives import AlternativeFlow
 from repro.core.comparison import FlowComparison
 from repro.core.configuration import ProcessingConfiguration
@@ -135,9 +136,7 @@ class RedesignSession:
         cache = self.planner.profile_cache
         if cache is None:
             return {}
-        stats: dict[str, object] = dict(cache.stats.as_dict())
-        stats["tiers"] = cache.tier_stats()
-        return stats
+        return cache_stats_dict(cache)
 
     @property
     def current_profile(self) -> QualityProfile:

@@ -24,9 +24,10 @@ recovers where the un-patterned flow raises.
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.etl.graph import ETLGraph
 from repro.etl.operations import Operation
@@ -34,6 +35,11 @@ from repro.exec.backends import ETLBackend, create_backend
 from repro.exec.compiler import CompiledNode, ExecutablePlan, compile_flow
 from repro.exec.data import generate_source_columns
 from repro.exec.frame import frame_bytes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.exec.executor")
 
 __all__ = [
     "ExecutionError",
@@ -225,11 +231,14 @@ class FlowExecutor:
         policy: RecoveryPolicy | None = None,
         data_seed: int = 7,
         params: Mapping[str, Any] | None = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         self.backend = create_backend(backend) if isinstance(backend, str) else backend
         self.policy = policy or RecoveryPolicy()
         self.data_seed = data_seed
         self.params = dict(params or {})
+        # Observability only: per-node exec.* counters and timings.
+        self.metrics_registry = registry
 
     def execute(self, flow_or_plan: ETLGraph | ExecutablePlan) -> ExecutionReport:
         """Execute a flow end to end and return its report."""
@@ -257,6 +266,25 @@ class FlowExecutor:
         return report
 
     # ------------------------------------------------------------------
+
+    def _observe_run(self, run: NodeRun) -> None:
+        """Mirror one node's outcome into the metrics registry and the log."""
+        registry = self.metrics_registry
+        if registry is not None:
+            registry.counter(f"exec.nodes_{run.status}").inc()
+            if run.attempts > 1:
+                registry.counter("exec.retries").inc(run.attempts - 1)
+            registry.histogram("exec.node_seconds").observe(run.elapsed_ms / 1000.0)
+        if run.status in ("skipped", "dead_letter"):
+            logger.warning(
+                "node %s %s after %d attempt(s): %s",
+                run.op_id, run.status, run.attempts, run.error,
+            )
+        elif run.status == "recovered":
+            logger.info(
+                "node %s recovered on attempt %d (savepoint %s)",
+                run.op_id, run.attempts, run.savepoint_used,
+            )
 
     def _run_node(
         self,
@@ -295,6 +323,7 @@ class FlowExecutor:
                     error=str(last_error) if last_error is not None else None,
                     savepoint_used=savepoint if attempts > 1 else None,
                 )
+                self._observe_run(run)
                 return run, result
             except Exception as error:  # noqa: BLE001 - every failure routes to recovery
                 last_error = error
@@ -338,6 +367,7 @@ class FlowExecutor:
             error=str(last_error),
             savepoint_used=savepoint,
         )
+        self._observe_run(run)
         return run, result
 
     def _count_rows(self, result: Any) -> int:

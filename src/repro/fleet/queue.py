@@ -39,12 +39,18 @@ continues draining -- there is no session state to rebuild.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import sqlite3
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+logger = logging.getLogger("repro.fleet.queue")
 
 #: Default seconds a lease stays valid without a heartbeat.  Workers
 #: heartbeat at a fraction of this, so only a genuinely dead worker
@@ -59,6 +65,7 @@ CREATE TABLE IF NOT EXISTS jobs (
     status      TEXT NOT NULL DEFAULT 'queued',
     worker      TEXT,
     lease_deadline REAL,
+    leased_at   REAL,
     attempts    INTEGER NOT NULL DEFAULT 0,
     evaluated   INTEGER NOT NULL DEFAULT 0,
     enqueued_at REAL NOT NULL,
@@ -108,12 +115,18 @@ class JobQueue:
     """
 
     def __init__(
-        self, path: str | os.PathLike, lease_timeout: float = DEFAULT_LEASE_TIMEOUT
+        self,
+        path: str | os.PathLike,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive (seconds)")
         self.path = os.fspath(path)
         self.lease_timeout = lease_timeout
+        # Observability only: queue.* latency histograms, depth gauges
+        # and lease-expiry counters land here when set.
+        self.metrics_registry = registry
         self._lock = threading.Lock()
         self._connection = sqlite3.connect(
             self.path,
@@ -129,6 +142,11 @@ class JobQueue:
         # pending one first), so the schema runs outside _transaction().
         with self._lock:
             self._connection.executescript(_SCHEMA)
+            try:
+                # Migrate queues created before the lease-latency column.
+                self._connection.execute("ALTER TABLE jobs ADD COLUMN leased_at REAL")
+            except sqlite3.OperationalError:
+                pass  # current schema: the column already exists
 
     # ------------------------------------------------------------------
 
@@ -189,6 +207,9 @@ class JobQueue:
             connection.execute(
                 "UPDATE jobs SET id = ? WHERE rowid = ?", (job_id, cursor.lastrowid)
             )
+        if self.metrics_registry is not None:
+            self.metrics_registry.counter("queue.enqueued").inc()
+        logger.debug("enqueued %s", job_id)
         return job_id
 
     def status(self, job_id: str) -> dict[str, Any] | None:
@@ -267,7 +288,7 @@ class JobQueue:
         now = time.time()
         with self._transaction() as connection:
             row = connection.execute(
-                "SELECT rowid, id, payload, attempts FROM jobs "
+                "SELECT rowid, id, payload, attempts, status, enqueued_at FROM jobs "
                 "WHERE status = 'queued' "
                 "   OR (status = 'leased' AND lease_deadline < ?) "
                 "ORDER BY rowid LIMIT 1",
@@ -278,17 +299,32 @@ class JobQueue:
                 return None
             deadline = now + timeout
             connection.execute(
-                "UPDATE jobs SET status = 'leased', worker = ?, "
+                "UPDATE jobs SET status = 'leased', worker = ?, leased_at = ?, "
                 "lease_deadline = ?, attempts = attempts + 1 WHERE rowid = ?",
-                (worker_id, deadline, row["rowid"]),
+                (worker_id, now, deadline, row["rowid"]),
             )
             self._touch_worker(connection, worker_id, now)
-            return LeasedJob(
-                job_id=row["id"],
-                payload=json.loads(row["payload"]),
-                attempts=row["attempts"] + 1,
-                lease_deadline=deadline,
+        registry = self.metrics_registry
+        if registry is not None:
+            registry.histogram("queue.enqueue_to_lease_seconds").observe(
+                max(0.0, now - row["enqueued_at"])
             )
+        if row["status"] == "leased":
+            # An expired lease reclaimed: the crashed-worker recovery path.
+            if registry is not None:
+                registry.counter("queue.lease_expirations").inc()
+            logger.warning(
+                "job %s lease expired; re-leased to %s (attempt %d)",
+                row["id"], worker_id, row["attempts"] + 1,
+            )
+        else:
+            logger.debug("job %s leased to %s", row["id"], worker_id)
+        return LeasedJob(
+            job_id=row["id"],
+            payload=json.loads(row["payload"]),
+            attempts=row["attempts"] + 1,
+            lease_deadline=deadline,
+        )
 
     def heartbeat(
         self,
@@ -345,6 +381,11 @@ class JobQueue:
             )
         now = time.time()
         with self._transaction() as connection:
+            timings = connection.execute(
+                "SELECT leased_at, enqueued_at FROM jobs "
+                "WHERE id = ? AND status = 'leased' AND worker = ?",
+                (job_id, worker_id),
+            ).fetchone()
             assignments = [
                 "status = ?",
                 "result = ?",
@@ -368,7 +409,24 @@ class JobQueue:
                 arguments,
             )
             self._touch_worker(connection, worker_id, now)
-            return cursor.rowcount > 0
+            acked = cursor.rowcount > 0
+        if acked:
+            registry = self.metrics_registry
+            if registry is not None:
+                registry.counter(f"queue.acked_{status}").inc()
+                if timings is not None and timings["leased_at"] is not None:
+                    registry.histogram("queue.lease_to_ack_seconds").observe(
+                        max(0.0, now - timings["leased_at"])
+                    )
+                if timings is not None:
+                    registry.histogram("queue.enqueue_to_ack_seconds").observe(
+                        max(0.0, now - timings["enqueued_at"])
+                    )
+            if status == "failed":
+                logger.warning("job %s failed on %s: %s", job_id, worker_id, error)
+            else:
+                logger.debug("job %s done on %s", job_id, worker_id)
+        return acked
 
     # ------------------------------------------------------------------
     # Worker registry
@@ -432,7 +490,40 @@ class JobQueue:
             counts[row["status"]] = row["n"]
             counts["expired"] += row["expired"] or 0
         counts["depth"] = counts["queued"] + counts["leased"]
+        registry = self.metrics_registry
+        if registry is not None:
+            registry.gauge("queue.depth").set(counts["depth"])
+            registry.gauge("queue.expired_leases").set(counts["expired"])
         return counts
+
+    def job_latency(self) -> dict[str, float]:
+        """End-to-end (enqueue -> ack) latency percentiles over terminal jobs.
+
+        Exact quantiles over the stored ``finished_at - enqueued_at``
+        spans -- the durable record works across processes, so a
+        front-end can report latency for acks that happened in worker
+        processes it never saw.  ``{"count": 0}`` with no terminal jobs.
+        """
+        with self._lock:
+            rows = self._connection.execute(
+                "SELECT finished_at - enqueued_at AS latency FROM jobs "
+                "WHERE status IN ('done', 'failed') AND finished_at IS NOT NULL "
+                "ORDER BY latency",
+            ).fetchall()
+        values = [row["latency"] for row in rows if row["latency"] is not None]
+        if not values:
+            return {"count": 0}
+
+        def rank(quantile: float) -> float:
+            return values[min(len(values) - 1, int(quantile * len(values)))]
+
+        return {
+            "count": len(values),
+            "mean": sum(values) / len(values),
+            "p50": rank(0.50),
+            "p95": rank(0.95),
+            "p99": rank(0.99),
+        }
 
     def __len__(self) -> int:
         with self._lock:

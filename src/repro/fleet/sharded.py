@@ -50,10 +50,11 @@ Design points:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
-from repro.cache.backend import CacheStats
+from repro.cache.backend import CacheStats, observe_get_many
 from repro.cache.disk import key_digest
 from repro.cache.http import (
     DEFAULT_MAX_PENDING,
@@ -65,6 +66,7 @@ from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
 from repro.wire import COMPRESS_MIN_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.quality.composite import QualityProfile
 
 #: Wire-counter names aggregated across shards by :meth:`wire_stats`.
@@ -74,6 +76,10 @@ _WIRE_COUNTERS = (
     "reconnects",
     "compressed_requests",
     "compressed_responses",
+    "bytes_sent",
+    "bytes_received",
+    "raw_bytes_sent",
+    "raw_bytes_received",
     "recoveries",
 )
 
@@ -114,10 +120,15 @@ class ShardedProfileCache:
         recovery_interval: float | None = DEFAULT_RECOVERY_INTERVAL,
         max_pending: int = DEFAULT_MAX_PENDING,
         pool: bool = True,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         cleaned = [str(url).rstrip("/") for url in urls]
         if not cleaned:
             raise ValueError("a sharded cache needs at least one shard URL")
+        # Observability only (logical fan-out view under "cache.sharded");
+        # deliberately kept out of ``_client_kwargs`` so handle clones
+        # (which round-trip those kwargs) come back unregistered.
+        self.metrics_registry = registry
         self._client_kwargs = dict(
             timeout=timeout,
             fallback_max_entries=fallback_max_entries,
@@ -133,8 +144,17 @@ class ShardedProfileCache:
         self._executor: ThreadPoolExecutor | None = None
         self.ring = HashRing(cleaned, replicas=ring_replicas)
         self._clients: dict[str, HTTPProfileCache] = {
-            url: HTTPProfileCache(url, **self._client_kwargs) for url in self.ring.nodes
+            url: self._new_client(url) for url in self.ring.nodes
         }
+
+    def _new_client(self, url: str) -> HTTPProfileCache:
+        """A per-shard client wired to the fleet-wide metrics registry."""
+        client = HTTPProfileCache(url, **self._client_kwargs)
+        # All shards share one registry: wire.* counters aggregate the
+        # fleet's transport traffic (and per-shard cache.http.* stays
+        # off -- the logical "sharded" tier is the client-side story).
+        client._client.metrics_registry = self.metrics_registry
+        return client
 
     # ------------------------------------------------------------------
     # Topology
@@ -186,9 +206,7 @@ class ShardedProfileCache:
             for url in new_ring.nodes:
                 existing = old_clients.pop(url, None)
                 clients[url] = (
-                    existing
-                    if existing is not None
-                    else HTTPProfileCache(url, **self._client_kwargs)
+                    existing if existing is not None else self._new_client(url)
                 )
             retired = list(old_clients.values())
             self.ring = new_ring
@@ -238,6 +256,7 @@ class ShardedProfileCache:
 
     def get_many(self, keys: Sequence[tuple]) -> "list[QualityProfile | None]":
         """Batched lookup: one concurrent ``/get_many`` per involved shard."""
+        start = time.perf_counter()
         results: "list[QualityProfile | None]" = [None] * len(keys)
         groups = self._group_by_shard(keys)
         if len(groups) <= 1:
@@ -261,6 +280,9 @@ class ShardedProfileCache:
                     self.stats.misses += 1
                 else:
                     self.stats.hits += 1
+        observe_get_many(
+            self.metrics_registry, "sharded", time.perf_counter() - start, results
+        )
         return results
 
     def put(self, key: tuple, profile: "QualityProfile") -> None:

@@ -45,6 +45,7 @@ from repro.core.planner import Planner
 from repro.core.session import RedesignSession
 from repro.etl.graph import ETLGraph
 from repro.fleet.queue import DEFAULT_LEASE_TIMEOUT, JobQueue, LeasedJob
+from repro.obs.metrics import MetricsRegistry, maybe_timer
 from repro.patterns.registry import PatternRegistry
 from repro.service.redesign_server import configuration_from_request
 from repro.service.results import result_to_dict
@@ -94,8 +95,12 @@ class FleetWorker:
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         lease_timeout: float | None = None,
         heartbeat_interval: float | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.queue = queue
+        # Observability only: fleet.worker.* loop timings and job-outcome
+        # counters mirror the jobs_done/failed/abandoned attributes.
+        self.metrics_registry = registry
         self.worker_id = worker_id or f"worker-{uuid.uuid4().hex[:8]}"
         self.cache = cache
         self.palette = palette
@@ -175,7 +180,15 @@ class FleetWorker:
     # One job
     # ------------------------------------------------------------------
 
+    def _count_job(self, outcome: str) -> None:
+        if self.metrics_registry is not None:
+            self.metrics_registry.counter(f"fleet.worker.jobs_{outcome}").inc()
+
     def _execute(self, job: LeasedJob) -> None:
+        with maybe_timer(self.metrics_registry, "fleet.worker.loop_seconds"):
+            self._execute_timed(job)
+
+    def _execute_timed(self, job: LeasedJob) -> None:
         evaluated = [0]
         lease_lost = threading.Event()
         stop_heartbeat = threading.Event()
@@ -190,6 +203,7 @@ class FleetWorker:
             result_doc = self._plan(job, evaluated, lease_lost)
         except _JobAbandoned:
             self.jobs_abandoned += 1
+            self._count_job("abandoned")
             logger.warning(
                 "worker %s abandoned %s (attempt %d); lease will expire",
                 self.worker_id,
@@ -203,6 +217,7 @@ class FleetWorker:
                 job.job_id, self.worker_id, "failed", error=error, evaluated=evaluated[0]
             ):
                 self.jobs_failed += 1
+                self._count_job("failed")
             logger.info("worker %s failed %s: %s", self.worker_id, job.job_id, error)
             return
         finally:
@@ -212,10 +227,12 @@ class FleetWorker:
             job.job_id, self.worker_id, "done", result=result_doc, evaluated=evaluated[0]
         ):
             self.jobs_done += 1
+            self._count_job("done")
         else:
             # The lease expired (and was re-claimed) before we finished:
             # we are the zombie.  The queue already rejected our result.
             self.jobs_abandoned += 1
+            self._count_job("abandoned")
             logger.warning(
                 "worker %s lost the lease on %s before ack; result discarded",
                 self.worker_id,

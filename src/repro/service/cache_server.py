@@ -197,6 +197,11 @@ class CacheServer(ServiceServer):
         )
         self.backend = backend
         self.stats = CacheStats()
+        # Server-side observability: the backend reports its batched
+        # lookups (cache.<tier>.*) into the server's registry, alongside
+        # the cache.hits/cache.misses the served digests count below.
+        if getattr(backend, "metrics_registry", False) is None:
+            backend.metrics_registry = self.metrics  # type: ignore[attr-defined]
         self.max_hot_entries = max_hot_entries
         #: digest -> ready-to-send profile document (JSON-able dict).
         self._hot: OrderedDict[str, dict] = OrderedDict()
@@ -304,6 +309,10 @@ class CacheServer(ServiceServer):
         with self._lock:
             self.stats.hits += hits
             self.stats.misses += len(digests) - hits
+        if hits:
+            self.metrics.counter("cache.hits").inc(hits)
+        if len(digests) - hits:
+            self.metrics.counter("cache.misses").inc(len(digests) - hits)
         return results
 
     def store_entries(self, entries: list[tuple[tuple, dict, object]]) -> None:
@@ -342,6 +351,19 @@ class CacheServer(ServiceServer):
         self.backend.clear()
 
     # ------------------------------------------------------------------
+
+    metrics_server_kind = "cache"
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The base payload plus the authoritative server-side hit rate."""
+        payload = super().metrics_payload()
+        with self._lock:
+            hit_rate = self.stats.hit_rate
+            lookups = self.stats.lookups
+        if lookups:
+            payload["golden"]["cache_hit_rate"] = hit_rate
+        payload["entries"] = len(self.backend)
+        return payload
 
     def stop(self) -> None:
         """Stop serving; also stops the background sweeper (final sweep)."""

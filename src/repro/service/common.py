@@ -22,9 +22,19 @@ Wire-path features shared with the clients (:mod:`repro.wire`):
 * Responses at or above :data:`repro.wire.COMPRESS_MIN_BYTES` are
   gzip-compressed when the client advertised ``Accept-Encoding: gzip``.
 * With ``auth_token`` set on the server, every request (except ``GET
-  /health``, the conventional load-balancer liveness probe) must carry
+  /health``, the conventional load-balancer liveness probe, and ``GET
+  /metrics``, the read-only monitoring scrape) must carry
   ``Authorization: Bearer <token>`` or is rejected with a ``401`` JSON
   error.  Tokens are compared in constant time.
+
+Observability: every :class:`ServiceServer` owns a
+:class:`repro.obs.MetricsRegistry` and answers ``GET /metrics`` with the
+JSON payload of :meth:`ServiceServer.metrics_payload` (snapshot plus
+derived golden metrics); ``GET /metrics?format=prom`` renders the
+Prometheus text exposition instead.  Every routed request is timed into
+the ``service.request_seconds`` histogram (``/metrics`` scrapes
+excluded, so monitoring never skews the latency it reads).  See
+``docs/observability.md``.
 
 The servers bind ``127.0.0.1`` by default and speak plain HTTP -- the
 shared token authenticates, but does not encrypt; deploy across trust
@@ -39,10 +49,14 @@ import json
 import logging
 import socket
 import threading
+import time
+import urllib.parse
 import zlib
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro.obs.golden import golden_metrics
+from repro.obs.metrics import MetricsRegistry, render_prometheus
 from repro.wire import COMPRESS_MIN_BYTES, BodyTooLarge, decode_body
 
 logger = logging.getLogger("repro.service")
@@ -105,6 +119,17 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def send_text(self, status: int, text: str) -> None:
+        """A plain-text response (the Prometheus exposition format)."""
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
     def read_json(self) -> Any:
         """Parse the request body, enforcing the size cap first.
 
@@ -156,15 +181,18 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
 
         ``GET /health`` stays open (the conventional unauthenticated
         liveness probe for load balancers and recovery probes carries
-        no data).  Everything else must present ``Authorization:
-        Bearer <token>``; tokens are compared in constant time.  The
-        401 is sent *before* the body is drained, so the connection is
-        marked for closing like the 413 path.
+        no data), and so does ``GET /metrics`` -- monitoring scrapes
+        are read-only and must keep working when the poller has no
+        token.  Everything else must present ``Authorization: Bearer
+        <token>``; tokens are compared in constant time.  The 401 is
+        sent *before* the body is drained, so the connection is marked
+        for closing like the 413 path.
         """
         token = getattr(self.server, "auth_token", None)
         if token is None:
             return
-        if method == "GET" and (self.path.rstrip("/") or "/") == "/health":
+        bare = self.path.partition("?")[0].rstrip("/") or "/"
+        if method == "GET" and bare in ("/health", "/metrics"):
             return
         supplied = self.headers.get("Authorization") or ""
         if hmac.compare_digest(supplied.encode(), f"Bearer {token}".encode()):
@@ -176,6 +204,21 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
         """Dispatch one request; subclasses override."""
         raise ServiceError(404, f"unknown endpoint: {method} {path}")
 
+    def _serve_metrics(self, query: str) -> None:
+        """Answer ``GET /metrics``: JSON by default, ``?format=prom`` text."""
+        service = getattr(self.server, "service", None)
+        payload_of = getattr(service, "metrics_payload", None)
+        if payload_of is None:
+            raise ServiceError(404, "metrics are not available on this server")
+        payload = payload_of()
+        requested = urllib.parse.parse_qs(query).get("format", [""])[0]
+        if requested == "prom":
+            self.send_text(200, render_prometheus(payload.get("metrics", {})))
+        elif requested in ("", "json"):
+            self.send_json(200, payload)
+        else:
+            raise ServiceError(400, f"unknown metrics format: {requested!r}")
+
     def _handle(self, method: str) -> None:
         try:
             self.check_auth(method)
@@ -184,7 +227,20 @@ class JSONRequestHandler(BaseHTTPRequestHandler):
             # on a keep-alive connection, exactly what the 400/413 paths
             # guard against.  Bodyless requests parse as {}.
             body = self.read_json()
-            payload = self.route(method, self.path.rstrip("/") or "/", body)
+            path, _, query = self.path.partition("?")
+            path = path.rstrip("/") or "/"
+            if method == "GET" and path == "/metrics":
+                self._serve_metrics(query)
+                return
+            started = time.perf_counter()
+            payload = self.route(method, path, body)
+            registry = getattr(
+                getattr(self.server, "service", None), "metrics", None
+            )
+            if registry is not None:
+                registry.histogram("service.request_seconds").observe(
+                    time.perf_counter() - started
+                )
             self.send_json(200, payload)
         except ServiceError as exc:
             self.send_json(exc.status, {"error": exc.message})
@@ -272,6 +328,9 @@ class ServiceServer:
     ) -> None:
         if auth_token is not None and not auth_token:
             raise ValueError("auth_token must be a non-empty string (or None)")
+        #: The server-owned metrics registry behind ``GET /metrics``.
+        #: Subclasses record into it and extend :meth:`metrics_payload`.
+        self.metrics = MetricsRegistry()
         self._http = _TrackingHTTPServer((host, port), self.handler_class)
         # The handler reaches the service object through the server.
         self._http.service = self  # type: ignore[attr-defined]
@@ -356,6 +415,25 @@ class ServiceServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self._http.server_close()
+
+    #: Short payload tag identifying the server kind on ``/metrics``;
+    #: subclasses override ("cache", "redesign").
+    metrics_server_kind = "service"
+
+    def metrics_payload(self) -> dict[str, Any]:
+        """The ``GET /metrics`` JSON document.
+
+        ``{"server": ..., "metrics": <registry snapshot>, "golden":
+        <derived golden metrics>}``.  Subclasses extend -- refresh
+        gauges before delegating, or union extra golden signals over
+        the derived ones.
+        """
+        snapshot = self.metrics.snapshot()
+        return {
+            "server": self.metrics_server_kind,
+            "metrics": snapshot,
+            "golden": golden_metrics(snapshot),
+        }
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until interrupted (CLI entry point)."""

@@ -36,15 +36,16 @@ plans arrive, so memory does not grow with the submission history.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Mapping
 
 if TYPE_CHECKING:  # repro.fleet imports this module; annotation only
     from repro.fleet.queue import JobQueue
 
-from repro.cache import CacheBackend, ProfileCache
+from repro.cache import CacheBackend, ProfileCache, cache_stats_dict
 from repro.core.configuration import MeasureConstraint, ProcessingConfiguration
 from repro.core.planner import Planner, PlanningResult
 from repro.core.session import RedesignSession
@@ -60,8 +61,12 @@ from repro.service.common import (
 )
 from repro.service.results import result_to_dict
 
+logger = logging.getLogger("repro.service.redesign")
+
 #: Configuration fields a request may NOT set: the service owns the
-#: cache tier (one shared backend for the whole worker pool).
+#: cache tier (one shared backend for the whole worker pool) and the
+#: metrics registry (servers inject their own -- a registry is not a
+#: JSON value anyway).
 _RESERVED_FIELDS = frozenset(
     {
         "cache_tier",
@@ -75,6 +80,7 @@ _RESERVED_FIELDS = frozenset(
         "cache_max_pending",
         "cache_urls",
         "fleet_ring_replicas",
+        "metrics_registry",
     }
 )
 
@@ -94,6 +100,7 @@ _SIMPLE_FIELDS = frozenset(
         "copy_mode",
         "prefix_cache",
         "backend",
+        "metrics_enabled",
     }
 )
 
@@ -250,7 +257,7 @@ class _RedesignHandler(JSONRequestHandler):
             if path == "/health":
                 return service.health_payload()
             if path == "/stats":
-                return {"cache": service.cache.tier_stats()}
+                return {"cache": cache_stats_dict(service.cache)}
             if path == "/plans":
                 return {"plans": service.plans_payload()}
             if path.startswith("/plans/"):
@@ -329,6 +336,13 @@ class RedesignServer(ServiceServer):
             auth_token=auth_token,
         )
         self.cache: CacheBackend = cache if cache is not None else ProfileCache()
+        # Server-side observability: the shared tier (and, in fleet
+        # mode, the queue) report into the server's registry unless the
+        # caller wired their own.
+        if getattr(self.cache, "metrics_registry", False) is None:
+            self.cache.metrics_registry = self.metrics  # type: ignore[attr-defined]
+        if queue is not None and getattr(queue, "metrics_registry", False) is None:
+            queue.metrics_registry = self.metrics
         self.workers = workers
         self.palette = palette
         self.max_retained_jobs = max_retained_jobs
@@ -398,29 +412,38 @@ class RedesignServer(ServiceServer):
 
     def _run(self, job: RedesignJob, flow: ETLGraph, configuration: ProcessingConfiguration) -> None:
         job.status = "running"
+        if configuration.metrics_enabled and configuration.metrics_registry is None:
+            # Requests may turn metrics on but cannot carry a registry
+            # (it is not a JSON value): plan-internal instruments land
+            # in the server's registry, behind GET /metrics.
+            configuration = replace(configuration, metrics_registry=self.metrics)
         try:
-            planner = Planner(
-                palette=self.palette,
-                configuration=configuration,
-                profile_cache=self.cache,
-            )
-            session = RedesignSession(flow, planner=planner)
-            job.planner = planner
-            job.session = session
+            with self.metrics.timer("service.plan_seconds"):
+                planner = Planner(
+                    palette=self.palette,
+                    configuration=configuration,
+                    profile_cache=self.cache,
+                )
+                session = RedesignSession(flow, planner=planner)
+                job.planner = planner
+                job.session = session
 
-            def on_evaluated(_alternative) -> None:
-                with job._lock:
-                    job.evaluated += 1
+                def on_evaluated(_alternative) -> None:
+                    with job._lock:
+                        job.evaluated += 1
 
-            iteration = session.iterate(on_evaluated=on_evaluated)
+                iteration = session.iterate(on_evaluated=on_evaluated)
             job.result = iteration.result
             job.result_doc = result_to_dict(iteration.result)
             job.finish()
             job.status = "done"
+            self.metrics.counter("service.plans_done").inc()
         except Exception as exc:
             job.error = f"{type(exc).__name__}: {exc}"
             job.finish()
             job.status = "failed"
+            self.metrics.counter("service.plans_failed").inc()
+            logger.warning("plan %s failed: %s", job.job_id, job.error)
 
     def _job(self, job_id: str) -> RedesignJob:
         with self._jobs_lock:
@@ -446,6 +469,42 @@ class RedesignServer(ServiceServer):
             payload["mode"] = "fleet"
             payload["queue"] = self.queue.stats()
             payload["fleet_workers"] = self.queue.workers()
+        else:
+            payload["jobs"] = len(self.jobs)
+        return payload
+
+    metrics_server_kind = "redesign"
+
+    def metrics_payload(self) -> dict:
+        """The base payload plus fleet gauges and queue-derived latency.
+
+        In fleet mode the front-end never plans (and acks happen in
+        worker processes), so queue depth, worker liveness and the
+        end-to-end plan-latency percentiles are refreshed from the
+        durable queue at scrape time; in-process mode reads plan
+        latency straight from the ``service.plan_seconds`` histogram.
+        """
+        queue_stats = workers_alive = latency = None
+        if self.queue is not None:
+            queue_stats = self.queue.stats()
+            workers_alive = len(
+                self.queue.workers(active_within=self.queue.lease_timeout * 2)
+            )
+            latency = self.queue.job_latency()
+            # Refresh the gauges before the snapshot below captures them.
+            self.metrics.gauge("queue.depth").set(queue_stats["depth"])
+            self.metrics.gauge("queue.expired_leases").set(queue_stats["expired"])
+            self.metrics.gauge("fleet.workers_alive").set(workers_alive)
+        payload = super().metrics_payload()
+        if self.queue is not None:
+            payload["queue"] = queue_stats
+            golden = payload["golden"]
+            golden["queue_depth"] = float(queue_stats["depth"])
+            golden["workers_alive"] = float(workers_alive)
+            if latency and latency.get("count"):
+                golden["plan_count"] = latency["count"]
+                golden["plan_p50_seconds"] = latency["p50"]
+                golden["plan_p99_seconds"] = latency["p99"]
         else:
             payload["jobs"] = len(self.jobs)
         return payload

@@ -70,21 +70,34 @@ class WireError(Exception):
         self.message = message
 
 
-def encode_body(
-    payload: Any, *, compress: bool, min_bytes: int = COMPRESS_MIN_BYTES
+def compress_body(
+    body: bytes, *, compress: bool, min_bytes: int = COMPRESS_MIN_BYTES
 ) -> tuple[bytes, str | None]:
-    """Serialise a JSON payload, compressing it when worthwhile.
+    """Compress an already-serialised body when worthwhile.
 
     Returns ``(body, content_encoding)`` where ``content_encoding`` is
     ``"gzip"`` or ``None``.  ``mtime=0`` keeps the gzip output
     deterministic (byte-identical bodies for byte-identical payloads).
     """
-    body = json.dumps(payload).encode("utf-8")
     if compress and len(body) >= min_bytes:
         compressed = gzip.compress(body, mtime=0)
         if len(compressed) < len(body):
             return compressed, "gzip"
     return body, None
+
+
+def encode_body(
+    payload: Any, *, compress: bool, min_bytes: int = COMPRESS_MIN_BYTES
+) -> tuple[bytes, str | None]:
+    """Serialise a JSON payload, compressing it when worthwhile.
+
+    ``json.dumps`` then :func:`compress_body` -- callers that need the
+    pre-compression size (the wire byte accounting) serialise themselves
+    and call :func:`compress_body` directly.
+    """
+    return compress_body(
+        json.dumps(payload).encode("utf-8"), compress=compress, min_bytes=min_bytes
+    )
 
 
 class BodyTooLarge(ValueError):
@@ -157,6 +170,17 @@ class PooledJSONClient:
         (each one also implies a retried request), and completed
         round-trips.  ``compressed_requests`` / ``compressed_responses``
         count bodies that actually travelled compressed.
+    bytes_sent / bytes_received:
+        Body bytes as they travelled (post-compression request bodies,
+        pre-decompression response bodies); headers are not counted.
+    raw_bytes_sent / raw_bytes_received:
+        The same bodies *before* compression / *after* decompression --
+        ``raw / wire`` is the effective compression ratio.
+    metrics_registry:
+        Optional :class:`repro.obs.MetricsRegistry`; when set, the four
+        byte counters (and ``wire.requests``) are mirrored as ``wire.*``
+        instruments on every round-trip.  Plain attribute, assignable
+        after construction.
     """
 
     def __init__(
@@ -191,6 +215,11 @@ class PooledJSONClient:
         self.requests = 0
         self.compressed_requests = 0
         self.compressed_responses = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.raw_bytes_sent = 0
+        self.raw_bytes_received = 0
+        self.metrics_registry = None
 
     # ------------------------------------------------------------------
     # Connection management
@@ -335,9 +364,12 @@ class PooledJSONClient:
         """
         if payload is None:
             body, content_encoding = None, None
+            raw_sent = 0
         else:
-            body, content_encoding = encode_body(
-                payload, compress=self.compression, min_bytes=self.compress_min_bytes
+            raw_body = json.dumps(payload).encode("utf-8")
+            raw_sent = len(raw_body)
+            body, content_encoding = compress_body(
+                raw_body, compress=self.compression, min_bytes=self.compress_min_bytes
             )
             if content_encoding is not None:
                 self.compressed_requests += 1
@@ -347,7 +379,20 @@ class PooledJSONClient:
         self.requests += 1
         if response_encoding not in (None, "identity"):
             self.compressed_responses += 1
+        wire_received = len(raw)
         raw = decode_body(raw, response_encoding)
+        self.bytes_sent += len(body) if body is not None else 0
+        self.raw_bytes_sent += raw_sent
+        self.bytes_received += wire_received
+        self.raw_bytes_received += len(raw)
+        registry = self.metrics_registry
+        if registry is not None:
+            registry.counter("wire.requests").inc()
+            if body is not None:
+                registry.counter("wire.bytes_sent").inc(len(body))
+                registry.counter("wire.raw_bytes_sent").inc(raw_sent)
+            registry.counter("wire.bytes_received").inc(wire_received)
+            registry.counter("wire.raw_bytes_received").inc(len(raw))
         if status >= 400:
             try:
                 message = json.loads(raw.decode("utf-8")).get("error", "")

@@ -118,10 +118,15 @@ def test_service_bench_smoke_tiny_flow():
     assert report["service_seconds_wall"] > 0
     assert len(report["solo_seconds"]) == 2
     assert report["server_entries"] > 0
-    # the fleet clients were served by the warm shared server
-    assert all(rate == 1.0 for rate in report["client_hit_rates"])
+    # the fleet clients were served by the warm shared server, as
+    # observed through the server's own /metrics endpoint
+    assert report["fleet_hit_rate"] == 1.0
+    assert report["request_seconds"]["count"] > 0
+    assert report["request_seconds"]["p99"] >= report["request_seconds"]["p50"]
+    assert report["server_golden"]["cache_hit_rate"] > 0
     rendered = bench._render_report(report)
     assert "service vs solo" in rendered
+    assert "from /metrics" in rendered
 
 
 def test_wire_bench_smoke_tiny_flow():
@@ -170,10 +175,16 @@ def test_fleet_bench_smoke_tiny_flow():
     for cell in report["grid"]:
         assert cell["wall_seconds"] > 0
         assert len(cell["client_seconds"]) == cell["clients"]
-        assert all(rate == 1.0 for rate in cell["client_hit_rates"])
+        # warm, as the shards themselves observed through /metrics
+        assert cell["fleet_hit_rate"] == 1.0
     # every shard channel actually carried traffic
     for counts in report["shard_bytes"].values():
         assert all(count > 0 for count in counts)
+    # every shard reports served-request latency on /metrics
+    for stats in report["shard_request_seconds"].values():
+        for shard in stats:
+            assert shard["count"] > 0
+            assert shard["p99"] >= shard["p50"] >= 0
     assert report["speedup_sharded_vs_single"] > 0
     rendered = bench._render_report(report)
     assert "sharded vs single" in rendered
@@ -198,6 +209,32 @@ def test_execution_bench_smoke_tiny_flow():
     rendered = bench._render_report(report)
     assert "spearman" in rendered
     assert "measured ranking" in rendered
+
+
+def test_obs_bench_smoke_tiny_flow():
+    bench = _load_module(_BENCH_DIR / "bench_obs.py")
+    report = bench.run_obs_bench(
+        scale=0.01,
+        pattern_budget=1,
+        max_points_per_pattern=2,
+        simulation_runs=1,
+        max_alternatives=15,
+        repeats=1,
+    )
+    # enabling metrics must never change what gets planned
+    assert report["identical_results"]
+    assert report["off_best_seconds"] > 0
+    assert report["on_best_seconds"] > 0
+    # the instrumented arm really recorded: one span per plan (1 cold +
+    # 1 timed), plus histograms/counters from the evaluator and cache
+    assert report["plan_spans_recorded"] == report["plans_per_arm"] == 2
+    assert report["metric_points"]["histograms"] > 0
+    assert report["metric_points"]["counters"] > 0
+    # the overhead gate itself is only meaningful at benchmark scale;
+    # tiny runs just need a defined number
+    assert isinstance(report["overhead_fraction"], float)
+    rendered = bench._render_report(report)
+    assert "instrumentation overhead" in rendered
 
 
 def test_run_all_smoke_writes_machine_readable_record(tmp_path):
@@ -226,7 +263,9 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     assert service["identical_results"]
     assert service["speedup_service_vs_solo"] > 0
     assert service["server_entries"] > 0
-    assert len(service["client_hit_rates"]) == service["clients"] == 2
+    assert service["clients"] == 2
+    assert service["fleet_hit_rate"] == 1.0
+    assert service["request_seconds"]["count"] > 0
     wire = record["wire"]
     assert wire["identical_results"]
     assert wire["speedup_pooled_vs_per_request"] > 0
@@ -245,3 +284,9 @@ def test_run_all_smoke_writes_machine_readable_record(tmp_path):
     assert execution["executed"] == 3
     assert -1.0 <= execution["spearman"] <= 1.0
     assert execution["raw"]["calibration"]["runs"]
+    observability = record["observability"]
+    assert observability["identical_results"]
+    assert observability["plan_spans_recorded"] == 2
+    assert observability["metric_points"]["histograms"] > 0
+    assert observability["off_best_seconds"] > 0
+    assert observability["on_best_seconds"] > 0

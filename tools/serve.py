@@ -151,10 +151,22 @@ def _run_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
         queue=queue, host=args.host, port=args.port, auth_token=args.auth_token
     )
 
+    logger = logging.getLogger("repro.service.fleet")
+    logger.info(
+        "fleet topology: front-end %s, %d shard(s) [%s], tier=%s, "
+        "queue=%s, %d in-process worker(s)",
+        front.url,
+        len(shard_urls),
+        ", ".join(shard_urls),
+        "tiered" if args.tiered else ("disk" if args.cache_dir else "memory"),
+        queue_path,
+        args.fleet_workers,
+    )
     print(f"fleet front-end listening on {front.url}")
     for index, url in enumerate(shard_urls):
         print(f"  shard {index}: {url}")
     print(f"  queue: {queue_path} ({args.fleet_workers} in-process workers)")
+    print(f"  metrics: {front.url}/metrics (dashboard: tools/obs.py)")
     print(f'  try: RedesignClient("{front.url}").plan(flow)')
     print(
         f"  scale out: PYTHONPATH=src python tools/worker.py --queue {queue_path} "
@@ -180,6 +192,13 @@ def _run_fleet(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("-v", "--verbose", action="store_true", help="log every request")
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="root log level for the repro.* loggers "
+        "(default: info, or debug with --verbose)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     cache = commands.add_parser("cache", help="serve a shared profile-cache tier")
@@ -242,8 +261,12 @@ def main(argv=None) -> int:
     _add_backend_arguments(fleet)
 
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper())
+    else:
+        level = logging.DEBUG if args.verbose else logging.INFO
     logging.basicConfig(
-        level=logging.DEBUG if args.verbose else logging.INFO,
+        level=level,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
     if args.max_bytes is not None and args.cache_dir is None:

@@ -83,9 +83,20 @@ def main(argv=None) -> int:
         help="lease validity requested per job, seconds (heartbeats extend it)",
     )
     parser.add_argument("-v", "--verbose", action="store_true", help="debug logging")
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="root log level for the repro.* loggers "
+        "(default: info, or debug with --verbose)",
+    )
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        level = getattr(logging, args.log_level.upper())
+    else:
+        level = logging.DEBUG if args.verbose else logging.INFO
     logging.basicConfig(
-        level=logging.DEBUG if args.verbose else logging.INFO,
+        level=level,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
     if args.cache_urls and args.cache_url:
